@@ -1,0 +1,59 @@
+"""Benchmark configuration: dataset scale, resource envelopes, model
+hyper-parameters.
+
+Everything is scaled down consistently from the paper's testbed (16 x
+96-core machines, 512 GB RAM, billion-edge graphs) to a laptop-sized
+Python run.  ``MEMORY_BUDGET`` stands in for the 512 GB RAM: engines that
+materialize per-edge or per-instance intermediates at these graph sizes
+exceed it exactly where the paper reports OOM.  ``TIME_LIMIT`` stands in
+for the paper's half-hour cap on one epoch (the ">3600s" cells).
+"""
+
+from __future__ import annotations
+
+from repro.datasets import load_dataset
+
+#: dataset scale used by all benchmarks ("small" keeps the suite minutes-long)
+SCALE = "bench"
+
+#: per-step transient allocation budget (bytes) for baseline engines
+MEMORY_BUDGET = 300_000_000
+
+#: epoch wall-clock limit (seconds); extrapolated epochs above it report ">"
+TIME_LIMIT = 10.0
+
+#: hidden dimension for all two-layer models
+HIDDEN_DIM = 32
+
+#: PinSage neighbor selection (the paper's setup: 10 walks x 3 hops, top-10)
+PINSAGE_PARAMS = {"num_traces": 10, "n_hops": 3, "top_k": 10}
+
+#: MAGNN instance cap per (root, metapath) — bounds HDG size at bench scale
+MAGNN_CAP = 10
+
+#: mini-batch engines: batch size and measured batches before extrapolating
+MINIBATCH_PARAMS = {"batch_size": 32, "max_batches": 3}
+
+_CACHE: dict[str, object] = {}
+
+
+def dataset(name: str):
+    """Session-cached benchmark dataset."""
+    if name not in _CACHE:
+        _CACHE[name] = load_dataset(name, scale=SCALE)
+    return _CACHE[name]
+
+
+def engine_params(model_name: str) -> dict:
+    """Per-model kwargs shared by every engine."""
+    params: dict = {
+        "hidden_dim": HIDDEN_DIM,
+        "memory_budget": MEMORY_BUDGET,
+        "time_limit": TIME_LIMIT,
+    }
+    if model_name == "pinsage":
+        params.update(PINSAGE_PARAMS)
+    if model_name == "magnn":
+        params["max_instances_per_root"] = MAGNN_CAP
+    params.update(MINIBATCH_PARAMS)
+    return params

@@ -1,0 +1,50 @@
+"""Shared benchmark infrastructure.
+
+Each benchmark regenerates one of the paper's tables or figures and
+registers the rendered table through the ``report`` fixture; tables are
+written to ``benchmarks/results/`` and echoed in the terminal summary so
+``pytest benchmarks/ --benchmark-only`` leaves a readable record.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+_TABLES: dict[str, str] = {}
+
+
+@pytest.fixture
+def report():
+    """Save a rendered experiment table: ``report(name, text)``."""
+
+    def save(name: str, text: str) -> None:
+        _TABLES[name] = text
+        os.makedirs(RESULTS_DIR, exist_ok=True)
+        with open(os.path.join(RESULTS_DIR, f"{name}.txt"), "w") as f:
+            f.write(text + "\n")
+
+    return save
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    for name in sorted(_TABLES):
+        terminalreporter.write_sep("=", name)
+        for line in _TABLES[name].splitlines():
+            terminalreporter.write_line(line)
+
+
+def render_table(title: str, headers: list[str], rows: list[list[str]]) -> str:
+    """Plain-text table renderer for paper-style result tables."""
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(str(cell)))
+    def fmt(row):
+        return "  ".join(str(c).ljust(w) for c, w in zip(row, widths))
+    lines = [title, fmt(headers), fmt(["-" * w for w in widths])]
+    lines.extend(fmt(r) for r in rows)
+    return "\n".join(lines)

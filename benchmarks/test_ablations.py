@@ -1,0 +1,371 @@
+"""Ablation benchmarks for design choices the paper calls out but does
+not plot: HDG storage compaction (§4.1), the balancing-plan count (§6),
+and batched vs per-message communication for non-commutative aggregators
+(§5).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import ADBBalancer, FlexGraphEngine, metrics_from_hdg
+from repro.distributed import CommConfig, dependency_stats, plan_layer_comm
+from repro.graph import hash_partition, pulp_partition
+from repro.models import magnn, pinsage
+from repro.tensor import Tensor
+
+import bench_config as cfg
+from conftest import render_table
+
+
+def test_ablation_hdg_storage(benchmark, report):
+    """§4.1 storage optimizations: elided in-between Dst array + single
+    global schema tree vs a naive per-level CSC store."""
+    rows = []
+
+    def run_all():
+        rng = np.random.default_rng(0)
+        for ds_name in ("reddit", "fb91", "twitter"):
+            ds = cfg.dataset(ds_name)
+            model = magnn(ds.feat_dim, cfg.HIDDEN_DIM, ds.num_classes,
+                          max_instances_per_root=cfg.MAGNN_CAP)
+            hdg = model.neighbor_selection(ds.graph, rng)
+            saved = 1.0 - hdg.nbytes / hdg.nbytes_unoptimized
+            rows.append([
+                ds_name,
+                f"{hdg.nbytes / 1e6:.2f}",
+                f"{hdg.nbytes_unoptimized / 1e6:.2f}",
+                f"{saved:.1%}",
+            ])
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+    report(
+        "ablation_hdg_storage",
+        render_table(
+            "Ablation (§4.1): MAGNN HDG storage, compact vs naive CSC (MB)",
+            ["dataset", "compact", "naive", "saved"],
+            rows,
+        ),
+    )
+    for row in rows:
+        assert float(row[1]) < float(row[2])
+
+
+def test_ablation_balancing_plans(benchmark, report):
+    """§6: ADB generates 5 plans and keeps the cheapest cut — sweep the
+    plan count and record the chosen plan's induced-graph cut."""
+    ds = cfg.dataset("twitter")
+    rows = []
+    cuts = {}
+
+    def run_all():
+        from repro.core.balancer import _build_adjacency, induced_dependency_edges
+        from repro.models import gcn
+
+        # GCN's per-root cost is degree-driven; a contiguous block
+        # partition concentrates the preferential-attachment hubs and
+        # gives ADB real skew to fix.
+        model = gcn(ds.feat_dim, cfg.HIDDEN_DIM, ds.num_classes)
+        engine = FlexGraphEngine(model, ds.graph, seed=0)
+        hdg = engine.hdg_for_layer(0)
+        metrics = metrics_from_hdg(hdg, ds.feat_dim)
+        k = 8
+        n = ds.graph.num_vertices
+        base = np.minimum(np.arange(n) * k // n, k - 1)
+        balancer = ADBBalancer(num_plans=10, threshold=1.02, seed=1)
+        costs = np.zeros(hdg.num_input_vertices)
+        costs[hdg.roots] = balancer.per_root_costs(metrics)
+        part_costs = np.zeros(k)
+        np.add.at(part_costs, base, costs)
+        src, dst = induced_dependency_edges(hdg)
+        adjacency = _build_adjacency(src, dst)
+        plan_cuts = []
+        for _ in range(10):
+            plan = balancer._generate_plan(
+                hdg, base, k, costs, part_costs, adjacency, src, dst
+            )
+            plan_cuts.append(plan.cut_edges if plan is not None else np.inf)
+        for num_plans in (1, 2, 5, 10):
+            cut = int(min(plan_cuts[:num_plans]))
+            cuts[num_plans] = cut
+            rows.append([str(num_plans), str(cut)])
+        rows.append(["(spread of 10 plans)",
+                     f"{int(min(plan_cuts))}..{int(max(plan_cuts))}"])
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+    report(
+        "ablation_balancing_plans",
+        render_table(
+            "Ablation (§6): balancing-plan count vs chosen plan's induced cut",
+            ["num_plans", "chosen cut_edges"],
+            rows,
+        ),
+    )
+    # More candidate plans never pick a worse cut; the spread shows why
+    # generating several is worthwhile.
+    assert cuts[10] <= cuts[5] <= cuts[2] <= cuts[1]
+
+
+def test_ablation_neugraph_chunking(benchmark, report):
+    """§8 extension: NeuGraph's chunk-at-a-time strategy trades peak
+    memory for scheduling overhead — sweep the chunk grid on the Reddit
+    stand-in and compare with DGL (no chunking) and FlexGraph."""
+    from repro.baselines import DGLEngine, FlexGraphAdapter, NeuGraphEngine
+
+    ds = cfg.dataset("reddit")
+    rows = []
+    peaks = {}
+    times = {}
+
+    def run_all():
+        for chunks in (1, 2, 4, 8):
+            engine = NeuGraphEngine(ds, "gcn", hidden_dim=cfg.HIDDEN_DIM,
+                                    seed=0, num_chunks=chunks)
+            engine.run_epoch(0)
+            rep = engine.run_epoch(1)
+            peaks[chunks] = engine.memory.peak
+            times[chunks] = rep.seconds
+            rows.append([f"neugraph ({chunks}x{chunks} grid)",
+                         f"{rep.seconds:.3f}", f"{engine.memory.peak / 1e6:.1f}"])
+        dgl = DGLEngine(ds, "gcn", hidden_dim=cfg.HIDDEN_DIM, seed=0)
+        dgl.run_epoch(0)
+        rep = dgl.run_epoch(1)
+        rows.append(["dgl (no chunking)", f"{rep.seconds:.3f}",
+                     f"{dgl.memory.peak / 1e6:.1f}"])
+        flex = FlexGraphAdapter(ds, "gcn", hidden_dim=cfg.HIDDEN_DIM, seed=0)
+        flex.run_epoch(0)
+        rep = flex.run_epoch(1)
+        rows.append(["flexgraph (fused)", f"{rep.seconds:.3f}", "0.0*"])
+        rows.append(["(*feature fusion never materializes edge tensors)", "", ""])
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+    report(
+        "ablation_neugraph_chunking",
+        render_table(
+            "Ablation (§8 extension): NeuGraph chunk grid vs DGL vs "
+            "FlexGraph on reddit GCN",
+            ["engine", "sec/epoch", "peak transient MB"],
+            rows,
+        ),
+    )
+    # Chunking monotonically shrinks peak edge-state memory...
+    assert peaks[8] < peaks[4] < peaks[1]
+    # ...while adding scheduling overhead relative to one pass.
+    assert times[8] >= times[1] * 0.8
+
+
+def test_ablation_training_mode_convergence(benchmark, report):
+    """Extension ablation: the three training modes (full-batch, sampled
+    mini-batch, simulated-distributed) run the same NAU program — after a
+    fixed epoch budget they must land at comparable accuracy."""
+    from repro.core import MiniBatchTrainer
+    from repro.distributed import DistributedTrainer
+    from repro.graph import hash_partition
+    from repro.models import gcn
+    from repro.tensor import Adam, Tensor
+
+    ds = cfg.dataset("reddit")
+    epochs = 8
+    rows = []
+    accs = {}
+
+    def run_all():
+        feats = Tensor(ds.features)
+
+        model = gcn(ds.feat_dim, cfg.HIDDEN_DIM, ds.num_classes, seed=0,
+                    aggregator="mean")
+        engine = FlexGraphEngine(model, ds.graph, seed=0)
+        opt = Adam(model.parameters(), 0.01)
+        for epoch in range(epochs):
+            engine.train_epoch(feats, ds.labels, opt, ds.train_mask, epoch)
+        accs["full-batch"] = engine.evaluate(feats, ds.labels, ds.test_mask)
+
+        model = gcn(ds.feat_dim, cfg.HIDDEN_DIM, ds.num_classes, seed=0,
+                    aggregator="mean")
+        trainer = MiniBatchTrainer(model, ds.graph, batch_size=256,
+                                   fanouts=[10, 10], seed=0)
+        opt = Adam(model.parameters(), 0.01)
+        for epoch in range(epochs):
+            trainer.train_epoch(feats, ds.labels, opt, ds.train_mask, epoch)
+        accs["sampled mini-batch"] = trainer.evaluate(feats, ds.labels, ds.test_mask)
+
+        model = gcn(ds.feat_dim, cfg.HIDDEN_DIM, ds.num_classes, seed=0,
+                    aggregator="mean")
+        dist = DistributedTrainer(
+            model, ds.graph, hash_partition(ds.graph.num_vertices, 8), seed=0
+        )
+        opt = Adam(model.parameters(), 0.01)
+        for epoch in range(epochs):
+            dist.train_epoch(feats, ds.labels, opt, ds.train_mask, epoch)
+        accs["distributed (k=8)"] = FlexGraphEngine(model, ds.graph).evaluate(
+            feats, ds.labels, ds.test_mask
+        )
+        for mode, acc in accs.items():
+            rows.append([mode, f"{acc:.3f}"])
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+    report(
+        "ablation_training_modes",
+        render_table(
+            f"Ablation (extension): test accuracy after {epochs} epochs, "
+            "same GCN under three training modes (reddit)",
+            ["mode", "test accuracy"],
+            rows,
+        ),
+    )
+    best = max(accs.values())
+    for mode, acc in accs.items():
+        assert acc > best - 0.15, f"{mode} failed to converge comparably"
+
+
+def test_ablation_dynamic_graph(benchmark, report):
+    """§7.2's closing remark, quantified: on an evolving graph the
+    pre-expanded approach must re-materialize from scratch per change
+    batch, while NAU's NeighborSelection can repair HDGs incrementally."""
+    import time
+
+    from repro.core import MetapathHDGMaintainer
+    from repro.core.selection import build_metapath_hdg
+    from repro.models.magnn import default_metapaths
+
+    ds = cfg.dataset("fb91")
+    metapaths = [mp for mp in default_metapaths(ds.graph.num_types)][:4]
+    rows = []
+    totals = {}
+
+    def run_all():
+        rng = np.random.default_rng(0)
+        maintainer = MetapathHDGMaintainer(ds.graph, metapaths)
+        incremental = full = 0.0
+        deltas = 0
+        num_steps = 5
+        for _step in range(num_steps):
+            graph = maintainer.graph
+            a = rng.integers(0, graph.num_vertices, 8)
+            b = rng.integers(0, graph.num_vertices, 8)
+            keep = a != b
+            added = np.stack([a[keep], b[keep]], 1)
+            t0 = time.perf_counter()
+            maintainer.apply_edge_changes(added=added)
+            incremental += time.perf_counter() - t0
+            deltas += maintainer.last_delta
+            # What Pre+DGL must do instead: re-expand everything.
+            t0 = time.perf_counter()
+            build_metapath_hdg(maintainer.graph, metapaths)
+            full += time.perf_counter() - t0
+        totals["incremental"] = incremental
+        totals["full"] = full
+        rows.append(["incremental repair", f"{incremental / num_steps:.4f}",
+                     f"{deltas} instances touched"])
+        rows.append(["full re-expansion", f"{full / num_steps:.4f}",
+                     f"{maintainer.num_instances} instances total"])
+        rows.append(["speedup", f"{full / max(incremental, 1e-12):.1f}x", ""])
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+    report(
+        "ablation_dynamic_graph",
+        render_table(
+            "Ablation (§7.2): per-change-batch HDG maintenance on an "
+            "evolving graph (fb91, 8 edges per batch, seconds)",
+            ["approach", "sec/batch", "work"],
+            rows,
+        ),
+    )
+    assert totals["incremental"] < totals["full"]
+
+
+def test_ablation_minibatch_sampling(benchmark, report):
+    """Extension ablation: full-batch vs fan-out-sampled mini-batch
+    FlexGraph on the dense Reddit stand-in — the failure mode that sinks
+    the naive mini-batch baselines (§7.1) does not apply when sampling is
+    HDG-native."""
+    from repro.core import MiniBatchTrainer
+    from repro.models import gcn
+    from repro.tensor import Adam, Tensor
+
+    ds = cfg.dataset("reddit")
+    rows = []
+    results = {}
+
+    def run_all():
+        feats = Tensor(ds.features)
+        # Full batch.
+        model = gcn(ds.feat_dim, cfg.HIDDEN_DIM, ds.num_classes, seed=0,
+                    aggregator="mean")
+        engine = FlexGraphEngine(model, ds.graph, seed=0)
+        opt = Adam(model.parameters(), 0.01)
+        engine.train_epoch(feats, ds.labels, opt, ds.train_mask, 0)  # warm
+        stats = engine.train_epoch(feats, ds.labels, opt, ds.train_mask, 1)
+        results["full"] = stats.times.total
+        rows.append(["full-batch", f"{stats.times.total:.3f}", "-", "-"])
+        # Sampled mini-batch at two fan-outs.
+        for fanout in (5, 15):
+            model = gcn(ds.feat_dim, cfg.HIDDEN_DIM, ds.num_classes, seed=0,
+                        aggregator="mean")
+            trainer = MiniBatchTrainer(model, ds.graph, batch_size=256,
+                                       fanouts=[fanout, fanout], seed=0)
+            opt = Adam(model.parameters(), 0.01)
+            trainer.train_epoch(feats, ds.labels, opt, ds.train_mask, 0)
+            mb = trainer.train_epoch(feats, ds.labels, opt, ds.train_mask, 1)
+            results[fanout] = mb.seconds
+            hdg = trainer._ensure_hdg(0)
+            blocks = trainer._build_blocks(hdg, np.arange(256))
+            block_size = blocks[0][1].size
+            rows.append([
+                f"sampled fanout={fanout}", f"{mb.seconds:.3f}",
+                str(mb.num_batches), f"{block_size}/{ds.graph.num_vertices}",
+            ])
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+    report(
+        "ablation_minibatch_sampling",
+        render_table(
+            "Ablation (extension): full-batch vs HDG-native sampled "
+            "mini-batch (reddit, seconds/epoch)",
+            ["mode", "sec/epoch", "batches", "block size (256 seeds)"],
+            rows,
+        ),
+    )
+    # Smaller fan-out -> cheaper batches; and unlike the §7.1 baselines,
+    # sampled blocks stay well below the full graph.
+    assert results[5] <= results[15] * 1.3
+
+
+def test_ablation_message_batching(benchmark, report):
+    """§5's non-commutative case: batching per-partition messages beats
+    per-message transfers even when partial aggregation is unavailable."""
+    ds = cfg.dataset("twitter")
+    rows = []
+    times = {}
+
+    def run_all():
+        model = pinsage(ds.feat_dim, cfg.HIDDEN_DIM, ds.num_classes,
+                        **cfg.PINSAGE_PARAMS)
+        engine = FlexGraphEngine(model, ds.graph, seed=0)
+        hdg = engine.hdg_for_layer(0)
+        k = 8
+        stats = dependency_stats(hdg, hash_partition(ds.graph.num_vertices, k), k)
+        config = CommConfig()
+        feat_bytes = ds.feat_dim * 8
+        for mode in ("naive", "batched", "pipelined"):
+            plan = plan_layer_comm(stats, feat_bytes, config, mode)
+            t = float(plan.per_worker_seconds.max())
+            times[mode] = t
+            rows.append([
+                mode, f"{plan.total_messages}", f"{plan.total_bytes / 1e6:.2f}",
+                f"{t * 1000:.2f}",
+            ])
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+    report(
+        "ablation_message_batching",
+        render_table(
+            "Ablation (§5): synchronization plans for one PinSage layer "
+            "(twitter, k=8)",
+            ["mode", "messages", "MB", "max worker ms"],
+            rows,
+        ),
+    )
+    assert times["batched"] < times["naive"]
+    assert times["pipelined"] <= times["batched"]

@@ -1,0 +1,77 @@
+"""Figure 14 — effectiveness of hybrid aggregation: SA vs SA+FA vs HA on
+FB91 and Twitter (Aggregation stage only, k = 8 partitions).
+
+Expected shape (paper): feature fusion (SA+FA) wins big over pure
+scatter ops for all models; the extra dense-tensor step (HA) helps only
+MAGNN (GCN/PinSage have trivial schema trees, so HA == SA+FA).
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core import ExecutionStrategy, FlexGraphEngine
+from repro.models import gcn, magnn, pinsage
+from repro.tensor import Tensor
+
+import bench_config as cfg
+from conftest import render_table
+
+STRATEGIES = ["sa", "sa+fa", "ha"]
+K = 8  # partitions in the paper's setup; single-process timing here
+
+
+def aggregation_seconds(model_factory, ds, strategy, repeats=3):
+    model = model_factory()
+    engine = FlexGraphEngine(model, ds.graph, strategy=strategy, seed=0)
+    feats = Tensor(ds.features)
+    engine.forward(feats)  # warm: HDG construction
+    best = np.inf
+    for _ in range(repeats):
+        engine.forward(feats)
+        best = min(best, engine.last_times.aggregation)
+    return best
+
+
+@pytest.mark.parametrize("ds_name", ["fb91", "twitter"])
+def test_fig14(benchmark, report, ds_name):
+    ds = cfg.dataset(ds_name)
+    factories = {
+        "GCN": lambda: gcn(ds.feat_dim, cfg.HIDDEN_DIM, ds.num_classes),
+        "PinSage": lambda: pinsage(ds.feat_dim, cfg.HIDDEN_DIM, ds.num_classes,
+                                   **cfg.PINSAGE_PARAMS),
+        "MAGNN": lambda: magnn(ds.feat_dim, cfg.HIDDEN_DIM, ds.num_classes,
+                               max_instances_per_root=cfg.MAGNN_CAP),
+    }
+    results: dict[str, dict[str, float]] = {}
+
+    def run_all():
+        for name, factory in factories.items():
+            results[name] = {
+                s: aggregation_seconds(factory, ds, s) for s in STRATEGIES
+            }
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    rows = [
+        [name] + [f"{results[name][s]:.4f}" for s in STRATEGIES]
+        + [f"{results[name]['sa'] / results[name]['ha']:.2f}x"]
+        for name in factories
+    ]
+    report(
+        f"fig14_hybrid_aggregation_{ds_name}",
+        render_table(
+            f"Figure 14 ({ds_name}): Aggregation-stage seconds per strategy",
+            ["model", "SA", "SA+FA", "HA", "HA speedup over SA"],
+            rows,
+        ),
+    )
+    for name in factories:
+        sa, safa, ha = (results[name][s] for s in STRATEGIES)
+        assert safa < sa, f"feature fusion should beat scatter ops ({name})"
+        assert ha <= safa * 1.25, f"HA regressed vs SA+FA ({name})"
+    # Dense-op gain exists only where the schema tree is non-trivial.
+    assert results["MAGNN"]["ha"] <= results["MAGNN"]["sa+fa"] * 1.05

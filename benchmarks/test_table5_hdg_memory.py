@@ -1,0 +1,53 @@
+"""Table 5 — memory footprint of HDGs relative to the input graph.
+
+Expected shape (paper): GCN builds no extra HDGs; PinSage's HDGs are a
+small fraction of the graph; MAGNN's are the largest (multi-vertex
+instances) but stay within low multiples of the input graph thanks to
+the compact storage of §4.1.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.models import magnn, pinsage
+
+import bench_config as cfg
+from conftest import render_table
+
+DATASETS = ["reddit", "fb91", "twitter"]
+
+
+def test_table5_hdg_memory(benchmark, report):
+    rows = []
+    ratios = {}
+
+    def run_all():
+        rng = np.random.default_rng(0)
+        for ds_name in DATASETS:
+            ds = cfg.dataset(ds_name)
+            graph_bytes = ds.graph.nbytes
+            ps = pinsage(ds.feat_dim, cfg.HIDDEN_DIM, ds.num_classes,
+                         **cfg.PINSAGE_PARAMS)
+            mg = magnn(ds.feat_dim, cfg.HIDDEN_DIM, ds.num_classes,
+                       max_instances_per_root=cfg.MAGNN_CAP)
+            ps_ratio = ps.neighbor_selection(ds.graph, rng).nbytes / graph_bytes
+            mg_ratio = mg.neighbor_selection(ds.graph, rng).nbytes / graph_bytes
+            ratios[ds_name] = (ps_ratio, mg_ratio)
+            rows.append([ds_name, f"{ps_ratio:.2%}", f"{mg_ratio:.2%}"])
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+    report(
+        "table5_hdg_memory",
+        render_table(
+            "Table 5: memory footprint of HDGs w.r.t. input graph "
+            "(GCN row omitted: it builds no extra HDGs)",
+            ["dataset", "PinSage", "MAGNN"],
+            rows,
+        ),
+    )
+    for ds_name, (ps_ratio, mg_ratio) in ratios.items():
+        # PinSage HDGs are a modest fraction; MAGNN's are always larger.
+        assert mg_ratio > ps_ratio, f"MAGNN HDG should outweigh PinSage on {ds_name}"
+        # Compact storage keeps MAGNN within low multiples of the graph.
+        assert mg_ratio < 4.0, f"MAGNN HDG blow-up on {ds_name}: {mg_ratio:.2f}x"

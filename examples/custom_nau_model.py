@@ -1,0 +1,117 @@
+#!/usr/bin/env python
+"""Extending FlexGraph: write a *new* GNN as an NAU program.
+
+The point of NAU (§3.2) is that models outside the built-in set need no
+framework changes — you provide the three stages.  This script builds a
+"two-hop attention network" from scratch:
+
+* **NeighborSelection**: each vertex's i-th neighbor type is the ring of
+  vertices at distance exactly i (depth-3 HDGs, one schema leaf per
+  ring) — a JK-Net-style neighborhood written by hand with the public
+  record API;
+* **Aggregation**: mean within rings, attention across the ring types;
+* **Update**: GRU-flavored gated combination of h and the neighborhood.
+
+Run:  python examples/custom_nau_model.py
+"""
+
+import numpy as np
+
+from repro.core import (
+    FlexGraphEngine,
+    GNNLayer,
+    HDG,
+    NAUModel,
+    NeighborRecord,
+    SchemaTree,
+    SelectionScope,
+    build_hdg,
+)
+from repro.datasets import reddit_like
+from repro.graph import bfs_levels
+from repro.models import gcn
+from repro.tensor import Adam, Linear, Tensor
+
+
+class TwoHopAttentionLayer(GNNLayer):
+    """Mean-per-ring, attention-across-rings, gated update."""
+
+    def __init__(self, in_dim: int, out_dim: int, activation: bool = True,
+                 rng: np.random.Generator | None = None):
+        # Bottom-up UDFs: mean over ring members, mean per slot,
+        # attention over the two ring types (Figure 6's level loop).
+        super().__init__(aggregators=["mean", "mean", "attention"], dim=in_dim)
+        self.w_self = Linear(in_dim, out_dim, rng=rng)
+        self.w_nbr = Linear(in_dim, out_dim, rng=rng)
+        self.w_gate = Linear(in_dim, out_dim, rng=rng)
+        self.activation = activation
+
+    def update(self, feats: Tensor, nbr_feats: Tensor) -> Tensor:
+        gate = self.w_gate(feats).sigmoid()
+        out = gate * self.w_self(feats) + (1.0 - gate) * self.w_nbr(nbr_feats)
+        return out.relu() if self.activation else out
+
+    @property
+    def output_dim(self) -> int:
+        return self.w_self.out_features
+
+
+class TwoHopAttentionNet(NAUModel):
+    """The NAU program: rings-of-distance-1-and-2 neighborhoods."""
+
+    category = "INHA"
+
+    def __init__(self, in_dim: int, hidden_dim: int, out_dim: int, seed: int = 0):
+        rng = np.random.default_rng(seed)
+        layers = [
+            TwoHopAttentionLayer(in_dim, hidden_dim, rng=rng),
+            TwoHopAttentionLayer(hidden_dim, out_dim, activation=False, rng=rng),
+        ]
+        super().__init__(layers, SelectionScope.STATIC, name="TwoHopAttn")
+
+    def neighbor_selection(self, graph, rng) -> HDG:
+        # The nbr_udf of Figure 5, written against the public graph API:
+        # one record per (root, ring) with the ring members as leaves.
+        records = []
+        for v in range(graph.num_vertices):
+            levels = bfs_levels(graph, v, "both")
+            for distance in (1, 2):
+                ring = np.flatnonzero(levels == distance)
+                if ring.size:
+                    records.append(
+                        NeighborRecord(v, tuple(int(u) for u in ring), distance - 1)
+                    )
+        schema = SchemaTree(("ring_1", "ring_2"))
+        roots = np.arange(graph.num_vertices, dtype=np.int64)
+        return build_hdg(records, schema, roots, graph.num_vertices, flat=False)
+
+
+def main() -> None:
+    # Small graph: the hand-written selection runs one BFS per vertex.
+    dataset = reddit_like(num_vertices=250, num_labels=4, avg_degree=12)
+    print(f"dataset: {dataset}")
+
+    model = TwoHopAttentionNet(dataset.feat_dim, 32, dataset.num_classes)
+    engine = FlexGraphEngine(model, dataset.graph, seed=0)
+    features = Tensor(dataset.features)
+
+    hdg = engine.hdg_for_layer(0)
+    print(f"custom HDG: {hdg}")
+
+    optimizer = Adam(model.parameters(), lr=0.01)
+    engine.fit(features, dataset.labels, optimizer, num_epochs=15,
+               mask=dataset.train_mask, verbose=True)
+    acc = engine.evaluate(features, dataset.labels, dataset.test_mask)
+    print(f"\ncustom model test accuracy: {acc:.3f}")
+
+    # Baseline comparison: the same budget of epochs with plain GCN.
+    base = gcn(dataset.feat_dim, 32, dataset.num_classes)
+    base_engine = FlexGraphEngine(base, dataset.graph)
+    base_engine.fit(features, dataset.labels, Adam(base.parameters(), 0.01),
+                    num_epochs=15, mask=dataset.train_mask)
+    base_acc = base_engine.evaluate(features, dataset.labels, dataset.test_mask)
+    print(f"GCN baseline test accuracy:  {base_acc:.3f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""Featureless graphs: learnable vertex embeddings as GNN inputs.
+
+Many production graphs have no input features at all (follower graphs,
+purchase graphs).  The standard remedy is a trainable embedding table
+whose rows are the layer-0 features, learned end-to-end with the GNN —
+this script shows the pattern with FlexGraph and compares against the
+same model fed random *frozen* vectors.
+
+Run:  python examples/featureless_embeddings.py
+"""
+
+import numpy as np
+
+from repro.core import FlexGraphEngine
+from repro.datasets import reddit_like
+from repro.models import gcn
+from repro.tensor import Adam, Embedding, Tensor, cross_entropy
+
+
+def train(engine, inputs_fn, params, dataset, epochs=25):
+    optimizer = Adam(params, lr=0.05)
+    for epoch in range(epochs):
+        logits = engine.forward(inputs_fn(), epoch)
+        loss = cross_entropy(logits, dataset.labels, dataset.train_mask)
+        optimizer.zero_grad()
+        loss.backward()
+        optimizer.step()
+    return loss.item()
+
+
+def main() -> None:
+    dataset = reddit_like(num_vertices=600, num_labels=5, avg_degree=16, seed=9)
+    n = dataset.graph.num_vertices
+    print(f"dataset: {dataset} (features IGNORED — structure only)")
+    dim = 24
+
+    # Trainable embeddings.
+    embeddings = Embedding(n, dim, rng=np.random.default_rng(0))
+    model = gcn(dim, 32, dataset.num_classes, seed=0, aggregator="mean")
+    engine = FlexGraphEngine(model, dataset.graph)
+    loss = train(engine, embeddings, embeddings.parameters() + model.parameters(),
+                 dataset)
+    model.eval()
+    acc_learned = engine.evaluate(embeddings(), dataset.labels, dataset.test_mask)
+    print(f"learned embeddings : loss={loss:.4f}  test acc={acc_learned:.3f}")
+
+    # Frozen random vectors (the ablation: structure must do all the work
+    # through the GNN weights alone).
+    frozen = Tensor(np.random.default_rng(0).standard_normal((n, dim)) / np.sqrt(dim))
+    model2 = gcn(dim, 32, dataset.num_classes, seed=0, aggregator="mean")
+    engine2 = FlexGraphEngine(model2, dataset.graph)
+    loss2 = train(engine2, lambda: frozen, model2.parameters(), dataset)
+    acc_frozen = engine2.evaluate(frozen, dataset.labels, dataset.test_mask)
+    print(f"frozen random inputs: loss={loss2:.4f}  test acc={acc_frozen:.3f}")
+
+    print("\nlearned embeddings absorb structural information the frozen "
+          "inputs cannot, so they should score at least as well.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""Heterogeneous-graph scenario: MAGNN on an IMDB-like movie graph.
+
+MAGNN is the paper's INHA flagship: "neighbors" are metapath *instances*
+(e.g. Movie-Director-Movie paths) and aggregation is hierarchical —
+mean within each instance, attention across instances of the same
+metapath, mean across metapath types.  This is exactly the workload
+GAS-like abstractions cannot express (the "X" cells of Table 2).
+
+The script builds custom metapaths, inspects the depth-3 HDG FlexGraph
+constructs (including the §4.1 storage savings), and trains genre
+classification.
+
+Run:  python examples/heterogeneous_magnn.py
+"""
+
+import numpy as np
+
+from repro.core import FlexGraphEngine
+from repro.datasets import imdb_like
+from repro.graph import Metapath
+from repro.models import magnn
+from repro.tensor import Adam, Tensor
+
+
+def main() -> None:
+    dataset = imdb_like(num_movies=400, num_directors=80, num_actors=250)
+    graph = dataset.graph
+    print(f"dataset: {dataset}")
+    print(f"vertex types: {graph.type_names}")
+
+    # Movie-rooted metapaths over the movie(0)/director(1)/actor(2) schema.
+    metapaths = [
+        Metapath((0, 1, 0), name="M-D-M"),   # movies sharing a director
+        Metapath((0, 2, 0), name="M-A-M"),   # movies sharing an actor
+    ]
+
+    model = magnn(
+        dataset.feat_dim, hidden_dim=48, out_dim=dataset.num_classes,
+        metapaths=metapaths,
+    )
+    engine = FlexGraphEngine(model, graph, seed=0)
+
+    # Peek at the HDGs NeighborSelection builds (done once: metapath
+    # instances never change across epochs).
+    hdg = engine.hdg_for_layer(0)
+    print(f"\nHDG: {hdg}")
+    counts = hdg.instance_counts_per_type()
+    for i, mp in enumerate(metapaths):
+        movie_counts = counts[: dataset.graph.vertices_of_type(0).size, i]
+        print(f"  {mp.name}: {counts[:, i].sum()} instances "
+              f"(avg {movie_counts.mean():.1f} per movie)")
+    print(f"  compact storage: {hdg.nbytes / 1e3:.1f} KB "
+          f"(naive CSC would need {hdg.nbytes_unoptimized / 1e3:.1f} KB)")
+    print(f"  footprint vs input graph: {hdg.nbytes / graph.nbytes:.1%}")
+
+    optimizer = Adam(model.parameters(), lr=0.01)
+    features = Tensor(dataset.features)
+    print()
+    engine.fit(features, dataset.labels, optimizer, num_epochs=25,
+               mask=dataset.train_mask, verbose=True)
+
+    movie_mask = dataset.test_mask & (graph.vertex_types == 0)
+    acc = engine.evaluate(features, dataset.labels, movie_mask)
+    print(f"\ngenre accuracy on held-out movies: {acc:.3f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""Recommendation scenario: PinSage over a power-law interaction graph.
+
+This mirrors the paper's motivating industry use case (PinSage at
+Pinterest): "neighbors" are not graph edges but the top-k most-visited
+vertices over random walks, weighted by visit frequency — an INFA model
+that GAS-like frameworks can only simulate expensively.
+
+The script trains PinSage for category prediction, shows the per-epoch
+HDG rebuild at work (walks are stochastic, so NeighborSelection runs once
+per epoch and is shared by both layers), and uses the learned embeddings
+for a nearest-neighbor item lookup — the actual recommendation primitive.
+
+Run:  python examples/recommendation_pinsage.py
+"""
+
+import numpy as np
+
+from repro.core import FlexGraphEngine
+from repro.datasets import twitter_like
+from repro.models import pinsage
+from repro.tensor import Adam, Tensor, no_grad
+
+
+def main() -> None:
+    # A heavy-tailed "item co-interaction" graph: hubs are popular items.
+    dataset = twitter_like(num_vertices=2000, num_labels=5, seed=7)
+    print(f"dataset: {dataset}")
+    degrees = dataset.graph.out_degree()
+    print(f"degree skew: mean={degrees.mean():.1f}, max={degrees.max()}")
+
+    model = pinsage(
+        dataset.feat_dim, hidden_dim=48, out_dim=dataset.num_classes,
+        num_traces=10, n_hops=3, top_k=10,  # the paper's §7 setting
+    )
+    engine = FlexGraphEngine(model, dataset.graph, seed=0)
+    optimizer = Adam(model.parameters(), lr=0.01)
+    features = Tensor(dataset.features)
+
+    for epoch in range(10):
+        stats = engine.train_epoch(
+            features, dataset.labels, optimizer, dataset.train_mask, epoch
+        )
+        print(
+            f"epoch {epoch:2d}  loss={stats.loss:.4f}  "
+            f"selection={stats.times.neighbor_selection * 1000:.0f}ms "
+            f"(walks re-run per epoch)"
+        )
+
+    acc = engine.evaluate(features, dataset.labels, dataset.test_mask)
+    print(f"\ncategory accuracy on held-out items: {acc:.3f}")
+
+    # Recommendation lookup: embed all items, find nearest neighbors.
+    model.eval()
+    with no_grad():
+        embeddings = engine.forward(features).numpy()
+    norms = np.linalg.norm(embeddings, axis=1, keepdims=True)
+    normalized = embeddings / np.maximum(norms, 1e-12)
+    query = int(np.argmax(degrees))  # a popular item
+    scores = normalized @ normalized[query]
+    scores[query] = -np.inf
+    top5 = np.argsort(-scores)[:5]
+    print(f"\nitems most similar to popular item {query} "
+          f"(label {dataset.labels[query]}):")
+    for item in top5:
+        print(f"  item {item:5d}  label={dataset.labels[item]}  "
+              f"cosine={scores[item]:.3f}")
+
+
+if __name__ == "__main__":
+    main()

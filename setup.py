@@ -1,0 +1,6 @@
+"""Setuptools shim: the offline environment lacks the `wheel` package, so
+PEP 660 editable installs fail; this enables the legacy `pip install -e .`
+path."""
+from setuptools import setup
+
+setup()

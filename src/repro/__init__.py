@@ -1,0 +1,47 @@
+"""FlexGraph reproduction — *FlexGraph: A Flexible and Efficient
+Distributed Framework for GNN Training* (EuroSys '21).
+
+Packages
+--------
+``repro.tensor``
+    Numpy autograd NN framework (the PyTorch substitute).
+``repro.graph``
+    Graph engine: CSR/CSC storage, traversal, random walks, metapath
+    matching, partitioners, synthetic generators (libgrape-lite
+    substitute).
+``repro.core``
+    The paper's contribution: NAU, HDGs with compact storage, hybrid
+    aggregation execution, the training engine, the ADB balancer.
+``repro.models``
+    GCN / GIN (DNFA), PinSage (INFA), MAGNN / P-GNN / JK-Net (INHA) as
+    NAU programs.
+``repro.baselines``
+    PyTorch / DGL / DistDGL / Euler / Pre+DGL competitor strategies.
+``repro.distributed``
+    Simulated shared-nothing cluster with workload balancing and
+    pipeline processing.
+``repro.datasets``
+    Synthetic stand-ins for Reddit, FB91, Twitter and IMDB.
+
+Quickstart
+----------
+>>> from repro.datasets import load_dataset
+>>> from repro.models import gcn
+>>> from repro.core import FlexGraphEngine
+>>> from repro.tensor import Tensor, Adam
+>>> ds = load_dataset("reddit", scale="tiny")
+>>> model = gcn(ds.feat_dim, 32, ds.num_classes)
+>>> engine = FlexGraphEngine(model, ds.graph)
+>>> opt = Adam(model.parameters(), lr=0.01)
+>>> history = engine.fit(Tensor(ds.features), ds.labels, opt,
+...                      num_epochs=5, mask=ds.train_mask)
+"""
+
+__version__ = "1.0.0"
+
+from . import baselines, core, datasets, distributed, graph, models, storage, tasks, tensor
+
+__all__ = [
+    "tensor", "graph", "core", "models", "baselines", "distributed",
+    "datasets", "storage", "tasks", "__version__",
+]

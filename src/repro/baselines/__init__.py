@@ -1,0 +1,57 @@
+"""``repro.baselines`` — re-implementations of the paper's competitors.
+
+Each engine reproduces the *algorithmic strategy* the paper attributes to
+one baseline system, over the same numpy substrate FlexGraph uses:
+
+==============  =========================================================
+engine          strategy
+==============  =========================================================
+``pytorch``     pure sparse tensor ops; walks & metapaths simulated with
+                tensor ops; re-selects neighbors every epoch
+``dgl``         full-graph SAGA-NN with kernel fusion
+``distdgl``     DGL math + mini-batch full-k-hop-neighborhood training
+``euler``       mini-batch sampling framework with a fast (Gremlin-like)
+                query engine; sparse-op aggregation
+``pre+dgl``     GAS ops over a pre-computed expanded graph (Table 3)
+``neugraph``    chunk-at-a-time whole-graph SAGA-NN (§8; extension —
+                the paper had no public implementation to compare)
+``flexgraph``   the real thing, adapted to the same interface
+==============  =========================================================
+"""
+
+from .common import (
+    MODEL_NAMES,
+    BaselineEngine,
+    EpochReport,
+    MemoryMeter,
+    OutOfMemoryError,
+    UnsupportedModelError,
+)
+from .flexgraph_adapter import FlexGraphAdapter
+from .minibatch import EulerEngine, GraphQuery
+from .neugraph import NeuGraphEngine
+from .model_math import BaselineModel
+from .pre_expanded import PreDGLEngine
+from .saga_nn import DGLEngine, DistDGLEngine, SAGANNLayer
+from .sparse_engine import PyTorchEngine
+from .walk_sim import propagation_random_walks, top_k_from_visits
+
+ENGINES = {
+    "pytorch": PyTorchEngine,
+    "neugraph": NeuGraphEngine,
+    "dgl": DGLEngine,
+    "distdgl": DistDGLEngine,
+    "euler": EulerEngine,
+    "pre+dgl": PreDGLEngine,
+    "flexgraph": FlexGraphAdapter,
+}
+
+__all__ = [
+    "BaselineEngine", "EpochReport", "MemoryMeter",
+    "OutOfMemoryError", "UnsupportedModelError", "MODEL_NAMES",
+    "BaselineModel", "SAGANNLayer", "GraphQuery",
+    "PyTorchEngine", "DGLEngine", "DistDGLEngine", "EulerEngine",
+    "PreDGLEngine", "FlexGraphAdapter", "NeuGraphEngine",
+    "propagation_random_walks", "top_k_from_visits",
+    "ENGINES",
+]

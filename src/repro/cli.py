@@ -1,0 +1,265 @@
+"""Command-line interface: train models, inspect datasets, compare
+engines — the operations a downstream user reaches for first.
+
+Usage (installed as the ``flexgraph`` console script, or via
+``python -m repro.cli``)::
+
+    flexgraph info --dataset reddit --scale small
+    flexgraph metrics --dataset twitter
+    flexgraph train --model magnn --dataset imdb --strategy ha
+    flexgraph compare --model pinsage --dataset reddit
+    flexgraph bench --model gcn --engines dgl flexgraph
+    flexgraph distributed --model gcn --dataset twitter --workers 8 --balance
+    flexgraph linkpred --model gcn --dataset reddit
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+_MODEL_CHOICES = ("gcn", "gat", "gin", "pinsage", "magnn", "pgnn", "jknet")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="flexgraph",
+        description="FlexGraph (EuroSys '21) reproduction CLI",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    info = sub.add_parser("info", help="describe a dataset")
+    _dataset_args(info)
+
+    metrics = sub.add_parser("metrics", help="full graph characterization")
+    _dataset_args(metrics)
+
+    train = sub.add_parser("train", help="train a model with FlexGraph")
+    _dataset_args(train)
+    _model_args(train)
+    train.add_argument("--epochs", type=int, default=20)
+    train.add_argument("--lr", type=float, default=0.01)
+    train.add_argument("--strategy", choices=("sa", "sa+fa", "ha"), default="ha")
+    train.add_argument("--checkpoint", help="save final model state to this .npz")
+
+    compare = sub.add_parser("compare", help="compare engines on one model")
+    _dataset_args(compare)
+    compare.add_argument("--model", choices=("gcn", "pinsage", "magnn"), default="gcn")
+    compare.add_argument("--epochs", type=int, default=2)
+
+    dist = sub.add_parser("distributed", help="simulated distributed training")
+    _dataset_args(dist)
+    _model_args(dist)
+    dist.add_argument("--workers", type=int, default=8)
+    dist.add_argument("--epochs", type=int, default=5)
+    dist.add_argument("--no-pipeline", action="store_true")
+    dist.add_argument("--balance", action="store_true",
+                      help="apply ADB rebalancing before training")
+
+    bench = sub.add_parser("bench", help="Table 2-style engine comparison table")
+    _dataset_args(bench)
+    bench.add_argument("--model", choices=("gcn", "pinsage", "magnn"), default="gcn")
+    bench.add_argument("--engines", nargs="+", default=None,
+                       help="engine subset (default: all)")
+    bench.add_argument("--epochs", type=int, default=2)
+
+    linkpred = sub.add_parser("linkpred", help="link prediction with a GNN encoder")
+    _dataset_args(linkpred)
+    linkpred.add_argument("--model", choices=("gcn", "gat", "gin"), default="gcn")
+    linkpred.add_argument("--hidden-dim", type=int, default=32)
+    linkpred.add_argument("--epochs", type=int, default=20)
+    linkpred.add_argument("--test-fraction", type=float, default=0.1)
+    return parser
+
+
+def _dataset_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--dataset", choices=("reddit", "fb91", "twitter", "imdb"),
+                        default="reddit")
+    parser.add_argument("--scale", choices=("tiny", "small", "bench"), default="small")
+    parser.add_argument("--seed", type=int, default=0)
+
+
+def _model_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--model", choices=_MODEL_CHOICES, default="gcn")
+    parser.add_argument("--hidden-dim", type=int, default=32)
+
+
+def _build_model(args, dataset):
+    from . import models
+
+    factory = getattr(models, args.model)
+    kwargs = {}
+    if args.model == "magnn":
+        kwargs["max_instances_per_root"] = 30
+    return factory(dataset.feat_dim, args.hidden_dim, dataset.num_classes,
+                   seed=args.seed, **kwargs)
+
+
+def _cmd_info(args) -> int:
+    from .datasets import load_dataset
+
+    ds = load_dataset(args.dataset, scale=args.scale, seed=args.seed or None)
+    degrees = ds.graph.out_degree()
+    print(ds)
+    print(f"  vertex types : {ds.graph.type_names}")
+    print(f"  degree       : mean {degrees.mean():.1f}, max {int(degrees.max())}")
+    print(f"  splits       : train {int(ds.train_mask.sum())} / "
+          f"val {int(ds.val_mask.sum())} / test {int(ds.test_mask.sum())}")
+    print(f"  graph memory : {ds.graph.nbytes / 1e6:.2f} MB")
+    return 0
+
+
+def _cmd_metrics(args) -> int:
+    from .datasets import load_dataset
+    from .graph import graph_summary
+
+    ds = load_dataset(args.dataset, scale=args.scale, seed=args.seed or None)
+    summary = graph_summary(ds.graph, ds.labels)
+    print(f"{ds.name}:")
+    for key, value in summary.items():
+        rendered = f"{value:.4f}" if isinstance(value, float) else str(value)
+        print(f"  {key:24s} {rendered}")
+    return 0
+
+
+def _cmd_train(args) -> int:
+    from .core import FlexGraphEngine
+    from .datasets import load_dataset
+    from .tensor import Adam, Tensor
+
+    ds = load_dataset(args.dataset, scale=args.scale)
+    model = _build_model(args, ds)
+    engine = FlexGraphEngine(model, ds.graph, strategy=args.strategy, seed=args.seed)
+    optimizer = Adam(model.parameters(), lr=args.lr)
+    feats = Tensor(ds.features)
+    engine.fit(feats, ds.labels, optimizer, args.epochs,
+               mask=ds.train_mask, verbose=True)
+    val = engine.evaluate(feats, ds.labels, ds.val_mask)
+    test = engine.evaluate(feats, ds.labels, ds.test_mask)
+    print(f"\n{model.name} on {ds.name}: val acc {val:.3f}, test acc {test:.3f}")
+    if args.checkpoint:
+        from .storage import save_checkpoint
+
+        save_checkpoint(model.state_dict(), args.checkpoint,
+                        {"model": args.model, "dataset": args.dataset})
+        print(f"checkpoint written to {args.checkpoint}")
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    from .baselines import ENGINES
+    from .datasets import load_dataset
+
+    ds = load_dataset(args.dataset, scale=args.scale)
+    print(f"{args.model} on {ds.name} (seconds/epoch, avg of {args.epochs}):")
+    for name, engine_cls in ENGINES.items():
+        engine = engine_cls(ds, args.model, hidden_dim=32, seed=args.seed,
+                            max_instances_per_root=30)
+        reports = [engine.run_epoch(e) for e in range(args.epochs)]
+        if reports[0].status != "ok":
+            print(f"  {name:10s} {reports[0].cell}")
+        else:
+            mean = float(np.mean([r.seconds for r in reports]))
+            print(f"  {name:10s} {mean:.3f}")
+    return 0
+
+
+def _cmd_distributed(args) -> int:
+    from .core import ADBBalancer, FlexGraphEngine, metrics_from_hdg
+    from .datasets import load_dataset
+    from .distributed import DistributedTrainer
+    from .graph import hash_partition
+    from .tensor import Adam, Tensor
+
+    ds = load_dataset(args.dataset, scale=args.scale)
+    labels = hash_partition(ds.graph.num_vertices, args.workers)
+    model = _build_model(args, ds)
+    if args.balance:
+        hdg = FlexGraphEngine(model, ds.graph).hdg_for_layer(0)
+        metrics = metrics_from_hdg(hdg, ds.feat_dim)
+        balancer = ADBBalancer(num_plans=5, threshold=1.05, seed=args.seed)
+        labels, plan = balancer.rebalance(hdg, labels, args.workers, metrics)
+        print("ADB:", "no migration needed" if plan is None else
+              f"moved {plan.moved.size} vertices "
+              f"{plan.source_partition} -> {plan.target_partition}")
+    trainer = DistributedTrainer(
+        model, ds.graph, labels, pipeline=not args.no_pipeline, seed=args.seed
+    )
+    optimizer = Adam(model.parameters(), lr=0.01)
+    feats = Tensor(ds.features)
+    for epoch in range(args.epochs):
+        stats = trainer.train_epoch(feats, ds.labels, optimizer,
+                                    ds.train_mask, epoch)
+        print(f"epoch {epoch:2d}  loss={stats.loss:.4f}  "
+              f"simulated {stats.simulated_seconds * 1000:.1f}ms  "
+              f"({stats.total_bytes / 1e6:.1f} MB, "
+              f"{stats.total_messages} msgs, {stats.comm_mode})")
+    return 0
+
+
+def _cmd_bench(args) -> int:
+    from .datasets import load_dataset
+    from .experiments import ComparisonConfig, compare_engines, render_rows
+
+    ds = load_dataset(args.dataset, scale=args.scale)
+    config = ComparisonConfig(
+        seed=args.seed, epochs=args.epochs,
+        model_params={"max_instances_per_root": 30} if args.model == "magnn" else {},
+    )
+    cells = compare_engines(ds, args.model, args.engines, config)
+    rows = [[name, cell] for name, cell in cells.items()]
+    print(render_rows(
+        f"{args.model} on {ds.name} (seconds/epoch; X=unsupported, "
+        f"OOM=over budget, >t=extrapolated past limit)",
+        ["engine", "epoch"], rows,
+    ))
+    return 0
+
+
+def _cmd_linkpred(args) -> int:
+    from . import models
+    from .datasets import load_dataset
+    from .tasks import LinkPredictionTrainer, split_edges
+    from .tensor import Adam, Tensor
+
+    ds = load_dataset(args.dataset, scale=args.scale)
+    split = split_edges(ds.graph, args.test_fraction,
+                        np.random.default_rng(args.seed))
+    factory = getattr(models, args.model)
+    encoder = factory(ds.feat_dim, args.hidden_dim, args.hidden_dim,
+                      seed=args.seed)
+    trainer = LinkPredictionTrainer(encoder, split, seed=args.seed)
+    optimizer = Adam(encoder.parameters(), lr=0.01)
+    feats = Tensor(ds.features)
+    for epoch in range(args.epochs):
+        loss = trainer.train_epoch(feats, optimizer, epoch)
+        if epoch % 5 == 0:
+            print(f"epoch {epoch:2d}  bce={loss:.4f}")
+    metrics = trainer.evaluate(feats)
+    print(f"\n{args.model} on {ds.name}: AUC={metrics['auc']:.3f}  "
+          f"hits@10={metrics['hits@10']:.3f}")
+    return 0
+
+
+_COMMANDS = {
+    "info": _cmd_info,
+    "metrics": _cmd_metrics,
+    "train": _cmd_train,
+    "compare": _cmd_compare,
+    "distributed": _cmd_distributed,
+    "linkpred": _cmd_linkpred,
+    "bench": _cmd_bench,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,241 @@
+"""Single-machine GNN execution engine (the core of Figure 12).
+
+The engine owns HDG construction/caching, runs each layer's stages with
+per-stage wall-clock accounting (the breakdown of Table 4), and drives the
+training loop (forward, loss, backward, optimizer step).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..graph.graph import Graph
+from ..tensor.loss import accuracy, cross_entropy
+from ..tensor.optim import Optimizer
+from ..tensor.tensor import Tensor, no_grad
+from .hdg import HDG
+from .hybrid import ExecutionStrategy
+from .nau import NAUModel, SelectionScope
+
+__all__ = ["StageTimes", "EpochStats", "FlexGraphEngine"]
+
+
+@dataclass
+class StageTimes:
+    """Wall-clock seconds per NAU stage (Table 4's columns)."""
+
+    neighbor_selection: float = 0.0
+    aggregation: float = 0.0
+    update: float = 0.0
+    backward: float = 0.0
+
+    @property
+    def total(self) -> float:
+        return self.neighbor_selection + self.aggregation + self.update + self.backward
+
+    @property
+    def forward_total(self) -> float:
+        return self.neighbor_selection + self.aggregation + self.update
+
+    def __iadd__(self, other: "StageTimes") -> "StageTimes":
+        self.neighbor_selection += other.neighbor_selection
+        self.aggregation += other.aggregation
+        self.update += other.update
+        self.backward += other.backward
+        return self
+
+
+@dataclass
+class EpochStats:
+    """Result of one training epoch."""
+
+    epoch: int
+    loss: float
+    times: StageTimes = field(default_factory=StageTimes)
+    train_accuracy: float | None = None
+
+
+class FlexGraphEngine:
+    """Translate a :class:`NAUModel` into an execution plan and run it.
+
+    Parameters
+    ----------
+    model:
+        The NAU program to execute.
+    graph:
+        Input graph.
+    strategy:
+        Aggregation execution strategy (Figure 14); default HA.
+    seed:
+        Seed for NeighborSelection randomness (PinSage's walks).
+    """
+
+    def __init__(self, model: NAUModel, graph: Graph,
+                 strategy: ExecutionStrategy | str = ExecutionStrategy.HA,
+                 seed: int = 0):
+        self.model = model
+        self.graph = graph
+        self.strategy = ExecutionStrategy.parse(strategy)
+        self._rng = np.random.default_rng(seed)
+        self._model_hdg: HDG | None = None
+        self._layer_hdgs: dict[int, HDG] = {}
+        self._hdg_epoch = -1
+        self.last_times = StageTimes()
+
+    # ------------------------------------------------------------------
+    # HDG lifecycle (NAU's caching discussion, Section 3.2)
+    # ------------------------------------------------------------------
+    def hdg_for_layer(self, layer_index: int, epoch: int = 0) -> HDG:
+        """HDG for a layer, honoring the model's selection scope."""
+        layer = self.model.layers[layer_index]
+        scope = self.model.selection_scope
+        if scope is SelectionScope.PER_LAYER:
+            own = layer.neighbor_selection(self.graph, self._rng)
+            if own is not None:
+                return own
+            return self.model.neighbor_selection(self.graph, self._rng)
+        if scope is SelectionScope.PER_EPOCH and self._hdg_epoch != epoch:
+            self.invalidate_hdgs()
+            self._hdg_epoch = epoch
+        if layer_index in self._layer_hdgs:
+            return self._layer_hdgs[layer_index]
+        own = layer.neighbor_selection(self.graph, self._rng)
+        if own is not None:
+            self._layer_hdgs[layer_index] = own
+            return own
+        if self._model_hdg is None:
+            self._model_hdg = self.model.neighbor_selection(self.graph, self._rng)
+            self._hdg_epoch = epoch
+        return self._model_hdg
+
+    def invalidate_hdgs(self) -> None:
+        """Drop all cached HDGs (e.g. after the graph changed)."""
+        self._model_hdg = None
+        self._layer_hdgs.clear()
+        self._hdg_epoch = -1
+
+    # ------------------------------------------------------------------
+    # Forward / training
+    # ------------------------------------------------------------------
+    def forward(self, feats: Tensor, epoch: int = 0) -> Tensor:
+        """Run all layers, accumulating per-stage times in ``last_times``."""
+        times = StageTimes()
+        h = feats
+        for i, layer in enumerate(self.model.layers):
+            t0 = time.perf_counter()
+            hdg = self.hdg_for_layer(i, epoch)
+            t1 = time.perf_counter()
+            nbr = layer.aggregation(h, hdg, self.strategy)
+            t2 = time.perf_counter()
+            h = layer.update(h, nbr)
+            t3 = time.perf_counter()
+            times.neighbor_selection += t1 - t0
+            times.aggregation += t2 - t1
+            times.update += t3 - t2
+        self.last_times = times
+        return h
+
+    def train_epoch(
+        self,
+        feats: Tensor,
+        labels: np.ndarray,
+        optimizer: Optimizer,
+        mask: np.ndarray | None = None,
+        epoch: int = 0,
+    ) -> EpochStats:
+        """One full-batch training epoch: forward, loss, backward, step."""
+        self.model.train()
+        logits = self.forward(feats, epoch)
+        loss = cross_entropy(logits, labels, mask)
+        t0 = time.perf_counter()
+        optimizer.zero_grad()
+        loss.backward()
+        optimizer.step()
+        self.last_times.backward = time.perf_counter() - t0
+        return EpochStats(
+            epoch=epoch,
+            loss=loss.item(),
+            times=self.last_times,
+            train_accuracy=accuracy(logits, labels, mask),
+        )
+
+    def fit(
+        self,
+        feats: Tensor,
+        labels: np.ndarray,
+        optimizer: Optimizer,
+        num_epochs: int,
+        mask: np.ndarray | None = None,
+        verbose: bool = False,
+        scheduler=None,
+        early_stopping=None,
+        val_mask: np.ndarray | None = None,
+    ) -> list[EpochStats]:
+        """Train for up to ``num_epochs`` epochs and return per-epoch stats.
+
+        ``scheduler`` (an ``repro.tensor.schedulers.LRScheduler``) steps
+        once per epoch; ``early_stopping`` monitors validation accuracy
+        when ``val_mask`` is given, else training loss.
+        """
+        history = []
+        for epoch in range(num_epochs):
+            if scheduler is not None:
+                scheduler.step()
+            stats = self.train_epoch(feats, labels, optimizer, mask, epoch)
+            history.append(stats)
+            if verbose:
+                print(
+                    f"epoch {epoch:3d}  loss={stats.loss:.4f}  "
+                    f"acc={stats.train_accuracy:.3f}  time={stats.times.total:.3f}s"
+                )
+            if early_stopping is not None:
+                if val_mask is not None:
+                    monitored = self.evaluate(feats, labels, val_mask)
+                else:
+                    monitored = stats.loss
+                if early_stopping.update(monitored):
+                    if verbose:
+                        print(f"early stop at epoch {epoch} "
+                              f"(best epoch {early_stopping.best_epoch})")
+                    break
+        return history
+
+    def predict(self, feats: Tensor) -> np.ndarray:
+        """Argmax class predictions for every vertex (no gradients)."""
+        self.model.eval()
+        with no_grad():
+            logits = self.forward(feats)
+        self.model.train()
+        return logits.numpy().argmax(axis=1)
+
+    def embed(self, feats: Tensor) -> np.ndarray:
+        """Final-layer representations for every vertex (no gradients) —
+        the low-dimensional features §2.1's downstream tasks consume."""
+        self.model.eval()
+        with no_grad():
+            out = self.forward(feats)
+        self.model.train()
+        return out.numpy().copy()
+
+    def evaluate(self, feats: Tensor, labels: np.ndarray,
+                 mask: np.ndarray | None = None) -> float:
+        """Accuracy of the current model on ``mask`` (no gradients)."""
+        self.model.eval()
+        with no_grad():
+            logits = self.forward(feats)
+        self.model.train()
+        return accuracy(logits, labels, mask)
+
+    # ------------------------------------------------------------------
+    # Fault tolerance (Figure 12's fault-tolerance module)
+    # ------------------------------------------------------------------
+    def checkpoint(self) -> dict:
+        """Snapshot model parameters for recovery."""
+        return {"model_state": self.model.state_dict()}
+
+    def restore(self, snapshot: dict) -> None:
+        """Restore parameters from :meth:`checkpoint` output."""
+        self.model.load_state_dict(snapshot["model_state"])

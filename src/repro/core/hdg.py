@@ -1,0 +1,549 @@
+"""Hierarchical dependency graphs (HDGs) with the compact storage of §4.1.
+
+An HDG characterizes, per root vertex, how neighborhood features flow
+bottom-up: input-graph *leaf* vertices -> *neighbor instances* -> schema
+leaf types -> root.  This module stores the HDGs of **all** roots
+collectively, in exactly the layout Figure 9 describes:
+
+* **Subgraph of neighbor instances** (bottom level): CSC as two arrays —
+  ``leaf_vertices`` (the paper's ``Dst_max``: leaf ids grouped by their
+  instance) and ``leaf_offsets`` (``Offset_max``: one range per instance).
+* **Subgraph in-between**: every instance has exactly one outgoing edge,
+  so instances are ordered consecutively by their destination
+  (root, schema-leaf) slot and the vertex array is *elided*; only
+  ``instance_offsets`` (``Offset_2``) is kept.
+* **Schema trees**: a single global :class:`~repro.core.schema.SchemaTree`
+  shared by all roots; per-root copies are never materialized.
+
+Flat models (GCN, PinSage) use ``depth == 1``: leaves group directly
+under roots and the instance level disappears, matching Figure 3a-3b.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .schema import NeighborRecord, SchemaTree
+
+__all__ = [
+    "HDG",
+    "build_hdg",
+    "hdg_from_graph",
+    "hdg_from_flat_arrays",
+    "hdg_from_instance_arrays",
+]
+
+
+class HDG:
+    """Collective hierarchical dependency graph for a set of root vertices.
+
+    Use :func:`build_hdg` (or ``HDG.from_records``) rather than the raw
+    constructor.
+
+    Attributes
+    ----------
+    roots:
+        Root vertex ids (input-graph ids), in slot order.
+    schema:
+        The shared global schema tree.
+    leaf_vertices, leaf_offsets:
+        Bottom-level CSC (``Dst_max`` / ``Offset_max``).  For depth-1 HDGs
+        ``leaf_offsets`` is indexed by root order; for depth-3 by
+        neighbor-instance id.
+    instance_offsets:
+        ``Offset_2`` — per-(root, leaf-type) slot offsets into the
+        instance id space; ``None`` for depth-1 HDGs.
+    leaf_weights:
+        Optional per-(leaf edge) weights (PinSage importance).
+    """
+
+    def __init__(
+        self,
+        roots: np.ndarray,
+        schema: SchemaTree,
+        leaf_vertices: np.ndarray,
+        leaf_offsets: np.ndarray,
+        instance_offsets: np.ndarray | None = None,
+        leaf_weights: np.ndarray | None = None,
+        num_input_vertices: int | None = None,
+    ):
+        self.roots = np.asarray(roots, dtype=np.int64)
+        self.schema = schema
+        self.leaf_vertices = np.asarray(leaf_vertices, dtype=np.int64)
+        self.leaf_offsets = np.asarray(leaf_offsets, dtype=np.int64)
+        self.instance_offsets = (
+            None if instance_offsets is None else np.asarray(instance_offsets, dtype=np.int64)
+        )
+        self.leaf_weights = None if leaf_weights is None else np.asarray(leaf_weights, dtype=np.float64)
+        self.num_input_vertices = int(
+            num_input_vertices
+            if num_input_vertices is not None
+            else (self.leaf_vertices.max() + 1 if self.leaf_vertices.size else 0)
+        )
+        self._validate()
+
+    def _validate(self) -> None:
+        if self.leaf_offsets.ndim != 1 or self.leaf_offsets.size == 0:
+            raise ValueError("leaf_offsets must be a non-empty 1-D array")
+        if np.any(np.diff(self.leaf_offsets) < 0):
+            raise ValueError("leaf_offsets must be non-decreasing")
+        if self.leaf_offsets[-1] != self.leaf_vertices.size:
+            raise ValueError("leaf_offsets must cover leaf_vertices exactly")
+        if self.leaf_weights is not None and self.leaf_weights.size != self.leaf_vertices.size:
+            raise ValueError("leaf_weights must align with leaf_vertices")
+        if self.instance_offsets is None:
+            if self.leaf_offsets.size != self.roots.size + 1:
+                raise ValueError("flat HDG: leaf_offsets must have num_roots + 1 entries")
+        else:
+            expected_slots = self.roots.size * self.schema.num_leaves + 1
+            if self.instance_offsets.size != expected_slots:
+                raise ValueError(
+                    f"instance_offsets must have num_roots * num_leaf_types + 1 "
+                    f"= {expected_slots} entries, got {self.instance_offsets.size}"
+                )
+            if np.any(np.diff(self.instance_offsets) < 0):
+                raise ValueError("instance_offsets must be non-decreasing")
+            if self.instance_offsets[-1] != self.num_instances:
+                raise ValueError("instance_offsets must cover all neighbor instances")
+
+    # ------------------------------------------------------------------
+    # Shape
+    # ------------------------------------------------------------------
+    @property
+    def depth(self) -> int:
+        """1 for flat HDGs (DNFA/INFA), 3 for hierarchical (INHA)."""
+        return 1 if self.instance_offsets is None else 3
+
+    @property
+    def max_level(self) -> int:
+        """The bottom (leaf) level index, as in Figure 3."""
+        return self.depth
+
+    @property
+    def num_roots(self) -> int:
+        return int(self.roots.size)
+
+    @property
+    def num_instances(self) -> int:
+        """Number of neighbor-instance vertices (== records)."""
+        return int(self.leaf_offsets.size - 1) if self.depth == 3 else int(self.leaf_vertices.size)
+
+    @property
+    def num_slots(self) -> int:
+        """(root, schema-leaf) pairs — the destinations of the in-between level."""
+        return self.num_roots * self.schema.num_leaves
+
+    def instance_types(self) -> np.ndarray:
+        """Schema-leaf type id per neighbor instance (depth-3 only)."""
+        if self.depth != 3:
+            raise ValueError("flat HDGs have no instance level")
+        counts = np.diff(self.instance_offsets)
+        slot_ids = np.repeat(np.arange(self.num_slots, dtype=np.int64), counts)
+        return slot_ids % self.schema.num_leaves
+
+    def instance_roots(self) -> np.ndarray:
+        """Root order index per neighbor instance (depth-3 only)."""
+        if self.depth != 3:
+            raise ValueError("flat HDGs have no instance level")
+        counts = np.diff(self.instance_offsets)
+        slot_ids = np.repeat(np.arange(self.num_slots, dtype=np.int64), counts)
+        return slot_ids // self.schema.num_leaves
+
+    # ------------------------------------------------------------------
+    # Level subgraphs (the `HDG.sub_graph(level=i)` of Figures 6-7)
+    # ------------------------------------------------------------------
+    def sub_graph(self, level: int) -> tuple[np.ndarray, np.ndarray]:
+        """COO ``(dst_ids, src_ids)`` of the subgraph between ``level`` and
+        ``level - 1``.
+
+        Level numbering follows Figure 3: for a depth-3 HDG, level 3 are
+        input-graph leaves (src ids are global vertex ids), level 2
+        neighbor instances, level 1 schema-leaf slots, level 0 roots.
+        For a depth-1 HDG only ``level == 1`` exists (leaves -> roots).
+        """
+        if self.depth == 1:
+            if level != 1:
+                raise ValueError(f"flat HDG has only level 1, got {level}")
+            counts = np.diff(self.leaf_offsets)
+            dst = np.repeat(np.arange(self.num_roots, dtype=np.int64), counts)
+            return dst, self.leaf_vertices.copy()
+        if level == 3:
+            counts = np.diff(self.leaf_offsets)
+            dst = np.repeat(np.arange(self.num_instances, dtype=np.int64), counts)
+            return dst, self.leaf_vertices.copy()
+        if level == 2:
+            counts = np.diff(self.instance_offsets)
+            dst = np.repeat(np.arange(self.num_slots, dtype=np.int64), counts)
+            # The elided Dst array: sources are consecutive instance ids.
+            return dst, np.arange(self.num_instances, dtype=np.int64)
+        if level == 1:
+            src = np.arange(self.num_slots, dtype=np.int64)
+            return src // self.schema.num_leaves, src
+        raise ValueError(f"depth-3 HDG has levels 1..3, got {level}")
+
+    def leaf_counts(self) -> np.ndarray:
+        """Leaf-vertex count per instance (depth 3) or per root (depth 1)."""
+        return np.diff(self.leaf_offsets)
+
+    def instance_counts_per_type(self) -> np.ndarray:
+        """(num_roots, num_leaf_types) instance counts — the cost-model
+        ``n_1..n_k`` variables of Section 5."""
+        if self.depth == 1:
+            return np.diff(self.leaf_offsets).reshape(-1, 1)
+        counts = np.diff(self.instance_offsets)
+        return counts.reshape(self.num_roots, self.schema.num_leaves)
+
+    def dependency_leaves(self, root_order: int) -> np.ndarray:
+        """All input-graph leaf ids a root depends on (induced-graph edges
+        used by the ADB balancer, Figure 11b)."""
+        if self.depth == 1:
+            lo, hi = self.leaf_offsets[root_order], self.leaf_offsets[root_order + 1]
+            return np.unique(self.leaf_vertices[lo:hi])
+        slot_lo = root_order * self.schema.num_leaves
+        slot_hi = slot_lo + self.schema.num_leaves
+        inst_lo = self.instance_offsets[slot_lo]
+        inst_hi = self.instance_offsets[slot_hi]
+        lo, hi = self.leaf_offsets[inst_lo], self.leaf_offsets[inst_hi]
+        return np.unique(self.leaf_vertices[lo:hi])
+
+    def restrict_to_roots(self, root_orders: np.ndarray) -> "HDG":
+        """The sub-HDG owned by a subset of roots (given by root order).
+
+        Used by distributed training: each shared-nothing worker holds the
+        HDGs of its partition's root vertices (§5).  Leaf ids stay global
+        — leaves may live on other workers, which is exactly what the
+        synchronization accounting measures.
+        """
+        root_orders = np.asarray(root_orders, dtype=np.int64)
+        sub_roots = self.roots[root_orders]
+        if self.depth == 1:
+            counts = np.diff(self.leaf_offsets)[root_orders]
+            starts = self.leaf_offsets[root_orders]
+            gather = _ranges_gather(starts, counts)
+            new_offsets = np.zeros(root_orders.size + 1, dtype=np.int64)
+            np.cumsum(counts, out=new_offsets[1:])
+            return HDG(
+                sub_roots, self.schema, self.leaf_vertices[gather], new_offsets,
+                instance_offsets=None,
+                leaf_weights=None if self.leaf_weights is None else self.leaf_weights[gather],
+                num_input_vertices=self.num_input_vertices,
+            )
+        num_leaves = self.schema.num_leaves
+        # Slot ranges for the selected roots (contiguous per root).
+        slot_starts = root_orders * num_leaves
+        slot_gather = _ranges_gather(slot_starts, np.full(root_orders.size, num_leaves, dtype=np.int64))
+        slot_counts = np.diff(self.instance_offsets)[slot_gather]
+        new_instance_offsets = np.zeros(slot_gather.size + 1, dtype=np.int64)
+        np.cumsum(slot_counts, out=new_instance_offsets[1:])
+        # Instance ranges per selected slot.
+        inst_starts = self.instance_offsets[slot_gather]
+        inst_gather = _ranges_gather(inst_starts, slot_counts)
+        leaf_counts = np.diff(self.leaf_offsets)[inst_gather]
+        new_leaf_offsets = np.zeros(inst_gather.size + 1, dtype=np.int64)
+        np.cumsum(leaf_counts, out=new_leaf_offsets[1:])
+        leaf_starts = self.leaf_offsets[inst_gather]
+        leaf_gather = _ranges_gather(leaf_starts, leaf_counts)
+        return HDG(
+            sub_roots, self.schema, self.leaf_vertices[leaf_gather], new_leaf_offsets,
+            instance_offsets=new_instance_offsets,
+            leaf_weights=None if self.leaf_weights is None else self.leaf_weights[leaf_gather],
+            num_input_vertices=self.num_input_vertices,
+        )
+
+    def root_of_leaf_edges(self) -> np.ndarray:
+        """Root order index per bottom-level edge slot (dependency map)."""
+        if self.depth == 1:
+            return np.repeat(
+                np.arange(self.num_roots, dtype=np.int64), np.diff(self.leaf_offsets)
+            )
+        inst_root = self.instance_roots()
+        return np.repeat(inst_root, np.diff(self.leaf_offsets))
+
+    # ------------------------------------------------------------------
+    # Memory accounting (Table 5 and the storage ablation)
+    # ------------------------------------------------------------------
+    @property
+    def nbytes(self) -> int:
+        """Bytes of the optimized storage actually kept."""
+        total = self.leaf_vertices.nbytes + self.leaf_offsets.nbytes + self.roots.nbytes
+        if self.instance_offsets is not None:
+            total += self.instance_offsets.nbytes
+        if self.leaf_weights is not None:
+            total += self.leaf_weights.nbytes
+        total += self.schema.nbytes  # single global tree
+        return int(total)
+
+    @property
+    def nbytes_unoptimized(self) -> int:
+        """Bytes a naive CSC-per-level store would need: an explicit Dst
+        array for the in-between level plus one schema-tree copy per root."""
+        total = self.nbytes
+        if self.depth == 3:
+            total += 8 * self.num_instances  # the elided Dst_2
+            total += self.schema.nbytes * (self.num_roots - 1)  # per-root copies
+        return int(total)
+
+    def __repr__(self) -> str:
+        return (
+            f"HDG(depth={self.depth}, num_roots={self.num_roots}, "
+            f"num_instances={self.num_instances}, "
+            f"num_leaf_edges={self.leaf_vertices.size}, schema={self.schema.leaf_types})"
+        )
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_records(
+        cls,
+        records: list[NeighborRecord],
+        schema: SchemaTree,
+        roots: np.ndarray,
+        num_input_vertices: int,
+        flat: bool | None = None,
+    ) -> "HDG":
+        """Build the compact HDG from NeighborSelection's formatted records.
+
+        This is the top-down construction of Section 4.1: records are
+        grouped by (root, type) slot, instances ordered consecutively per
+        slot (which is what lets the in-between Dst array be elided), and
+        leaves concatenated per instance.
+
+        Parameters
+        ----------
+        records:
+            One record per neighbor instance.
+        schema:
+            The model's global schema tree.
+        roots:
+            All root vertex ids the HDG should cover (roots with no
+            records get empty neighborhoods).
+        num_input_vertices:
+            Vertex count of the input graph (leaf id space).
+        flat:
+            Force flat/hierarchical layout; default auto-detects (flat iff
+            the schema is trivial and every record has exactly one leaf).
+        """
+        roots = np.asarray(roots, dtype=np.int64)
+        root_order = {int(r): i for i, r in enumerate(roots)}
+        if flat is None:
+            flat = schema.is_trivial and all(len(r.leaves) == 1 for r in records)
+
+        for rec in records:
+            if rec.nei_type >= schema.num_leaves:
+                raise ValueError(
+                    f"record type {rec.nei_type} out of range for schema with "
+                    f"{schema.num_leaves} leaf types"
+                )
+            if rec.root not in root_order:
+                raise ValueError(f"record root {rec.root} not in the HDG root set")
+
+        if flat:
+            return cls._build_flat(records, schema, roots, root_order, num_input_vertices)
+        return cls._build_hierarchical(records, schema, roots, root_order, num_input_vertices)
+
+    @classmethod
+    def _build_flat(cls, records, schema, roots, root_order, num_input_vertices) -> "HDG":
+        num_roots = roots.size
+        owners = np.fromiter((root_order[r.root] for r in records), dtype=np.int64, count=len(records))
+        order = np.argsort(owners, kind="stable")
+        leaf_vertices = np.fromiter(
+            (records[i].leaves[0] for i in order), dtype=np.int64, count=len(records)
+        )
+        weights = None
+        if records and records[0].weight is not None:
+            weights = np.fromiter(
+                (records[i].weight if records[i].weight is not None else 1.0 for i in order),
+                dtype=np.float64,
+                count=len(records),
+            )
+        counts = np.bincount(owners, minlength=num_roots)
+        leaf_offsets = np.zeros(num_roots + 1, dtype=np.int64)
+        np.cumsum(counts, out=leaf_offsets[1:])
+        return cls(
+            roots, schema, leaf_vertices, leaf_offsets,
+            instance_offsets=None, leaf_weights=weights,
+            num_input_vertices=num_input_vertices,
+        )
+
+    @classmethod
+    def _build_hierarchical(cls, records, schema, roots, root_order, num_input_vertices) -> "HDG":
+        num_roots = roots.size
+        num_leaves = schema.num_leaves
+        slots = np.fromiter(
+            (root_order[r.root] * num_leaves + r.nei_type for r in records),
+            dtype=np.int64,
+            count=len(records),
+        )
+        order = np.argsort(slots, kind="stable")
+        # Instances in slot order; leaves concatenated per instance.
+        leaf_counts = np.fromiter((len(records[i].leaves) for i in order), dtype=np.int64, count=len(records))
+        leaf_offsets = np.zeros(len(records) + 1, dtype=np.int64)
+        np.cumsum(leaf_counts, out=leaf_offsets[1:])
+        leaf_vertices = np.empty(int(leaf_counts.sum()), dtype=np.int64)
+        pos = 0
+        for i in order:
+            leaves = records[i].leaves
+            leaf_vertices[pos : pos + len(leaves)] = leaves
+            pos += len(leaves)
+        weights = None
+        if records and records[0].weight is not None:
+            weights = np.empty(leaf_vertices.size, dtype=np.float64)
+            pos = 0
+            for i in order:
+                w = records[i].weight if records[i].weight is not None else 1.0
+                span = len(records[i].leaves)
+                weights[pos : pos + span] = w
+                pos += span
+        slot_counts = np.bincount(slots, minlength=num_roots * num_leaves)
+        instance_offsets = np.zeros(num_roots * num_leaves + 1, dtype=np.int64)
+        np.cumsum(slot_counts, out=instance_offsets[1:])
+        return cls(
+            roots, schema, leaf_vertices, leaf_offsets,
+            instance_offsets=instance_offsets, leaf_weights=weights,
+            num_input_vertices=num_input_vertices,
+        )
+
+
+def _ranges_gather(starts: np.ndarray, counts: np.ndarray) -> np.ndarray:
+    """Flat index array covering ``starts[i]..starts[i]+counts[i]`` for all i."""
+    total = int(counts.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64)
+    offsets = np.concatenate([[0], np.cumsum(counts)[:-1]])
+    return (
+        np.arange(total, dtype=np.int64)
+        - np.repeat(offsets, counts)
+        + np.repeat(starts, counts)
+    )
+
+
+def _order_of(roots: np.ndarray, num_input_vertices: int) -> np.ndarray:
+    order = np.full(num_input_vertices, -1, dtype=np.int64)
+    order[roots] = np.arange(roots.size)
+    return order
+
+
+def hdg_from_flat_arrays(
+    schema: SchemaTree,
+    roots: np.ndarray,
+    owner_roots: np.ndarray,
+    leaf_ids: np.ndarray,
+    weights: np.ndarray | None,
+    num_input_vertices: int,
+) -> HDG:
+    """Vectorized flat-HDG construction from parallel arrays.
+
+    ``owner_roots[i]`` owns neighbor ``leaf_ids[i]`` (optionally weighted).
+    This is the bulk path the PinSage NeighborSelection uses — equivalent
+    to :meth:`HDG.from_records` over single-leaf records, but without
+    constructing per-record Python objects.
+    """
+    roots = np.asarray(roots, dtype=np.int64)
+    owner_roots = np.asarray(owner_roots, dtype=np.int64)
+    leaf_ids = np.asarray(leaf_ids, dtype=np.int64)
+    order = _order_of(roots, num_input_vertices)
+    owner_order = order[owner_roots]
+    if owner_order.size and owner_order.min() < 0:
+        raise ValueError("owner root not in the HDG root set")
+    perm = np.argsort(owner_order, kind="stable")
+    counts = np.bincount(owner_order, minlength=roots.size)
+    leaf_offsets = np.zeros(roots.size + 1, dtype=np.int64)
+    np.cumsum(counts, out=leaf_offsets[1:])
+    return HDG(
+        roots, schema, leaf_ids[perm], leaf_offsets,
+        instance_offsets=None,
+        leaf_weights=None if weights is None else np.asarray(weights, dtype=np.float64)[perm],
+        num_input_vertices=num_input_vertices,
+    )
+
+
+def hdg_from_instance_arrays(
+    schema: SchemaTree,
+    roots: np.ndarray,
+    instance_roots: np.ndarray,
+    instance_types: np.ndarray,
+    leaf_flat: np.ndarray,
+    leaf_counts: np.ndarray,
+    num_input_vertices: int,
+    weights: np.ndarray | None = None,
+) -> HDG:
+    """Vectorized depth-3 HDG construction from instance arrays.
+
+    ``instance_roots``/``instance_types`` describe one neighbor instance
+    per entry; instance ``i`` owns ``leaf_counts[i]`` consecutive vertices
+    in ``leaf_flat``.  This is the bulk path MAGNN's metapath matcher
+    uses — semantically identical to :meth:`HDG.from_records`.
+    """
+    roots = np.asarray(roots, dtype=np.int64)
+    instance_roots = np.asarray(instance_roots, dtype=np.int64)
+    instance_types = np.asarray(instance_types, dtype=np.int64)
+    leaf_flat = np.asarray(leaf_flat, dtype=np.int64)
+    leaf_counts = np.asarray(leaf_counts, dtype=np.int64)
+    if instance_types.size and instance_types.max() >= schema.num_leaves:
+        raise ValueError("instance type out of schema range")
+    order = _order_of(roots, num_input_vertices)
+    owner_order = order[instance_roots]
+    if owner_order.size and owner_order.min() < 0:
+        raise ValueError("instance root not in the HDG root set")
+    num_leaves = schema.num_leaves
+    slots = owner_order * num_leaves + instance_types
+    perm = np.argsort(slots, kind="stable")
+
+    # Permute ragged leaf groups into slot order.
+    src_offsets = np.zeros(leaf_counts.size + 1, dtype=np.int64)
+    np.cumsum(leaf_counts, out=src_offsets[1:])
+    new_counts = leaf_counts[perm]
+    leaf_offsets = np.zeros(leaf_counts.size + 1, dtype=np.int64)
+    np.cumsum(new_counts, out=leaf_offsets[1:])
+    total = int(new_counts.sum())
+    gather = np.empty(total, dtype=np.int64)
+    # gather[j] = position in leaf_flat of the j-th leaf after permutation
+    group_starts = src_offsets[perm]
+    gather = (
+        np.arange(total, dtype=np.int64)
+        - np.repeat(leaf_offsets[:-1], new_counts)
+        + np.repeat(group_starts, new_counts)
+    )
+    leaf_vertices = leaf_flat[gather]
+    slot_counts = np.bincount(slots, minlength=roots.size * num_leaves)
+    instance_offsets = np.zeros(roots.size * num_leaves + 1, dtype=np.int64)
+    np.cumsum(slot_counts, out=instance_offsets[1:])
+    return HDG(
+        roots, schema, leaf_vertices, leaf_offsets,
+        instance_offsets=instance_offsets,
+        leaf_weights=None if weights is None else np.asarray(weights, dtype=np.float64)[gather],
+        num_input_vertices=num_input_vertices,
+    )
+
+
+def hdg_from_graph(graph, weights: np.ndarray | None = None) -> HDG:
+    """Flat HDG directly from a graph's CSC arrays (zero extra work).
+
+    This is the DNFA fast path: "FlexGraph does not construct extra HDGs
+    for GCN, since the input graph serves the desired purpose" (§7.8).
+    Each vertex's neighbors are its in-neighbors; ``weights`` optionally
+    attaches a per-in-edge weight in CSC order.
+    """
+    indptr, indices = graph.csc
+    roots = np.arange(graph.num_vertices, dtype=np.int64)
+    return HDG(
+        roots,
+        SchemaTree(),
+        indices.copy(),
+        indptr.copy(),
+        instance_offsets=None,
+        leaf_weights=weights,
+        num_input_vertices=graph.num_vertices,
+    )
+
+
+def build_hdg(
+    records: list[NeighborRecord],
+    schema: SchemaTree,
+    roots: np.ndarray,
+    num_input_vertices: int,
+    flat: bool | None = None,
+) -> HDG:
+    """Functional alias of :meth:`HDG.from_records`."""
+    return HDG.from_records(records, schema, roots, num_input_vertices, flat)

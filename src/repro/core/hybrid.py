@@ -1,0 +1,136 @@
+"""Hybrid execution of hierarchical aggregation (Section 4.2).
+
+FlexGraph differentiates the aggregation steps in an HDG's hierarchy by
+context and picks the cheapest backend for each:
+
+=====================  =================================================
+HDG level              backend per strategy
+=====================  =================================================
+neighbor instances     SA: scatter ops (per-edge messages materialized)
+(bottom, level max)    SA+FA / HA: **feature fusion** (segment reduce)
+in-between (level 2)   SA / SA+FA: scatter ops over an explicit index
+                       HA: segment reduce on the compact elided layout
+schema tree (level 1)  SA / SA+FA: scatter ops
+                       HA: **dense** reshape + reduce (Figure 10)
+=====================  =================================================
+
+``SA``, ``SA_FA`` and ``HA`` are exactly the three strategies compared in
+Figure 14.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from ..tensor.tensor import Tensor
+from .aggregation import Aggregator
+from .hdg import HDG
+
+__all__ = ["ExecutionStrategy", "hierarchical_aggregate"]
+
+
+class ExecutionStrategy(enum.Enum):
+    """Aggregation execution strategies benchmarked in Figure 14."""
+
+    SA = "sa"        # sparse scatter ops only
+    SA_FA = "sa+fa"  # sparse ops + feature fusion at the bottom level
+    HA = "ha"        # hybrid: fusion + sparse + dense per level
+
+    @classmethod
+    def parse(cls, value) -> "ExecutionStrategy":
+        if isinstance(value, cls):
+            return value
+        for member in cls:
+            if member.value == str(value).lower():
+                return member
+        raise ValueError(f"unknown execution strategy {value!r}")
+
+
+def hierarchical_aggregate(
+    hdg: HDG,
+    feats: Tensor,
+    aggregators: list[Aggregator],
+    strategy: ExecutionStrategy = ExecutionStrategy.HA,
+) -> Tensor:
+    """Run the level-wise Aggregation stage of Figure 6 over an HDG.
+
+    Parameters
+    ----------
+    hdg:
+        The collective HDG (flat or depth-3).
+    feats:
+        ``(num_input_vertices, dim)`` input features indexed by global
+        vertex id.
+    aggregators:
+        Bottom-up UDF list: ``aggregators[0]`` reduces leaves into
+        instances (or directly into roots for flat HDGs),
+        ``aggregators[1]`` instances into schema-leaf slots and
+        ``aggregators[2]`` slots into roots.
+    strategy:
+        Which of the Figure 14 execution strategies to use.
+
+    Returns
+    -------
+    Tensor
+        ``(num_roots, dim')`` neighborhood representations, ordered like
+        ``hdg.roots``.
+    """
+    strategy = ExecutionStrategy.parse(strategy)
+    if feats.shape[0] < hdg.num_input_vertices:
+        raise ValueError(
+            f"feature matrix covers {feats.shape[0]} vertices but HDG references "
+            f"{hdg.num_input_vertices}"
+        )
+    if hdg.depth == 1:
+        if len(aggregators) != 1:
+            raise ValueError(f"flat HDG needs exactly 1 aggregator, got {len(aggregators)}")
+        return _reduce_bottom(hdg, feats, aggregators[0], strategy)
+
+    if len(aggregators) != 3:
+        raise ValueError(f"depth-3 HDG needs exactly 3 aggregators, got {len(aggregators)}")
+
+    # Level 3: input-graph leaves -> neighbor instances.
+    instance_feats = _reduce_bottom(hdg, feats, aggregators[0], strategy)
+
+    # Level 2: neighbor instances -> (root, schema leaf) slots.
+    slot_feats = _reduce_instances(hdg, instance_feats, aggregators[1], strategy)
+
+    # Level 1: schema-leaf slots -> roots.
+    return _reduce_schema(hdg, slot_feats, aggregators[2], strategy)
+
+
+def _reduce_bottom(hdg: HDG, feats: Tensor, agg: Aggregator,
+                   strategy: ExecutionStrategy) -> Tensor:
+    """Leaves -> instances (depth 3) or leaves -> roots (depth 1)."""
+    n_out = hdg.num_instances if hdg.depth == 3 else hdg.num_roots
+    if strategy is ExecutionStrategy.SA or not agg.supports_fused:
+        dst, src = hdg.sub_graph(hdg.max_level)
+        gathered = feats[src]  # materializes one message per edge
+        return agg.sparse(gathered, dst, n_out, weights=hdg.leaf_weights)
+    return agg.fused(feats, hdg.leaf_offsets, hdg.leaf_vertices, weights=hdg.leaf_weights)
+
+
+def _reduce_instances(hdg: HDG, instance_feats: Tensor, agg: Aggregator,
+                      strategy: ExecutionStrategy) -> Tensor:
+    """Instances -> slots.  Instances are consecutive per slot, so HA can
+    reduce on the elided layout without building an index."""
+    if strategy is ExecutionStrategy.HA and agg.supports_fused:
+        return agg.fused(instance_feats, hdg.instance_offsets, sources=None)
+    dst, _src = hdg.sub_graph(2)
+    return agg.sparse(instance_feats, dst, hdg.num_slots)
+
+
+def _reduce_schema(hdg: HDG, slot_feats: Tensor, agg: Aggregator,
+                   strategy: ExecutionStrategy) -> Tensor:
+    """Slots -> roots.  The schema tree is regular (every root has exactly
+    num_leaf_types slots), so HA uses the dense reshape trick of
+    Figure 10; other strategies scatter."""
+    num_leaves = hdg.schema.num_leaves
+    if num_leaves == 1:
+        # A single schema leaf: the slot features *are* the root features.
+        return slot_feats
+    if strategy is ExecutionStrategy.HA and agg.supports_dense:
+        dim = slot_feats.shape[-1]
+        return agg.dense(slot_feats.reshape(hdg.num_roots, num_leaves, dim))
+    dst, _src = hdg.sub_graph(1)
+    return agg.sparse(slot_feats, dst, hdg.num_roots)

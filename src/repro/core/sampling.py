@@ -1,0 +1,221 @@
+"""Sampled mini-batch training over HDGs — the FlexGraph-native answer
+to Euler/DistDGL-style training.
+
+The paper trains full-batch and shows that mini-batch systems collapse
+on GCN because they expand *full* k-hop neighborhoods per batch (§7.1).
+The fix those systems actually deploy — and a natural FlexGraph
+extension, since HDGs make neighborhoods first-class — is *fan-out
+sampling*: cap each root's neighborhood at a fixed budget per layer
+(GraphSAGE-style).  Because flat HDGs already group each root's
+neighbors contiguously, sampling is a per-segment top-``fanout``
+selection, and the per-layer blocks are just root-restricted sub-HDGs.
+
+:class:`MiniBatchTrainer` supports any model whose HDGs are flat (DNFA
+and INFA); hierarchical models bound work through
+``max_instances_per_root`` at selection time instead.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..graph.graph import Graph
+from ..tensor.loss import accuracy, cross_entropy
+from ..tensor.ops import scatter_rows
+from ..tensor.optim import Optimizer
+from ..tensor.tensor import Tensor
+from .hdg import HDG
+from .hybrid import ExecutionStrategy
+from .nau import NAUModel, SelectionScope
+
+__all__ = ["sample_fanout", "MiniBatchTrainer", "MiniBatchEpochStats"]
+
+
+def sample_fanout(hdg: HDG, fanout: int, rng: np.random.Generator) -> HDG:
+    """Uniformly keep at most ``fanout`` leaves per root of a flat HDG.
+
+    Per-edge random keys are ranked within each root's contiguous
+    segment — fully vectorized.  PinSage-style importance weights are
+    renormalized over the kept edges so the weighted sum stays a proper
+    average.
+    """
+    if hdg.depth != 1:
+        raise ValueError(
+            "fan-out sampling applies to flat HDGs; bound hierarchical "
+            "models with max_instances_per_root at selection time"
+        )
+    if fanout <= 0:
+        raise ValueError("fanout must be positive")
+    counts = np.diff(hdg.leaf_offsets)
+    if counts.size == 0 or counts.max() <= fanout:
+        return hdg
+    num_edges = hdg.leaf_vertices.size
+    owner = np.repeat(np.arange(hdg.num_roots, dtype=np.int64), counts)
+    keys = rng.random(num_edges)
+    order = np.lexsort((keys, owner))
+    group_start = np.zeros(num_edges, dtype=np.int64)
+    change = np.flatnonzero(np.diff(owner[order], prepend=owner[order[0]] - 1))
+    group_start[change] = change
+    group_start = np.maximum.accumulate(group_start)
+    rank = np.arange(num_edges) - group_start
+    keep = np.sort(order[rank < fanout])
+
+    new_counts = np.minimum(counts, fanout)
+    new_offsets = np.zeros(hdg.num_roots + 1, dtype=np.int64)
+    np.cumsum(new_counts, out=new_offsets[1:])
+    weights = None
+    if hdg.leaf_weights is not None:
+        kept_owner = owner[keep]
+        raw = hdg.leaf_weights[keep]
+        sums = np.bincount(kept_owner, weights=raw, minlength=hdg.num_roots)
+        weights = raw / np.maximum(sums[kept_owner], 1e-12)
+    return HDG(
+        hdg.roots, hdg.schema, hdg.leaf_vertices[keep], new_offsets,
+        instance_offsets=None, leaf_weights=weights,
+        num_input_vertices=hdg.num_input_vertices,
+    )
+
+
+@dataclass
+class MiniBatchEpochStats:
+    """Outcome of one sampled mini-batch epoch."""
+
+    epoch: int
+    loss: float                # mean over batches
+    seconds: float
+    num_batches: int
+    train_accuracy: float | None = None
+
+
+class MiniBatchTrainer:
+    """GraphSAGE-style sampled training for flat-HDG NAU models.
+
+    Parameters
+    ----------
+    model:
+        A DNFA or INFA NAU model (flat HDGs).
+    graph:
+        The input graph.
+    batch_size:
+        Seed vertices per batch.
+    fanouts:
+        Per-layer neighbor budgets, bottom layer first; must have one
+        entry per model layer.
+    """
+
+    def __init__(self, model: NAUModel, graph: Graph, batch_size: int = 256,
+                 fanouts: list[int] | None = None,
+                 strategy: ExecutionStrategy | str = ExecutionStrategy.HA,
+                 seed: int = 0):
+        self.model = model
+        self.graph = graph
+        self.batch_size = int(batch_size)
+        if self.batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        self.fanouts = list(fanouts) if fanouts is not None else [10] * model.num_layers
+        if len(self.fanouts) != model.num_layers:
+            raise ValueError(
+                f"need one fanout per layer ({model.num_layers}), got {len(self.fanouts)}"
+            )
+        self.strategy = ExecutionStrategy.parse(strategy)
+        self._rng = np.random.default_rng(seed)
+        self._model_hdg: HDG | None = None
+        self._hdg_epoch = -1
+
+    # ------------------------------------------------------------------
+    def _ensure_hdg(self, epoch: int) -> HDG:
+        scope = self.model.selection_scope
+        stale = self._model_hdg is None or (
+            scope is SelectionScope.PER_EPOCH and self._hdg_epoch != epoch
+        )
+        if stale:
+            self._model_hdg = self.model.neighbor_selection(self.graph, self._rng)
+            if self._model_hdg.depth != 1:
+                raise ValueError("MiniBatchTrainer requires flat HDGs")
+            if not np.array_equal(
+                self._model_hdg.roots,
+                np.arange(self.graph.num_vertices, dtype=np.int64),
+            ):
+                raise ValueError("MiniBatchTrainer expects HDG roots to cover "
+                                 "all vertices in id order")
+            self._hdg_epoch = epoch
+        return self._model_hdg
+
+    def _build_blocks(self, hdg: HDG, seeds: np.ndarray) -> list[tuple[HDG, np.ndarray]]:
+        """Per-layer (block HDG, output vertices), input layer first.
+
+        Built top-down: the last layer needs the seeds; each earlier
+        layer needs everything the next layer's sampled block references.
+        """
+        need = np.unique(seeds)
+        reversed_blocks: list[tuple[HDG, np.ndarray]] = []
+        for fanout in reversed(self.fanouts):
+            sub = hdg.restrict_to_roots(need)  # roots indexed by vertex id
+            block = sample_fanout(sub, fanout, self._rng)
+            reversed_blocks.append((block, need))
+            need = np.unique(np.concatenate([need, block.leaf_vertices]))
+        return list(reversed(reversed_blocks))
+
+    # ------------------------------------------------------------------
+    def train_epoch(
+        self,
+        feats: Tensor,
+        labels: np.ndarray,
+        optimizer: Optimizer,
+        mask: np.ndarray | None = None,
+        epoch: int = 0,
+    ) -> MiniBatchEpochStats:
+        """One pass over the (masked) vertices in sampled mini-batches."""
+        self.model.train()
+        t0 = time.perf_counter()
+        hdg = self._ensure_hdg(epoch)
+        n = self.graph.num_vertices
+        pool = np.flatnonzero(mask) if mask is not None else np.arange(n)
+        order = self._rng.permutation(pool)
+        losses = []
+        correct = 0
+        for start in range(0, order.size, self.batch_size):
+            seeds = order[start : start + self.batch_size]
+            blocks = self._build_blocks(hdg, seeds)
+            h = feats
+            for layer, (block, out_vertices) in zip(self.model.layers, blocks):
+                nbr = layer.aggregation(h, block, self.strategy)
+                h_rows = layer.update(h[out_vertices], nbr)
+                # Lift back to full coordinates so the next layer can
+                # gather arbitrary leaf ids.
+                h = scatter_rows(h_rows, out_vertices, n)
+            logits = h[seeds]
+            loss = cross_entropy(logits, labels[seeds])
+            optimizer.zero_grad()
+            loss.backward()
+            optimizer.step()
+            losses.append(loss.item())
+            correct += int(
+                (logits.numpy().argmax(axis=1) == labels[seeds]).sum()
+            )
+        return MiniBatchEpochStats(
+            epoch=epoch,
+            loss=float(np.mean(losses)) if losses else 0.0,
+            seconds=time.perf_counter() - t0,
+            num_batches=len(losses),
+            train_accuracy=correct / max(order.size, 1),
+        )
+
+    def evaluate(self, feats: Tensor, labels: np.ndarray,
+                 mask: np.ndarray | None = None) -> float:
+        """Full-neighborhood inference accuracy (standard for sampled
+        training: sample at train time, exact at eval time)."""
+        from ..tensor.tensor import no_grad
+
+        self.model.eval()
+        hdg = self._ensure_hdg(self._hdg_epoch if self._hdg_epoch >= 0 else 0)
+        with no_grad():
+            h = feats
+            for layer in self.model.layers:
+                nbr = layer.aggregation(h, hdg, self.strategy)
+                h = layer.update(h, nbr)
+        self.model.train()
+        return accuracy(h, labels, mask)

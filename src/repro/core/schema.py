@@ -1,0 +1,80 @@
+"""Schema trees and neighbor records — the inputs to HDG construction.
+
+A *schema tree* (Section 3.1) encodes the hierarchy of neighbor **types**
+a GNN model defines: the root stands for the target vertex and each leaf
+is one neighbor type (e.g. MAGNN's metapath types MP1/MP2).  Every root
+vertex shares one global schema tree, which is why FlexGraph stores it
+once (Section 4.1, "Subgraphs for schema trees").
+
+A :class:`NeighborRecord` is the formatted record FlexGraph's
+NeighborSelection stage emits: ``(root, nei = [leaf_0..leaf_n],
+nei_type)`` — one record per neighbor instance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["SchemaTree", "NeighborRecord"]
+
+
+@dataclass(frozen=True)
+class SchemaTree:
+    """Root plus an ordered tuple of leaf neighbor types.
+
+    All GNN models in the paper use depth-1 schema trees (root -> leaf
+    types); flat models (GCN, PinSage) degenerate to a single ``vertex``
+    leaf, which the paper writes as ``T = v``.
+    """
+
+    leaf_types: tuple[str, ...] = ("vertex",)
+    name: str = "root"
+
+    def __post_init__(self):
+        if not self.leaf_types:
+            raise ValueError("schema tree needs at least one leaf type")
+        if len(set(self.leaf_types)) != len(self.leaf_types):
+            raise ValueError("leaf type names must be unique")
+        object.__setattr__(self, "leaf_types", tuple(self.leaf_types))
+
+    @property
+    def num_leaves(self) -> int:
+        return len(self.leaf_types)
+
+    @property
+    def is_trivial(self) -> bool:
+        """True when the tree is ``T = v`` (single neighbor type)."""
+        return self.num_leaves == 1
+
+    def leaf_index(self, type_name: str) -> int:
+        """Index of a leaf type by name."""
+        try:
+            return self.leaf_types.index(type_name)
+        except ValueError:
+            raise KeyError(f"unknown neighbor type {type_name!r}; have {self.leaf_types}") from None
+
+    @property
+    def nbytes(self) -> int:
+        """Storage for the single global tree: one int per node."""
+        return 8 * (1 + self.num_leaves)
+
+
+@dataclass
+class NeighborRecord:
+    """One "neighbor" of ``root``: its member vertices and its type.
+
+    ``weight`` optionally carries a per-neighbor importance (PinSage's
+    normalized visit frequency).
+    """
+
+    root: int
+    leaves: tuple[int, ...]
+    nei_type: int = 0
+    weight: float | None = None
+
+    def __post_init__(self):
+        self.leaves = tuple(int(v) for v in self.leaves)
+        if not self.leaves:
+            raise ValueError("a neighbor record must reference at least one leaf vertex")
+        if self.nei_type < 0:
+            raise ValueError("nei_type must be non-negative")

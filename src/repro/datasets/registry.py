@@ -1,0 +1,52 @@
+"""Dataset registry: look up the paper's datasets by name, with size tiers.
+
+Benchmarks reference datasets by the paper's names; the ``scale``
+parameter trades fidelity for runtime (``"tiny"`` for unit tests,
+``"bench"`` for the benchmark harness).
+"""
+
+from __future__ import annotations
+
+from .synthetic import Dataset, fb91_like, imdb_like, reddit_like, twitter_like
+
+__all__ = ["load_dataset", "DATASET_NAMES"]
+
+DATASET_NAMES = ("reddit", "fb91", "twitter", "imdb")
+
+_SCALES = {
+    "tiny": 0.1,
+    "small": 0.35,
+    "bench": 1.0,
+}
+
+
+def load_dataset(name: str, scale: str = "bench", seed: int | None = None) -> Dataset:
+    """Load a synthetic stand-in for one of the paper's datasets.
+
+    Parameters
+    ----------
+    name:
+        One of ``reddit``, ``fb91``, ``twitter``, ``imdb``.
+    scale:
+        ``tiny`` (unit tests), ``small`` or ``bench`` (benchmarks).
+    seed:
+        Optional override of the generator seed.
+    """
+    if scale not in _SCALES:
+        raise KeyError(f"unknown scale {scale!r}; choose from {sorted(_SCALES)}")
+    f = _SCALES[scale]
+    kwargs = {} if seed is None else {"seed": seed}
+    if name == "reddit":
+        return reddit_like(num_vertices=max(100, int(2000 * f)), **kwargs)
+    if name == "fb91":
+        return fb91_like(num_vertices=max(100, int(4000 * f)), **kwargs)
+    if name == "twitter":
+        return twitter_like(num_vertices=max(100, int(6000 * f)), **kwargs)
+    if name == "imdb":
+        return imdb_like(
+            num_movies=max(40, int(600 * f)),
+            num_directors=max(10, int(120 * f)),
+            num_actors=max(25, int(400 * f)),
+            **kwargs,
+        )
+    raise KeyError(f"unknown dataset {name!r}; choose from {DATASET_NAMES}")

@@ -1,0 +1,31 @@
+"""``repro.distributed`` — simulated shared-nothing distributed training.
+
+Real per-worker computation (sliced HDG aggregation, measured with wall
+clocks) combined with an alpha-beta network model: workload balancing,
+batching, partial aggregation and pipeline overlap all act on genuine
+quantities (§5).
+"""
+
+from .cluster import ScalingPoint, flexgraph_scaling, model_baseline_scaling
+from .fault_tolerance import (
+    CheckpointManager,
+    FaultTolerantTrainer,
+    RecoveryEvent,
+    WorkerFailure,
+)
+from .comm import CommConfig, SimulatedComm
+from .minibatch import DistributedMiniBatchStats, DistributedMiniBatchTrainer
+from .pipeline import CommPlan, DependencyStats, dependency_stats, plan_layer_comm
+from .trainer import DistributedEpochStats, DistributedTrainer
+from .worker import Worker
+
+__all__ = [
+    "CommConfig", "SimulatedComm",
+    "DependencyStats", "dependency_stats", "CommPlan", "plan_layer_comm",
+    "Worker",
+    "DistributedTrainer", "DistributedEpochStats",
+    "DistributedMiniBatchTrainer", "DistributedMiniBatchStats",
+    "ScalingPoint", "flexgraph_scaling", "model_baseline_scaling",
+    "CheckpointManager", "FaultTolerantTrainer", "WorkerFailure",
+    "RecoveryEvent",
+]

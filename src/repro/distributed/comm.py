@@ -1,0 +1,92 @@
+"""Simulated MPI communicator with a latency/bandwidth cost model.
+
+The paper's testbed is a 16-machine cluster with 3.25 GB/s NICs; no
+cluster is available here, so the distributed runtime executes all
+workers in one process and *models* network time.  The model is the
+standard alpha-beta one: a message of ``b`` bytes costs
+``alpha + b / beta`` seconds, and each worker's per-step communication
+time is the sum over messages it sends plus receives (workers send and
+receive concurrently with respect to each other, but serially with
+respect to their own messages — a conservative, standard assumption).
+
+Bandwidth defaults are scaled down consistently with the dataset scale so
+compute and communication remain comparable, matching the compute/comm
+ratios the paper's optimizations (batching, overlap) act on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["CommConfig", "SimulatedComm"]
+
+
+@dataclass(frozen=True)
+class CommConfig:
+    """Alpha-beta network model parameters."""
+
+    latency: float = 5e-5          # seconds per message
+    bandwidth: float = 200e6       # bytes/second (scaled-down 3.25 GB/s NIC)
+
+    def message_time(self, nbytes: float, messages: int = 1) -> float:
+        return self.latency * messages + nbytes / self.bandwidth
+
+
+@dataclass
+class _WorkerTraffic:
+    sent_bytes: float = 0.0
+    sent_messages: int = 0
+    recv_bytes: float = 0.0
+    recv_messages: int = 0
+
+
+class SimulatedComm:
+    """Per-superstep message accounting across ``k`` simulated workers."""
+
+    def __init__(self, k: int, config: CommConfig | None = None):
+        if k <= 0:
+            raise ValueError("need at least one worker")
+        self.k = k
+        self.config = config or CommConfig()
+        self._traffic = [_WorkerTraffic() for _ in range(k)]
+        self.total_bytes = 0.0
+        self.total_messages = 0
+
+    def send(self, src: int, dst: int, nbytes: float, messages: int = 1) -> None:
+        """Record ``messages`` messages totalling ``nbytes`` from src to dst."""
+        if not (0 <= src < self.k and 0 <= dst < self.k):
+            raise ValueError("worker id out of range")
+        if src == dst:
+            return  # local delivery is free
+        self._traffic[src].sent_bytes += nbytes
+        self._traffic[src].sent_messages += messages
+        self._traffic[dst].recv_bytes += nbytes
+        self._traffic[dst].recv_messages += messages
+        self.total_bytes += nbytes
+        self.total_messages += messages
+
+    def worker_step_time(self, worker: int) -> float:
+        """Modeled communication seconds for one worker this superstep."""
+        t = self._traffic[worker]
+        return self.config.message_time(
+            t.sent_bytes + t.recv_bytes, t.sent_messages + t.recv_messages
+        )
+
+    def step_times(self) -> np.ndarray:
+        return np.array([self.worker_step_time(w) for w in range(self.k)])
+
+    def end_step(self) -> np.ndarray:
+        """Return per-worker comm times and reset the superstep counters."""
+        times = self.step_times()
+        self._traffic = [_WorkerTraffic() for _ in range(self.k)]
+        return times
+
+    def allreduce_time(self, nbytes: float) -> float:
+        """Ring-allreduce cost for a buffer of ``nbytes`` (parameter sync)."""
+        if self.k == 1:
+            return 0.0
+        steps = 2 * (self.k - 1)
+        chunk = nbytes / self.k
+        return steps * self.config.message_time(chunk, 1)

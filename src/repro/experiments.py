@@ -1,0 +1,85 @@
+"""Programmatic experiment runners — the library surface behind the
+benchmark harness and the ``flexgraph bench`` CLI command.
+
+The pytest benchmarks under ``benchmarks/`` assert the paper's shapes;
+this module provides the same measurements as plain functions so users
+can run comparisons from scripts or the CLI without pytest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .baselines import ENGINES, BaselineEngine
+
+__all__ = ["ComparisonConfig", "measure_epoch_cell", "compare_engines", "render_rows"]
+
+
+@dataclass
+class ComparisonConfig:
+    """Knobs shared by every engine in a comparison run."""
+
+    hidden_dim: int = 32
+    seed: int = 0
+    memory_budget: int | None = 300_000_000
+    time_limit: float | None = 10.0
+    epochs: int = 2                       # measured epochs after warm-up
+    model_params: dict = field(default_factory=dict)
+
+    def engine_kwargs(self) -> dict:
+        kwargs = dict(
+            hidden_dim=self.hidden_dim,
+            seed=self.seed,
+            memory_budget=self.memory_budget,
+            time_limit=self.time_limit,
+        )
+        kwargs.update(self.model_params)
+        return kwargs
+
+
+def measure_epoch_cell(engine: BaselineEngine, epochs: int = 2) -> str:
+    """One engine's Table 2-style cell: warm once, then average.
+
+    Engines that fail (OOM / unsupported / timeout) or extrapolate report
+    their first epoch's cell directly.
+    """
+    first = engine.run_epoch(0)
+    if first.status != "ok" or first.extrapolated:
+        return first.cell
+    seconds = [engine.run_epoch(e).seconds for e in range(1, 1 + epochs)]
+    return f"{float(np.mean(seconds)):.3f}"
+
+
+def compare_engines(
+    dataset,
+    model_name: str,
+    engine_names: list[str] | None = None,
+    config: ComparisonConfig | None = None,
+) -> dict[str, str]:
+    """Run every engine on one (dataset, model) and return name -> cell."""
+    config = config or ComparisonConfig()
+    engine_names = engine_names or list(ENGINES)
+    cells: dict[str, str] = {}
+    for name in engine_names:
+        if name not in ENGINES:
+            raise KeyError(f"unknown engine {name!r}; choose from {sorted(ENGINES)}")
+        engine = ENGINES[name](dataset, model_name, **config.engine_kwargs())
+        cells[name] = measure_epoch_cell(engine, config.epochs)
+    return cells
+
+
+def render_rows(title: str, headers: list[str], rows: list[list[str]]) -> str:
+    """Fixed-width text table (same renderer the benchmarks print)."""
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(str(cell)))
+
+    def fmt(row):
+        return "  ".join(str(c).ljust(w) for c, w in zip(row, widths))
+
+    lines = [title, fmt(headers), fmt(["-" * w for w in widths])]
+    lines.extend(fmt(r) for r in rows)
+    return "\n".join(lines)

@@ -1,0 +1,271 @@
+"""Immutable directed graph in CSR/CSC form — the graph-engine substrate.
+
+FlexGraph integrates libgrape-lite (a C++ parallel graph-processing
+library) for storing graphs and running graph-related operations (random
+walks, metapath matching, BFS).  This module is the Python/numpy
+equivalent: a compact adjacency structure with both out-edge (CSR) and
+in-edge (CSC) indexes, typed vertices for heterogeneous graphs, and the
+memory accounting needed by the HDG-footprint experiment (Table 5).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["Graph"]
+
+
+class Graph:
+    """A directed graph over vertices ``0..n-1`` stored as CSR + CSC.
+
+    Parameters
+    ----------
+    num_vertices:
+        Number of vertices.
+    src, dst:
+        Parallel int arrays of edge endpoints (edge ``i`` is
+        ``src[i] -> dst[i]``).
+    vertex_types:
+        Optional ``(num_vertices,)`` int array of type ids for
+        heterogeneous graphs (MAGNN); defaults to a single type ``0``.
+    type_names:
+        Optional human-readable names aligned with type ids.
+    """
+
+    def __init__(
+        self,
+        num_vertices: int,
+        src: np.ndarray,
+        dst: np.ndarray,
+        vertex_types: np.ndarray | None = None,
+        type_names: list[str] | None = None,
+    ):
+        src = np.asarray(src, dtype=np.int64)
+        dst = np.asarray(dst, dtype=np.int64)
+        if src.shape != dst.shape or src.ndim != 1:
+            raise ValueError("src and dst must be 1-D arrays of equal length")
+        if num_vertices <= 0:
+            raise ValueError("graph must have at least one vertex")
+        if src.size and (src.min() < 0 or src.max() >= num_vertices):
+            raise ValueError("src vertex id out of range")
+        if dst.size and (dst.min() < 0 or dst.max() >= num_vertices):
+            raise ValueError("dst vertex id out of range")
+
+        self.num_vertices = int(num_vertices)
+        self.num_edges = int(src.size)
+
+        # CSR (out-edges): sort edges by src.
+        order = np.argsort(src, kind="stable")
+        self._csr_indices = dst[order]
+        self._csr_indptr = np.zeros(num_vertices + 1, dtype=np.int64)
+        np.cumsum(np.bincount(src, minlength=num_vertices), out=self._csr_indptr[1:])
+        self._csr_eid = order  # original edge id per CSR slot
+
+        # CSC (in-edges): sort edges by dst.
+        order_in = np.argsort(dst, kind="stable")
+        self._csc_indices = src[order_in]
+        self._csc_indptr = np.zeros(num_vertices + 1, dtype=np.int64)
+        np.cumsum(np.bincount(dst, minlength=num_vertices), out=self._csc_indptr[1:])
+        self._csc_eid = order_in
+
+        if vertex_types is None:
+            self.vertex_types = np.zeros(num_vertices, dtype=np.int64)
+        else:
+            self.vertex_types = np.asarray(vertex_types, dtype=np.int64)
+            if self.vertex_types.shape != (num_vertices,):
+                raise ValueError("vertex_types must have shape (num_vertices,)")
+            if self.vertex_types.size and self.vertex_types.min() < 0:
+                raise ValueError("vertex types must be non-negative")
+        self.num_types = int(self.vertex_types.max()) + 1 if num_vertices else 1
+        self.type_names = type_names or [f"type{i}" for i in range(self.num_types)]
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_edges(
+        cls,
+        num_vertices: int,
+        edges,
+        vertex_types: np.ndarray | None = None,
+        type_names: list[str] | None = None,
+        make_undirected: bool = False,
+    ) -> "Graph":
+        """Build a graph from an ``(m, 2)`` edge array or list of pairs.
+
+        ``make_undirected`` adds the reverse of every edge (GCN and PinSage
+        treat their input graphs as undirected).
+        """
+        edges = np.asarray(edges, dtype=np.int64)
+        if edges.size == 0:
+            edges = edges.reshape(0, 2)
+        if edges.ndim != 2 or edges.shape[1] != 2:
+            raise ValueError(f"edges must have shape (m, 2), got {edges.shape}")
+        src, dst = edges[:, 0], edges[:, 1]
+        if make_undirected:
+            src = np.concatenate([src, dst])
+            dst = np.concatenate([dst, edges[:, 0]])
+        return cls(num_vertices, src, dst, vertex_types, type_names)
+
+    # ------------------------------------------------------------------
+    # Adjacency access
+    # ------------------------------------------------------------------
+    def out_neighbors(self, v: int) -> np.ndarray:
+        """Out-neighborhood of ``v`` as an int array (a view, do not mutate)."""
+        return self._csr_indices[self._csr_indptr[v] : self._csr_indptr[v + 1]]
+
+    def in_neighbors(self, v: int) -> np.ndarray:
+        """In-neighborhood of ``v`` as an int array (a view, do not mutate)."""
+        return self._csc_indices[self._csc_indptr[v] : self._csc_indptr[v + 1]]
+
+    def out_degree(self, v: int | None = None):
+        """Out-degree of ``v``, or the full out-degree array when ``v`` is None."""
+        if v is None:
+            return np.diff(self._csr_indptr)
+        return int(self._csr_indptr[v + 1] - self._csr_indptr[v])
+
+    def in_degree(self, v: int | None = None):
+        """In-degree of ``v``, or the full in-degree array when ``v`` is None."""
+        if v is None:
+            return np.diff(self._csc_indptr)
+        return int(self._csc_indptr[v + 1] - self._csc_indptr[v])
+
+    @property
+    def csr(self) -> tuple[np.ndarray, np.ndarray]:
+        """(indptr, indices) over out-edges."""
+        return self._csr_indptr, self._csr_indices
+
+    @property
+    def csc(self) -> tuple[np.ndarray, np.ndarray]:
+        """(indptr, indices) over in-edges."""
+        return self._csc_indptr, self._csc_indices
+
+    def edges(self) -> tuple[np.ndarray, np.ndarray]:
+        """Return (src, dst) arrays in CSR order."""
+        src = np.repeat(np.arange(self.num_vertices, dtype=np.int64), self.out_degree())
+        return src, self._csr_indices.copy()
+
+    def coo(self) -> tuple[np.ndarray, np.ndarray]:
+        """COO (dst_ids, src_ids) in CSC order — the layout Figure 7 uses."""
+        dst = np.repeat(np.arange(self.num_vertices, dtype=np.int64), self.in_degree())
+        return dst, self._csc_indices.copy()
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Whether the directed edge ``u -> v`` exists."""
+        return bool(np.isin(v, self.out_neighbors(u)).any())
+
+    def vertices_of_type(self, type_id: int) -> np.ndarray:
+        """All vertex ids of the given type."""
+        return np.flatnonzero(self.vertex_types == type_id)
+
+    # ------------------------------------------------------------------
+    # Derived graphs
+    # ------------------------------------------------------------------
+    def subgraph(self, vertices: np.ndarray) -> tuple["Graph", np.ndarray]:
+        """Induced subgraph on ``vertices``.
+
+        Returns the subgraph (with vertices relabeled ``0..k-1`` in the
+        order given) and the original-id array so callers can map back.
+        """
+        vertices = np.asarray(vertices, dtype=np.int64)
+        if vertices.size != np.unique(vertices).size:
+            raise ValueError("subgraph vertices must be unique")
+        local = np.full(self.num_vertices, -1, dtype=np.int64)
+        local[vertices] = np.arange(vertices.size)
+        src, dst = self.edges()
+        keep = (local[src] >= 0) & (local[dst] >= 0)
+        sub = Graph(
+            max(int(vertices.size), 1),
+            local[src[keep]],
+            local[dst[keep]],
+            self.vertex_types[vertices] if vertices.size else None,
+            self.type_names,
+        )
+        return sub, vertices
+
+    def with_vertex_types(self, vertex_types: np.ndarray,
+                          type_names: list[str] | None = None) -> "Graph":
+        """A copy of this graph with new vertex types (shares adjacency).
+
+        The evaluation runs MAGNN on homogeneous graphs by assigning 3
+        vertex types (Section 7, "the input graph consists of 3 types of
+        vertices"); this is the hook for that retyping.
+        """
+        import copy as _copy
+
+        vertex_types = np.asarray(vertex_types, dtype=np.int64)
+        if vertex_types.shape != (self.num_vertices,):
+            raise ValueError("vertex_types must have shape (num_vertices,)")
+        if vertex_types.size and vertex_types.min() < 0:
+            raise ValueError("vertex types must be non-negative")
+        clone = _copy.copy(self)
+        clone.vertex_types = vertex_types
+        clone.num_types = int(vertex_types.max()) + 1 if vertex_types.size else 1
+        clone.type_names = type_names or [f"type{i}" for i in range(clone.num_types)]
+        return clone
+
+    def reverse(self) -> "Graph":
+        """Graph with all edges flipped."""
+        src, dst = self.edges()
+        return Graph(self.num_vertices, dst, src, self.vertex_types, self.type_names)
+
+    def with_edges_added(self, edges) -> "Graph":
+        """A new graph with extra edges (dynamic-graph evolution step).
+
+        Adjacency indexes are rebuilt (CSR/CSC are immutable); vertex
+        types carry over.  Edge endpoints must already be valid ids.
+        """
+        edges = np.asarray(edges, dtype=np.int64).reshape(-1, 2)
+        src, dst = self.edges()
+        return Graph(
+            self.num_vertices,
+            np.concatenate([src, edges[:, 0]]),
+            np.concatenate([dst, edges[:, 1]]),
+            self.vertex_types,
+            self.type_names,
+        )
+
+    def with_edges_removed(self, edges) -> "Graph":
+        """A new graph with the given directed edges removed.
+
+        Each listed ``(u, v)`` removes *one* occurrence of that edge
+        (multi-edges lose one copy per mention); absent edges are
+        ignored.
+        """
+        edges = np.asarray(edges, dtype=np.int64).reshape(-1, 2)
+        src, dst = self.edges()
+        key = src * self.num_vertices + dst
+        remove_key = edges[:, 0] * self.num_vertices + edges[:, 1]
+        remove_counts: dict[int, int] = {}
+        for k in remove_key:
+            remove_counts[int(k)] = remove_counts.get(int(k), 0) + 1
+        keep = np.ones(key.size, dtype=bool)
+        for i, k in enumerate(key):
+            k = int(k)
+            if remove_counts.get(k, 0) > 0:
+                keep[i] = False
+                remove_counts[k] -= 1
+        return Graph(
+            self.num_vertices, src[keep], dst[keep],
+            self.vertex_types, self.type_names,
+        )
+
+    # ------------------------------------------------------------------
+    # Accounting
+    # ------------------------------------------------------------------
+    @property
+    def nbytes(self) -> int:
+        """Bytes of the adjacency structure (CSR + CSC + types)."""
+        return int(
+            self._csr_indptr.nbytes
+            + self._csr_indices.nbytes
+            + self._csc_indptr.nbytes
+            + self._csc_indices.nbytes
+            + self.vertex_types.nbytes
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"Graph(num_vertices={self.num_vertices}, num_edges={self.num_edges}, "
+            f"num_types={self.num_types})"
+        )

@@ -1,0 +1,112 @@
+"""PageRank and personalized PageRank over the graph engine.
+
+PinSage's importance-based neighborhoods are, in the limit of many
+walks, personalized-PageRank neighborhoods; this module provides the
+closed-form counterpart (power iteration over the transition matrix) as
+an alternative NeighborSelection signal and a general graph-engine
+utility.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from .graph import Graph
+
+__all__ = ["pagerank", "personalized_pagerank", "top_k_ppr_neighbors"]
+
+
+def _transition_matrix(graph: Graph) -> sp.csr_matrix:
+    """Column-stochastic transition matrix over out-edges (dangling
+    vertices get a self-loop so mass is conserved)."""
+    src, dst = graph.edges()
+    out_deg = graph.out_degree().astype(np.float64)
+    dangling = np.flatnonzero(out_deg == 0)
+    if dangling.size:
+        src = np.concatenate([src, dangling])
+        dst = np.concatenate([dst, dangling])
+        out_deg = out_deg.copy()
+        out_deg[dangling] = 1.0
+    data = 1.0 / out_deg[src]
+    n = graph.num_vertices
+    return sp.csr_matrix((data, (dst, src)), shape=(n, n))
+
+
+def pagerank(graph: Graph, damping: float = 0.85, tol: float = 1e-10,
+             max_iter: int = 200) -> np.ndarray:
+    """Global PageRank via power iteration; returns a probability vector."""
+    if not 0.0 < damping < 1.0:
+        raise ValueError("damping must be in (0, 1)")
+    n = graph.num_vertices
+    matrix = _transition_matrix(graph)
+    rank = np.full(n, 1.0 / n)
+    teleport = (1.0 - damping) / n
+    for _ in range(max_iter):
+        nxt = damping * (matrix @ rank) + teleport
+        if np.abs(nxt - rank).sum() < tol:
+            return nxt
+        rank = nxt
+    return rank
+
+
+def personalized_pagerank(graph: Graph, sources: np.ndarray,
+                          damping: float = 0.85, tol: float = 1e-8,
+                          max_iter: int = 100) -> np.ndarray:
+    """PPR vectors for a batch of sources — ``(len(sources), n)``.
+
+    Power iteration on a stacked restart matrix; intended for modest
+    batches (the dense result is ``batch x n``).
+    """
+    if not 0.0 < damping < 1.0:
+        raise ValueError("damping must be in (0, 1)")
+    sources = np.asarray(sources, dtype=np.int64)
+    n = graph.num_vertices
+    matrix = _transition_matrix(graph)
+    restart = np.zeros((sources.size, n))
+    restart[np.arange(sources.size), sources] = 1.0
+    rank = restart.copy()
+    for _ in range(max_iter):
+        nxt = damping * (matrix @ rank.T).T + (1.0 - damping) * restart
+        if np.abs(nxt - rank).sum() < tol * sources.size:
+            return nxt
+        rank = nxt
+    return rank
+
+
+def top_k_ppr_neighbors(graph: Graph, roots: np.ndarray, k: int,
+                        damping: float = 0.85,
+                        batch_size: int = 256) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Top-k personalized-PageRank neighbors per root (excluding the root).
+
+    The deterministic counterpart of PinSage's random-walk top-k: returns
+    ``(owners, neighbors, weights)`` with weights normalized per owner.
+    """
+    if k <= 0:
+        raise ValueError("k must be positive")
+    roots = np.asarray(roots, dtype=np.int64)
+    owners_out, nbrs_out, weights_out = [], [], []
+    for start in range(0, roots.size, batch_size):
+        batch = roots[start : start + batch_size]
+        ppr = personalized_pagerank(graph, batch, damping)
+        ppr[np.arange(batch.size), batch] = 0.0
+        take = min(k, graph.num_vertices - 1)
+        idx = np.argpartition(-ppr, take - 1, axis=1)[:, :take]
+        scores = np.take_along_axis(ppr, idx, axis=1)
+        valid = scores > 0
+        for i, root in enumerate(batch):
+            cols = idx[i][valid[i]]
+            vals = scores[i][valid[i]]
+            if cols.size == 0:
+                continue
+            owners_out.append(np.full(cols.size, root, dtype=np.int64))
+            nbrs_out.append(cols.astype(np.int64))
+            weights_out.append(vals / vals.sum())
+    if not owners_out:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty.copy(), np.empty(0, dtype=np.float64)
+    return (
+        np.concatenate(owners_out),
+        np.concatenate(nbrs_out),
+        np.concatenate(weights_out),
+    )

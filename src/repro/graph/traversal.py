@@ -1,0 +1,126 @@
+"""Graph traversal primitives: BFS, k-hop neighborhoods, shortest paths.
+
+These back several pieces of the reproduction: full k-hop neighborhood
+expansion for the mini-batch baseline (Euler/DistDGL), BFS-ordered
+migration-candidate growth in the ADB balancer (Section 5), and
+shortest-path rings for JK-Net's neighbor definition.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .graph import Graph
+
+__all__ = [
+    "bfs_levels",
+    "bfs_order",
+    "k_hop_neighbors",
+    "shortest_path_lengths",
+    "connected_components",
+    "largest_connected_component",
+]
+
+
+def bfs_levels(graph: Graph, source: int, direction: str = "out") -> np.ndarray:
+    """BFS levels from ``source``; unreachable vertices get ``-1``.
+
+    ``direction`` selects out-edges, in-edges, or both (``"both"`` treats
+    the graph as undirected).
+    """
+    if direction not in ("out", "in", "both"):
+        raise ValueError(f"invalid direction {direction!r}")
+    levels = np.full(graph.num_vertices, -1, dtype=np.int64)
+    levels[source] = 0
+    frontier = np.array([source], dtype=np.int64)
+    depth = 0
+    while frontier.size:
+        depth += 1
+        nexts = _expand(graph, frontier, direction)
+        nexts = nexts[levels[nexts] < 0]
+        nexts = np.unique(nexts)
+        levels[nexts] = depth
+        frontier = nexts
+    return levels
+
+
+def _expand(graph: Graph, frontier: np.ndarray, direction: str) -> np.ndarray:
+    parts = []
+    if direction in ("out", "both"):
+        indptr, indices = graph.csr
+        counts = indptr[frontier + 1] - indptr[frontier]
+        if counts.sum():
+            starts = indptr[frontier]
+            parts.append(_gather_ranges(indices, starts, counts))
+    if direction in ("in", "both"):
+        indptr, indices = graph.csc
+        counts = indptr[frontier + 1] - indptr[frontier]
+        if counts.sum():
+            starts = indptr[frontier]
+            parts.append(_gather_ranges(indices, starts, counts))
+    if not parts:
+        return np.empty(0, dtype=np.int64)
+    return np.concatenate(parts)
+
+
+def _gather_ranges(indices: np.ndarray, starts: np.ndarray, counts: np.ndarray) -> np.ndarray:
+    """Concatenate ``indices[starts[i]:starts[i]+counts[i]]`` for all i."""
+    total = int(counts.sum())
+    out = np.empty(total, dtype=np.int64)
+    # Build a flat index: for each range, positions start..start+count.
+    offsets = np.concatenate([[0], np.cumsum(counts)[:-1]])
+    flat = np.arange(total) - np.repeat(offsets, counts) + np.repeat(starts, counts)
+    out[:] = indices[flat]
+    return out
+
+
+def bfs_order(graph: Graph, source: int, direction: str = "both") -> np.ndarray:
+    """Vertices reachable from ``source`` in BFS visitation order."""
+    levels = bfs_levels(graph, source, direction)
+    reachable = np.flatnonzero(levels >= 0)
+    return reachable[np.argsort(levels[reachable], kind="stable")]
+
+
+def k_hop_neighbors(graph: Graph, source: int, k: int, direction: str = "both") -> np.ndarray:
+    """All vertices within ``k`` hops of ``source`` (excluding it).
+
+    This is the neighborhood the mini-batch baselines must expand for a
+    k-layer GNN — the operation the paper blames for their blow-up on
+    dense / power-law graphs (Section 7.1).
+    """
+    if k < 0:
+        raise ValueError("k must be non-negative")
+    levels = bfs_levels(graph, source, direction)
+    return np.flatnonzero((levels > 0) & (levels <= k))
+
+
+def shortest_path_lengths(graph: Graph, source: int, direction: str = "both") -> np.ndarray:
+    """Unweighted shortest-path distance from ``source`` (−1 if unreachable).
+
+    JK-Net's i-th "neighbor" of v is the ring of vertices at distance i.
+    """
+    return bfs_levels(graph, source, direction)
+
+
+def largest_connected_component(graph: Graph) -> np.ndarray:
+    """Vertex ids of the largest (undirected) connected component.
+
+    Real datasets are usually restricted to their giant component before
+    training; combine with :meth:`Graph.subgraph`.
+    """
+    comp = connected_components(graph)
+    sizes = np.bincount(comp)
+    return np.flatnonzero(comp == sizes.argmax())
+
+
+def connected_components(graph: Graph) -> np.ndarray:
+    """Component id per vertex, treating edges as undirected."""
+    comp = np.full(graph.num_vertices, -1, dtype=np.int64)
+    next_id = 0
+    for v in range(graph.num_vertices):
+        if comp[v] >= 0:
+            continue
+        levels = bfs_levels(graph, v, "both")
+        comp[levels >= 0] = next_id
+        next_id += 1
+    return comp

@@ -1,0 +1,37 @@
+"""``repro.models`` — GNN models expressed as NAU programs.
+
+One model per category of the paper's 2-D taxonomy (Section 2.2), plus
+the extra INHA models its discussion covers:
+
+========  ========================  =====================================
+category  model                     neighborhood / aggregation
+========  ========================  =====================================
+DNFA      :func:`gcn`, :func:`gin`  direct 1-hop neighbors, flat sum
+DNFA      :func:`gat`               direct 1-hop neighbors, flat attention
+DNFA      :func:`graphsage`         direct 1-hop neighbors, transform-then-max
+INFA      :func:`pinsage`           random-walk top-k, flat weighted sum
+INHA      :func:`magnn`             metapath instances, mean/attn/mean
+INHA      :func:`pgnn`              anchor sets, mean/mean
+INHA      :func:`jknet`             distance rings, mean/max
+========  ========================  =====================================
+"""
+
+from .gat import GAT, GATLayer, gat
+from .gcn import GCN, GCNLayer, gcn
+from .gin import GIN, GINLayer, gin
+from .jknet import JKNet, JKNetLayer, jknet
+from .magnn import MAGNN, MAGNNLayer, default_metapaths, magnn
+from .pgnn import PGNN, PGNNLayer, pgnn
+from .pinsage import PinSage, PinSageLayer, pinsage
+from .sage import GraphSAGE, SAGELayer, graphsage
+
+__all__ = [
+    "GCN", "GCNLayer", "gcn",
+    "GAT", "GATLayer", "gat",
+    "GIN", "GINLayer", "gin",
+    "PinSage", "PinSageLayer", "pinsage",
+    "MAGNN", "MAGNNLayer", "magnn", "default_metapaths",
+    "PGNN", "PGNNLayer", "pgnn",
+    "JKNet", "JKNetLayer", "jknet",
+    "GraphSAGE", "SAGELayer", "graphsage",
+]

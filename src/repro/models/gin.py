@@ -1,0 +1,61 @@
+"""GIN (Xu et al., "How Powerful are GNNs?") in NAU — a second DNFA model.
+
+Aggregation is an injective sum over direct neighbors; Update is
+``MLP((1 + eps) * h + a)`` with a learnable ``eps``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.nau import GNNLayer, NAUModel, SelectionScope
+from ..tensor.nn import Linear, Parameter
+from ..tensor.tensor import Tensor
+
+__all__ = ["GINLayer", "GIN", "gin"]
+
+
+class GINLayer(GNNLayer):
+    """One GIN layer: sum aggregation + 2-layer MLP update."""
+
+    def __init__(self, in_dim: int, out_dim: int, activation: bool = True,
+                 rng: np.random.Generator | None = None):
+        super().__init__(aggregators=["sum"])
+        self.fc1 = Linear(in_dim, out_dim, rng=rng)
+        self.fc2 = Linear(out_dim, out_dim, rng=rng)
+        self.eps = Parameter(np.zeros(1))
+        self.activation = activation
+
+    def update(self, feats: Tensor, nbr_feats: Tensor) -> Tensor:
+        combined = feats * (self.eps + 1.0) + nbr_feats
+        out = self.fc2(self.fc1(combined).relu())
+        return out.relu() if self.activation else out
+
+    @property
+    def output_dim(self) -> int:
+        return self.fc2.out_features
+
+
+class GIN(NAUModel):
+    """A stack of GIN layers over the DNFA fast path."""
+
+    category = "DNFA"
+
+    def __init__(self, dims: list[int], seed: int = 0):
+        if len(dims) < 2:
+            raise ValueError("dims must list input, hidden..., output sizes")
+        rng = np.random.default_rng(seed)
+        layers = [
+            GINLayer(dims[i], dims[i + 1], activation=i < len(dims) - 2, rng=rng)
+            for i in range(len(dims) - 1)
+        ]
+        super().__init__(layers, SelectionScope.STATIC, name="GIN")
+
+
+def gin(in_dim: int, hidden_dim: int, out_dim: int, num_layers: int = 2,
+        seed: int = 0) -> GIN:
+    """Build a GIN model."""
+    if num_layers < 1:
+        raise ValueError("num_layers must be >= 1")
+    dims = [in_dim] + [hidden_dim] * (num_layers - 1) + [out_dim]
+    return GIN(dims, seed=seed)

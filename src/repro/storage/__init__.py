@@ -1,0 +1,19 @@
+"""``repro.storage`` — the Figure 12 storage tier (graph, feature and
+checkpoint persistence; per-worker partition shards)."""
+
+from .store import (
+    PartitionedStore,
+    load_checkpoint,
+    load_dataset_from,
+    load_graph,
+    save_checkpoint,
+    save_dataset,
+    save_graph,
+)
+
+__all__ = [
+    "save_graph", "load_graph",
+    "save_dataset", "load_dataset_from",
+    "save_checkpoint", "load_checkpoint",
+    "PartitionedStore",
+]

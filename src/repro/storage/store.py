@@ -1,0 +1,208 @@
+"""Graph / feature / checkpoint persistence — the Figure 12 storage tier.
+
+FlexGraph's bottom layer is a storage system (DFS in the paper) that
+manages graph data and vertex features for the NN framework, graph
+engine and load balancer.  This module provides the single-node
+equivalent over a local directory: versioned ``.npz`` artifacts with a
+manifest, covering
+
+* whole graphs (:func:`save_graph` / :func:`load_graph`);
+* datasets — graph + features + labels + splits
+  (:func:`save_dataset` / :func:`load_dataset_from`);
+* model checkpoints (:func:`save_checkpoint` / :func:`load_checkpoint`);
+* per-worker partition shards for distributed training
+  (:class:`PartitionedStore`), mirroring how FlexGraph assigns each
+  shared-nothing worker its partition's HDGs and features.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import numpy as np
+
+from ..datasets.synthetic import Dataset
+from ..graph.graph import Graph
+
+__all__ = [
+    "save_graph",
+    "load_graph",
+    "save_dataset",
+    "load_dataset_from",
+    "save_checkpoint",
+    "load_checkpoint",
+    "PartitionedStore",
+]
+
+_FORMAT_VERSION = 1
+
+
+def save_graph(graph: Graph, path: str) -> None:
+    """Serialize a graph to ``path`` (.npz)."""
+    src, dst = graph.edges()
+    np.savez_compressed(
+        path,
+        format_version=np.int64(_FORMAT_VERSION),
+        num_vertices=np.int64(graph.num_vertices),
+        src=src,
+        dst=dst,
+        vertex_types=graph.vertex_types,
+        type_names=np.array(graph.type_names, dtype=object),
+    )
+
+
+def load_graph(path: str) -> Graph:
+    """Load a graph saved by :func:`save_graph`."""
+    with np.load(path, allow_pickle=True) as data:
+        _check_version(int(data["format_version"]), path)
+        return Graph(
+            int(data["num_vertices"]),
+            data["src"],
+            data["dst"],
+            vertex_types=data["vertex_types"],
+            type_names=[str(t) for t in data["type_names"]],
+        )
+
+
+def save_dataset(dataset: Dataset, path: str) -> None:
+    """Serialize a full dataset (graph + features + labels + splits)."""
+    src, dst = dataset.graph.edges()
+    np.savez_compressed(
+        path,
+        format_version=np.int64(_FORMAT_VERSION),
+        name=np.array(dataset.name, dtype=object),
+        num_vertices=np.int64(dataset.graph.num_vertices),
+        src=src,
+        dst=dst,
+        vertex_types=dataset.graph.vertex_types,
+        type_names=np.array(dataset.graph.type_names, dtype=object),
+        features=dataset.features,
+        labels=dataset.labels,
+        train_mask=dataset.train_mask,
+        val_mask=dataset.val_mask,
+        test_mask=dataset.test_mask,
+    )
+
+
+def load_dataset_from(path: str) -> Dataset:
+    """Load a dataset saved by :func:`save_dataset`."""
+    with np.load(path, allow_pickle=True) as data:
+        _check_version(int(data["format_version"]), path)
+        graph = Graph(
+            int(data["num_vertices"]),
+            data["src"],
+            data["dst"],
+            vertex_types=data["vertex_types"],
+            type_names=[str(t) for t in data["type_names"]],
+        )
+        return Dataset(
+            name=str(data["name"]),
+            graph=graph,
+            features=data["features"],
+            labels=data["labels"],
+            train_mask=data["train_mask"],
+            val_mask=data["val_mask"],
+            test_mask=data["test_mask"],
+        )
+
+
+def save_checkpoint(state: dict[str, np.ndarray], path: str,
+                    metadata: dict | None = None) -> None:
+    """Persist a model ``state_dict`` plus optional JSON metadata.
+
+    The dotted parameter names of ``Module.state_dict()`` are stored
+    as-is; metadata (epoch, loss, config) rides along as a JSON string.
+    """
+    payload = {f"param::{name}": value for name, value in state.items()}
+    payload["format_version"] = np.int64(_FORMAT_VERSION)
+    payload["metadata"] = np.array(json.dumps(metadata or {}), dtype=object)
+    np.savez_compressed(path, **payload)
+
+
+def load_checkpoint(path: str) -> tuple[dict[str, np.ndarray], dict]:
+    """Load a checkpoint; returns (state_dict, metadata)."""
+    with np.load(path, allow_pickle=True) as data:
+        _check_version(int(data["format_version"]), path)
+        state = {
+            key[len("param::"):]: data[key]
+            for key in data.files
+            if key.startswith("param::")
+        }
+        metadata = json.loads(str(data["metadata"]))
+    return state, metadata
+
+
+def _check_version(version: int, path: str) -> None:
+    if version != _FORMAT_VERSION:
+        raise ValueError(
+            f"{path}: format version {version} not supported "
+            f"(expected {_FORMAT_VERSION})"
+        )
+
+
+class PartitionedStore:
+    """Per-worker shards of a dataset under one directory.
+
+    Mirrors the distributed layout of §5: worker ``w`` owns the features
+    and labels of its partition's vertices plus the partition assignment
+    needed to locate remote leaves.  Shards round-trip through
+    :meth:`write_shards` / :meth:`read_shard`.
+    """
+
+    def __init__(self, root: str):
+        self.root = root
+        os.makedirs(root, exist_ok=True)
+
+    def _shard_path(self, worker: int) -> str:
+        return os.path.join(self.root, f"shard_{worker:04d}.npz")
+
+    @property
+    def manifest_path(self) -> str:
+        return os.path.join(self.root, "manifest.json")
+
+    def write_shards(self, dataset: Dataset, labels: np.ndarray, k: int) -> None:
+        """Split ``dataset`` into ``k`` worker shards by partition labels."""
+        labels = np.asarray(labels, dtype=np.int64)
+        if labels.shape != (dataset.graph.num_vertices,):
+            raise ValueError("partition labels must cover every vertex")
+        if labels.size and (labels.min() < 0 or labels.max() >= k):
+            raise ValueError("partition label out of range")
+        for worker in range(k):
+            owned = np.flatnonzero(labels == worker)
+            np.savez_compressed(
+                self._shard_path(worker),
+                format_version=np.int64(_FORMAT_VERSION),
+                worker=np.int64(worker),
+                owned_vertices=owned,
+                features=dataset.features[owned],
+                labels=dataset.labels[owned],
+                train_mask=dataset.train_mask[owned],
+            )
+        with open(self.manifest_path, "w") as f:
+            json.dump(
+                {
+                    "format_version": _FORMAT_VERSION,
+                    "k": k,
+                    "num_vertices": dataset.graph.num_vertices,
+                    "dataset": dataset.name,
+                },
+                f,
+            )
+        np.save(os.path.join(self.root, "partition_labels.npy"), labels)
+
+    def read_manifest(self) -> dict:
+        with open(self.manifest_path) as f:
+            return json.load(f)
+
+    def read_partition_labels(self) -> np.ndarray:
+        return np.load(os.path.join(self.root, "partition_labels.npy"))
+
+    def read_shard(self, worker: int) -> dict[str, np.ndarray]:
+        """Load one worker's shard as a dict of arrays."""
+        path = self._shard_path(worker)
+        if not os.path.exists(path):
+            raise FileNotFoundError(f"no shard for worker {worker} under {self.root}")
+        with np.load(path) as data:
+            _check_version(int(data["format_version"]), path)
+            return {key: data[key] for key in data.files if key != "format_version"}

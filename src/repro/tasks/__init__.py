@@ -1,0 +1,24 @@
+"""``repro.tasks`` — the downstream tasks GNN embeddings feed (§2.1):
+vertex classification lives in the engine (``evaluate``); this package
+adds link prediction and vertex clustering."""
+
+from .clustering import (
+    cluster_vertices,
+    kmeans,
+    normalized_mutual_information,
+    purity,
+)
+from .link_prediction import (
+    EdgeSplit,
+    LinkPredictionTrainer,
+    auc_score,
+    hits_at_k,
+    sample_negative_edges,
+    split_edges,
+)
+
+__all__ = [
+    "EdgeSplit", "split_edges", "sample_negative_edges",
+    "LinkPredictionTrainer", "auc_score", "hits_at_k",
+    "kmeans", "cluster_vertices", "normalized_mutual_information", "purity",
+]

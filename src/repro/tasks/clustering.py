@@ -1,0 +1,101 @@
+"""Vertex clustering on learned embeddings (§2.1's third downstream
+task): numpy k-means plus standard cluster-quality metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["kmeans", "cluster_vertices", "normalized_mutual_information", "purity"]
+
+
+def kmeans(points: np.ndarray, k: int, num_iters: int = 50,
+           rng: np.random.Generator | None = None) -> tuple[np.ndarray, np.ndarray]:
+    """Lloyd's k-means; returns (assignments, centroids).
+
+    Initialization is k-means++ style (distance-weighted seeding) for
+    stability; empty clusters are re-seeded from the farthest points.
+    """
+    points = np.asarray(points, dtype=np.float64)
+    if points.ndim != 2:
+        raise ValueError("points must be (n, d)")
+    n = points.shape[0]
+    if not 0 < k <= n:
+        raise ValueError(f"k must be in [1, {n}], got {k}")
+    rng = rng or np.random.default_rng(0)
+
+    # k-means++ seeding.
+    centroids = [points[rng.integers(0, n)]]
+    for _ in range(1, k):
+        dists = np.min(
+            [((points - c) ** 2).sum(axis=1) for c in centroids], axis=0
+        )
+        total = dists.sum()
+        if total <= 0:
+            centroids.append(points[rng.integers(0, n)])
+            continue
+        centroids.append(points[rng.choice(n, p=dists / total)])
+    centers = np.stack(centroids)
+
+    assign = np.zeros(n, dtype=np.int64)
+    for _ in range(num_iters):
+        # Squared distances via the expansion trick.
+        d2 = (
+            (points**2).sum(axis=1, keepdims=True)
+            - 2.0 * points @ centers.T
+            + (centers**2).sum(axis=1)
+        )
+        new_assign = d2.argmin(axis=1)
+        if np.array_equal(new_assign, assign) and _ > 0:
+            break
+        assign = new_assign
+        for c in range(k):
+            members = points[assign == c]
+            if members.shape[0]:
+                centers[c] = members.mean(axis=0)
+            else:
+                centers[c] = points[d2.min(axis=1).argmax()]
+    return assign, centers
+
+
+def cluster_vertices(embeddings, k: int, seed: int = 0) -> np.ndarray:
+    """Cluster vertex embeddings (Tensor or ndarray) into ``k`` groups."""
+    data = embeddings.numpy() if hasattr(embeddings, "numpy") else np.asarray(embeddings)
+    assign, _ = kmeans(data, k, rng=np.random.default_rng(seed))
+    return assign
+
+
+def normalized_mutual_information(labels_a: np.ndarray, labels_b: np.ndarray) -> float:
+    """NMI between two labelings (arithmetic normalization)."""
+    a = np.asarray(labels_a, dtype=np.int64)
+    b = np.asarray(labels_b, dtype=np.int64)
+    if a.shape != b.shape:
+        raise ValueError("labelings must align")
+    n = a.size
+    joint = np.zeros((a.max() + 1, b.max() + 1))
+    np.add.at(joint, (a, b), 1.0)
+    joint /= n
+    pa = joint.sum(axis=1)
+    pb = joint.sum(axis=0)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        ratio = joint / np.outer(pa, pb)
+        terms = np.where(joint > 0, joint * np.log(ratio), 0.0)
+    mutual = terms.sum()
+    ha = -np.sum(np.where(pa > 0, pa * np.log(pa), 0.0))
+    hb = -np.sum(np.where(pb > 0, pb * np.log(pb), 0.0))
+    denom = (ha + hb) / 2.0
+    if denom <= 0:
+        return 1.0 if mutual <= 1e-12 else 0.0
+    return float(mutual / denom)
+
+
+def purity(clusters: np.ndarray, labels: np.ndarray) -> float:
+    """Fraction of vertices in their cluster's majority class."""
+    clusters = np.asarray(clusters, dtype=np.int64)
+    labels = np.asarray(labels, dtype=np.int64)
+    if clusters.shape != labels.shape:
+        raise ValueError("clusters and labels must align")
+    total = 0
+    for c in np.unique(clusters):
+        members = labels[clusters == c]
+        total += np.bincount(members).max()
+    return float(total / labels.size)

@@ -1,0 +1,110 @@
+"""Small shared utilities: experiment seeding, timers, CSV metric logs."""
+
+from __future__ import annotations
+
+import contextlib
+import csv
+import os
+import time
+
+import numpy as np
+
+__all__ = ["set_global_seed", "Timer", "CSVLogger"]
+
+
+def set_global_seed(seed: int) -> np.random.Generator:
+    """Seed numpy's legacy global state and return a fresh Generator.
+
+    The library itself threads explicit ``Generator`` objects everywhere;
+    this helper exists for user scripts that also rely on implicit numpy
+    randomness.
+    """
+    np.random.seed(seed)
+    return np.random.default_rng(seed)
+
+
+class Timer:
+    """Accumulating wall-clock timer with named sections.
+
+    >>> timer = Timer()
+    >>> with timer.section("aggregation"):
+    ...     pass
+    >>> timer.total("aggregation") >= 0
+    True
+    """
+
+    def __init__(self):
+        self._totals: dict[str, float] = {}
+        self._counts: dict[str, int] = {}
+
+    @contextlib.contextmanager
+    def section(self, name: str):
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            self._totals[name] = self._totals.get(name, 0.0) + elapsed
+            self._counts[name] = self._counts.get(name, 0) + 1
+
+    def total(self, name: str) -> float:
+        """Accumulated seconds for a section (0.0 if never entered)."""
+        return self._totals.get(name, 0.0)
+
+    def count(self, name: str) -> int:
+        return self._counts.get(name, 0)
+
+    def mean(self, name: str) -> float:
+        count = self.count(name)
+        return self.total(name) / count if count else 0.0
+
+    def summary(self) -> str:
+        """One line per section, longest first."""
+        lines = [
+            f"{name}: {total:.4f}s over {self._counts[name]} calls"
+            for name, total in sorted(
+                self._totals.items(), key=lambda kv: -kv[1]
+            )
+        ]
+        return "\n".join(lines)
+
+    def reset(self) -> None:
+        self._totals.clear()
+        self._counts.clear()
+
+
+class CSVLogger:
+    """Append-only CSV metrics log (one row per epoch/step).
+
+    Columns are fixed by the first row logged; later rows must carry the
+    same keys.  The file is flushed per row so crashes lose nothing.
+    """
+
+    def __init__(self, path: str):
+        self.path = path
+        self._fieldnames: list[str] | None = None
+        directory = os.path.dirname(path)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+
+    def log(self, **metrics) -> None:
+        """Append one row of metrics."""
+        if not metrics:
+            raise ValueError("log() needs at least one metric")
+        if self._fieldnames is None:
+            self._fieldnames = list(metrics)
+            with open(self.path, "w", newline="") as handle:
+                writer = csv.DictWriter(handle, fieldnames=self._fieldnames)
+                writer.writeheader()
+        if set(metrics) != set(self._fieldnames):
+            raise ValueError(
+                f"metric keys changed: expected {self._fieldnames}, got {sorted(metrics)}"
+            )
+        with open(self.path, "a", newline="") as handle:
+            writer = csv.DictWriter(handle, fieldnames=self._fieldnames)
+            writer.writerow(metrics)
+
+    def read(self) -> list[dict[str, str]]:
+        """Read all logged rows back."""
+        with open(self.path, newline="") as handle:
+            return list(csv.DictReader(handle))

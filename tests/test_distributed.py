@@ -1,0 +1,260 @@
+"""Tests for the simulated distributed runtime: comm model, dependency
+planning, and the trainer's equivalence with single-machine execution."""
+
+import numpy as np
+import pytest
+
+from repro.core import FlexGraphEngine, hdg_from_graph
+from repro.core.selection import build_metapath_hdg
+from repro.datasets import load_dataset
+from repro.distributed import (
+    CommConfig,
+    DistributedTrainer,
+    SimulatedComm,
+    dependency_stats,
+    flexgraph_scaling,
+    model_baseline_scaling,
+    plan_layer_comm,
+)
+from repro.graph import Metapath, hash_partition, heterogeneous_graph, power_law_graph
+from repro.models import gcn, magnn, pinsage
+from repro.tensor import Adam, Tensor
+
+
+class TestSimulatedComm:
+    def test_local_delivery_free(self):
+        comm = SimulatedComm(2)
+        comm.send(0, 0, 1000)
+        assert comm.total_bytes == 0
+
+    def test_message_accounting(self):
+        comm = SimulatedComm(3, CommConfig(latency=0.01, bandwidth=1000))
+        comm.send(0, 1, 500, messages=2)
+        assert comm.total_messages == 2
+        # Worker 0 sent, worker 1 received, worker 2 idle.
+        assert comm.worker_step_time(0) == pytest.approx(0.02 + 0.5)
+        assert comm.worker_step_time(1) == pytest.approx(0.02 + 0.5)
+        assert comm.worker_step_time(2) == 0.0
+
+    def test_end_step_resets(self):
+        comm = SimulatedComm(2)
+        comm.send(0, 1, 100)
+        times = comm.end_step()
+        assert times[0] > 0
+        assert comm.worker_step_time(0) == 0.0
+
+    def test_allreduce_time_zero_for_single_worker(self):
+        assert SimulatedComm(1).allreduce_time(1e9) == 0.0
+
+    def test_allreduce_grows_with_k(self):
+        t2 = SimulatedComm(2).allreduce_time(1e6)
+        t8 = SimulatedComm(8).allreduce_time(1e6)
+        assert t8 > t2 > 0
+
+    def test_invalid_worker_raises(self):
+        with pytest.raises(ValueError):
+            SimulatedComm(2).send(0, 5, 10)
+
+    def test_invalid_k_raises(self):
+        with pytest.raises(ValueError):
+            SimulatedComm(0)
+
+
+class TestDependencyStats:
+    @pytest.fixture(scope="class")
+    def setup(self):
+        g = power_law_graph(200, 6, seed=0)
+        hdg = hdg_from_graph(g)
+        labels = hash_partition(200, 4)
+        return hdg, labels, dependency_stats(hdg, labels, 4)
+
+    def test_edges_partition_into_local_and_remote(self, setup):
+        hdg, _labels, stats = setup
+        total = stats.local_edges.sum() + stats.remote_edges.sum()
+        assert total == hdg.leaf_vertices.size
+
+    def test_no_self_pairs(self, setup):
+        _hdg, _labels, stats = setup
+        assert np.all(np.diag(stats.remote_leaves_per_pair) == 0)
+        assert np.all(np.diag(stats.partial_messages_per_pair) == 0)
+
+    def test_partial_messages_never_exceed_leaf_fetches(self, setup):
+        """Partial aggregation can only shrink traffic: at most one
+        message per (root, partition) vs one per distinct leaf."""
+        _hdg, _labels, stats = setup
+        assert stats.partial_messages_per_pair.sum() <= stats.remote_edges.sum()
+
+    def test_single_partition_all_local(self):
+        g = power_law_graph(100, 4, seed=1)
+        hdg = hdg_from_graph(g)
+        stats = dependency_stats(hdg, np.zeros(100, dtype=int), 1)
+        assert stats.remote_edges.sum() == 0
+
+    def test_hierarchical_hdg_supported(self):
+        g = heterogeneous_graph(40, 10, 30, seed=2)
+        hdg = build_metapath_hdg(g, [Metapath((0, 1, 0)), Metapath((0, 2, 0))])
+        stats = dependency_stats(hdg, hash_partition(g.num_vertices, 2), 2)
+        assert (stats.local_edges + stats.remote_edges).sum() == hdg.leaf_vertices.size
+
+
+class TestCommPlans:
+    @pytest.fixture(scope="class")
+    def stats(self):
+        g = power_law_graph(300, 8, seed=3)
+        hdg = hdg_from_graph(g)
+        return dependency_stats(hdg, hash_partition(300, 4), 4)
+
+    def test_batched_fewer_messages_than_naive(self, stats):
+        cfg = CommConfig()
+        naive = plan_layer_comm(stats, 64, cfg, "naive")
+        batched = plan_layer_comm(stats, 64, cfg, "batched")
+        assert batched.total_messages < naive.total_messages
+        assert batched.total_bytes == naive.total_bytes
+
+    def test_pipelined_fewer_bytes_and_overlaps(self, stats):
+        cfg = CommConfig()
+        batched = plan_layer_comm(stats, 64, cfg, "batched")
+        piped = plan_layer_comm(stats, 64, cfg, "pipelined")
+        assert piped.total_bytes <= batched.total_bytes
+        assert piped.overlaps_compute and not batched.overlaps_compute
+
+    def test_non_commutative_falls_back_to_batched(self, stats):
+        plan = plan_layer_comm(stats, 64, CommConfig(), "pipelined", commutative=False)
+        assert plan.mode == "batched"
+        assert not plan.overlaps_compute
+
+    def test_unknown_mode_raises(self, stats):
+        with pytest.raises(ValueError):
+            plan_layer_comm(stats, 64, CommConfig(), "telepathy")
+
+
+class TestDistributedTrainer:
+    @pytest.fixture(scope="class")
+    def ds(self):
+        return load_dataset("reddit", scale="tiny")
+
+    def test_distributed_loss_matches_single_machine(self, ds):
+        """Partitioned execution is a *reorganization* of the same math."""
+        feats = Tensor(ds.features)
+        single = gcn(ds.feat_dim, 8, ds.num_classes, seed=7)
+        eng = FlexGraphEngine(single, ds.graph)
+        s_stats = eng.train_epoch(feats, ds.labels, Adam(single.parameters(), 0.01), ds.train_mask)
+
+        dist_model = gcn(ds.feat_dim, 8, ds.num_classes, seed=7)
+        trainer = DistributedTrainer(
+            dist_model, ds.graph, hash_partition(ds.graph.num_vertices, 4)
+        )
+        d_stats = trainer.train_epoch(
+            feats, ds.labels, Adam(dist_model.parameters(), 0.01), ds.train_mask
+        )
+        assert d_stats.loss == pytest.approx(s_stats.loss, rel=1e-8)
+
+    def test_pipeline_not_slower_than_batched(self, ds):
+        feats = Tensor(ds.features)
+        times = {}
+        for pp in (True, False):
+            model = gcn(ds.feat_dim, 8, ds.num_classes, seed=0)
+            trainer = DistributedTrainer(
+                model, ds.graph, hash_partition(ds.graph.num_vertices, 4), pipeline=pp
+            )
+            trainer.train_epoch(feats, ds.labels, Adam(model.parameters(), 0.01), ds.train_mask)
+            agg = trainer.aggregation_epoch_time(feats, epoch=0)
+            times[pp] = agg
+        # Pipelined mode sends fewer bytes and overlaps; it must not model
+        # out slower (compute noise aside, comm strictly shrinks).
+        assert times[True] <= times[False] * 1.5
+
+    def test_epoch_stats_fields(self, ds):
+        model = pinsage(ds.feat_dim, 8, ds.num_classes)
+        trainer = DistributedTrainer(
+            model, ds.graph, hash_partition(ds.graph.num_vertices, 2)
+        )
+        stats = trainer.train_epoch(
+            Tensor(ds.features), ds.labels, Adam(model.parameters(), 0.01), ds.train_mask
+        )
+        assert stats.simulated_seconds > 0
+        assert stats.compute_seconds.shape == (2,)
+        assert stats.total_bytes > 0
+        assert stats.comm_mode == "pipelined"
+
+    def test_bad_partition_shape_raises(self, ds):
+        model = gcn(ds.feat_dim, 8, ds.num_classes)
+        with pytest.raises(ValueError):
+            DistributedTrainer(model, ds.graph, np.zeros(3, dtype=int))
+
+    def test_magnn_distributed_runs(self):
+        g = heterogeneous_graph(40, 10, 30, seed=1)
+        rng = np.random.default_rng(0)
+        feats = rng.standard_normal((g.num_vertices, 6))
+        labels = rng.integers(0, 3, g.num_vertices)
+        model = magnn(6, 8, 3)
+        trainer = DistributedTrainer(model, g, hash_partition(g.num_vertices, 2))
+        stats = trainer.train_epoch(
+            Tensor(feats), labels, Adam(model.parameters(), 0.01)
+        )
+        assert np.isfinite(stats.loss)
+
+
+class TestScalingHelpers:
+    def test_flexgraph_scaling_returns_points(self):
+        ds = load_dataset("reddit", scale="tiny")
+        pts = flexgraph_scaling(
+            lambda: gcn(ds.feat_dim, 8, ds.num_classes),
+            ds, [1, 2],
+            lambda k: hash_partition(ds.graph.num_vertices, k),
+        )
+        assert [p.k for p in pts] == [1, 2]
+        assert all(p.seconds > 0 for p in pts)
+
+    def test_baseline_model_monotone_compute(self):
+        pts = model_baseline_scaling(100.0, [1, 2, 4, 8], bytes_per_epoch=0.0,
+                                     messages_per_epoch=0)
+        secs = [p.seconds for p in pts]
+        assert secs == sorted(secs, reverse=True)
+
+    def test_baseline_model_comm_floor(self):
+        # With heavy traffic, scaling flattens out (comm floor).
+        pts = model_baseline_scaling(10.0, [1, 16], bytes_per_epoch=1e10,
+                                     messages_per_epoch=int(1e6))
+        assert pts[1].seconds > 10.0 / 16
+
+
+class TestWorkerSpeeds:
+    def test_validation(self):
+        ds = load_dataset("reddit", scale="tiny")
+        model = gcn(ds.feat_dim, 8, ds.num_classes)
+        labels = hash_partition(ds.graph.num_vertices, 2)
+        with pytest.raises(ValueError):
+            DistributedTrainer(model, ds.graph, labels, worker_speeds=np.ones(3))
+        with pytest.raises(ValueError):
+            DistributedTrainer(model, ds.graph, labels,
+                               worker_speeds=np.array([1.0, 0.0]))
+
+    def test_slow_worker_slows_epoch(self):
+        ds = load_dataset("reddit", scale="tiny")
+        feats = Tensor(ds.features)
+        labels = hash_partition(ds.graph.num_vertices, 2)
+        times = {}
+        for name, speeds in (("even", None), ("skewed", np.array([1.0, 0.1]))):
+            model = gcn(ds.feat_dim, 8, ds.num_classes, seed=0)
+            trainer = DistributedTrainer(model, ds.graph, labels,
+                                         worker_speeds=speeds)
+            trainer.train_epoch(feats, ds.labels, Adam(model.parameters(), 0.01),
+                                ds.train_mask)
+            times[name] = trainer.aggregation_epoch_time(feats)
+        assert times["skewed"] > times["even"] * 2
+
+    def test_speeds_do_not_change_math(self):
+        ds = load_dataset("reddit", scale="tiny")
+        feats = Tensor(ds.features)
+        labels = hash_partition(ds.graph.num_vertices, 2)
+        losses = []
+        for speeds in (None, np.array([5.0, 0.1])):
+            model = gcn(ds.feat_dim, 8, ds.num_classes, seed=4)
+            trainer = DistributedTrainer(model, ds.graph, labels,
+                                         worker_speeds=speeds)
+            stats = trainer.train_epoch(
+                feats, ds.labels, Adam(model.parameters(), 0.01), ds.train_mask
+            )
+            losses.append(stats.loss)
+        assert losses[0] == pytest.approx(losses[1], rel=1e-12)

@@ -1,0 +1,123 @@
+"""Tests for edge-list I/O and metapath inference."""
+
+import numpy as np
+import pytest
+
+from repro.graph import (
+    Graph,
+    heterogeneous_graph,
+    infer_metapaths,
+    load_edge_list,
+    load_vertex_types,
+    save_edge_list,
+)
+
+
+class TestEdgeListIO:
+    def test_roundtrip(self, tmp_path):
+        g = Graph.from_edges(6, [[0, 1], [2, 3], [4, 5], [1, 0]])
+        path = str(tmp_path / "edges.txt")
+        save_edge_list(g, path)
+        loaded = load_edge_list(path)
+        assert loaded.num_vertices == 6
+        assert loaded.num_edges == 4
+        assert loaded.has_edge(2, 3)
+
+    def test_comments_and_commas(self, tmp_path):
+        path = str(tmp_path / "edges.csv")
+        path_file = tmp_path / "edges.csv"
+        path_file.write_text("# comment line\n0,1\n1,2\n\n2,0\n")
+        g = load_edge_list(str(path_file))
+        assert g.num_edges == 3
+        assert g.num_vertices == 3
+
+    def test_explicit_num_vertices(self, tmp_path):
+        f = tmp_path / "e.txt"
+        f.write_text("0 1\n")
+        g = load_edge_list(str(f), num_vertices=10)
+        assert g.num_vertices == 10
+
+    def test_make_undirected(self, tmp_path):
+        f = tmp_path / "e.txt"
+        f.write_text("0 1\n")
+        g = load_edge_list(str(f), make_undirected=True)
+        assert g.has_edge(0, 1) and g.has_edge(1, 0)
+
+    def test_malformed_line_raises(self, tmp_path):
+        f = tmp_path / "bad.txt"
+        f.write_text("0 1\njust-one-token\n")
+        with pytest.raises(ValueError):
+            load_edge_list(str(f))
+
+    def test_empty_file_raises(self, tmp_path):
+        f = tmp_path / "empty.txt"
+        f.write_text("# nothing\n")
+        with pytest.raises(ValueError):
+            load_edge_list(str(f))
+
+    def test_vertex_types_file(self, tmp_path):
+        f = tmp_path / "types.txt"
+        f.write_text("# v type\n0 2\n3 1\n")
+        types = load_vertex_types(str(f), 5)
+        np.testing.assert_array_equal(types, [2, 0, 0, 1, 0])
+
+    def test_vertex_types_out_of_range(self, tmp_path):
+        f = tmp_path / "types.txt"
+        f.write_text("9 1\n")
+        with pytest.raises(ValueError):
+            load_vertex_types(str(f), 5)
+
+    def test_header_line_skipped_roundtrip(self, tmp_path):
+        g = Graph.from_edges(3, [[0, 1], [1, 2]])
+        path = str(tmp_path / "h.txt")
+        save_edge_list(g, path, header=True)
+        with open(path) as fh:
+            assert fh.readline().startswith("#")
+        assert load_edge_list(path).num_edges == 2
+
+
+class TestInferMetapaths:
+    @pytest.fixture(scope="class")
+    def hgraph(self):
+        return heterogeneous_graph(40, 10, 25, seed=0)
+
+    def test_finds_movie_rooted_paths(self, hgraph):
+        names = {mp.name for mp in infer_metapaths(hgraph, root_type=0)}
+        assert "0-1-0" in names  # movie-director-movie
+        assert "0-2-0" in names  # movie-actor-movie
+
+    def test_respects_min_instances(self, hgraph):
+        all_paths = infer_metapaths(hgraph, root_type=0, min_instances=1)
+        strict = infer_metapaths(hgraph, root_type=0, min_instances=10**6)
+        assert len(strict) < len(all_paths)
+
+    def test_no_impossible_paths(self, hgraph):
+        # director-actor edges do not exist in this schema.
+        names = {mp.name for mp in infer_metapaths(hgraph)}
+        assert "1-2-1" not in names
+        assert "0-0-0" not in names
+
+    def test_all_root_types_covered(self, hgraph):
+        names = {mp.name for mp in infer_metapaths(hgraph)}
+        assert any(n.startswith("1-") for n in names)  # director-rooted too
+
+    def test_length_validation(self, hgraph):
+        with pytest.raises(ValueError):
+            infer_metapaths(hgraph, length=1)
+
+    def test_inferred_paths_drive_magnn(self, hgraph):
+        """The discovery workflow: infer, then train MAGNN with them."""
+        from repro.core import FlexGraphEngine
+        from repro.models import MAGNN
+        from repro.tensor import Adam, Tensor
+
+        metapaths = infer_metapaths(hgraph, root_type=0, min_instances=5)
+        rng = np.random.default_rng(0)
+        feats = rng.standard_normal((hgraph.num_vertices, 6))
+        labels = rng.integers(0, 3, hgraph.num_vertices)
+        model = MAGNN([6, 8, 3], metapaths)
+        engine = FlexGraphEngine(model, hgraph)
+        stats = engine.train_epoch(
+            Tensor(feats), labels, Adam(model.parameters(), 0.01)
+        )
+        assert np.isfinite(stats.loss)

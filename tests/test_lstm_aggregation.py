@@ -1,0 +1,160 @@
+"""Tests for the LSTM cell and the non-commutative LSTM aggregator,
+including the §5 distributed fallback (no partial aggregation)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    GNNLayer,
+    LSTMAggregator,
+    NAUModel,
+    SelectionScope,
+    get_aggregator,
+    hdg_from_graph,
+    hierarchical_aggregate,
+)
+from repro.datasets import load_dataset
+from repro.distributed import DistributedTrainer, dependency_stats, plan_layer_comm, CommConfig
+from repro.graph import community_graph, hash_partition
+from repro.tensor import Adam, LSTMCell, Linear, Tensor
+
+
+class TestLSTMCell:
+    def test_step_shapes(self):
+        cell = LSTMCell(4, 6)
+        h, c = cell(Tensor(np.ones((3, 4))), Tensor(np.zeros((3, 6))),
+                    Tensor(np.zeros((3, 6))))
+        assert h.shape == (3, 6) and c.shape == (3, 6)
+
+    def test_outputs_bounded(self):
+        cell = LSTMCell(4, 4)
+        h, _c = cell(Tensor(np.random.default_rng(0).standard_normal((5, 4)) * 10),
+                     Tensor(np.zeros((5, 4))), Tensor(np.zeros((5, 4))))
+        assert np.abs(h.numpy()).max() <= 1.0  # o * tanh(c) is in (-1, 1)
+
+    def test_gradients_flow(self):
+        cell = LSTMCell(3, 3)
+        x = Tensor(np.random.default_rng(1).standard_normal((2, 3)), requires_grad=True)
+        h, c = cell(x, Tensor(np.zeros((2, 3))), Tensor(np.zeros((2, 3))))
+        (h.sum() + c.sum()).backward()
+        assert x.grad is not None and np.abs(x.grad).sum() > 0
+        assert cell.w_x.grad is not None
+
+    def test_sequence_state_carries(self):
+        cell = LSTMCell(2, 2, rng=np.random.default_rng(2))
+        h = c = Tensor(np.zeros((1, 2)))
+        h1, c1 = cell(Tensor(np.ones((1, 2))), h, c)
+        h2, _ = cell(Tensor(np.ones((1, 2))), h1, c1)
+        assert not np.allclose(h1.numpy(), h2.numpy())
+
+
+class TestLSTMAggregator:
+    def test_registry(self):
+        assert isinstance(get_aggregator("lstm", dim=4), LSTMAggregator)
+        with pytest.raises(ValueError):
+            get_aggregator("lstm")
+
+    def test_invalid_max_seq(self):
+        with pytest.raises(ValueError):
+            LSTMAggregator(4, max_seq_len=0)
+
+    def test_output_shape_and_empty_groups(self):
+        agg = LSTMAggregator(3, hidden_dim=5)
+        values = Tensor(np.random.default_rng(0).standard_normal((4, 3)))
+        out = agg.sparse(values, np.array([0, 0, 2, 2]), 4)
+        assert out.shape == (4, 5)
+        np.testing.assert_allclose(out.numpy()[1], 0.0)  # empty group
+        np.testing.assert_allclose(out.numpy()[3], 0.0)
+
+    def test_order_sensitivity(self):
+        agg = LSTMAggregator(2, rng=np.random.default_rng(3))
+        forward = agg.sparse(
+            Tensor(np.array([[1.0, 0.0], [0.0, 1.0]])), np.array([0, 0]), 1
+        ).numpy()
+        backward = agg.sparse(
+            Tensor(np.array([[0.0, 1.0], [1.0, 0.0]])), np.array([0, 0]), 1
+        ).numpy()
+        assert not np.allclose(forward, backward)
+
+    def test_truncation(self):
+        agg = LSTMAggregator(2, max_seq_len=2, rng=np.random.default_rng(4))
+        vals = np.random.default_rng(5).standard_normal((6, 2))
+        full = agg.sparse(Tensor(vals), np.zeros(6, dtype=int), 1).numpy()
+        truncated = agg.sparse(Tensor(vals[:2]), np.zeros(2, dtype=int), 1).numpy()
+        np.testing.assert_allclose(full, truncated)
+
+    def test_fused_falls_back_to_sparse(self):
+        agg = LSTMAggregator(3, rng=np.random.default_rng(6))
+        vals = np.random.default_rng(7).standard_normal((5, 3))
+        offsets = np.array([0, 2, 5])
+        sources = np.array([0, 1, 2, 3, 4])
+        a = agg.fused(Tensor(vals), offsets, sources).numpy()
+        dst = np.array([0, 0, 1, 1, 1])
+        b = agg.sparse(Tensor(vals), dst, 2).numpy()
+        np.testing.assert_allclose(a, b, rtol=1e-10)
+
+    def test_gradient_flows_through_hierarchy(self):
+        g = community_graph(30, 2, 4, seed=0)
+        hdg = hdg_from_graph(g)
+        agg = LSTMAggregator(3)
+        feats = Tensor(np.random.default_rng(8).standard_normal((30, 3)),
+                       requires_grad=True)
+        out = hierarchical_aggregate(hdg, feats, [agg], "ha")
+        out.sum().backward()
+        assert np.abs(feats.grad).sum() > 0
+
+
+class _LSTMLayer(GNNLayer):
+    def __init__(self, in_dim, out_dim):
+        super().__init__()
+        agg = LSTMAggregator(in_dim, hidden_dim=in_dim, max_seq_len=4)
+        self.aggregators = [agg]
+        self._agg0 = agg
+        self.linear = Linear(in_dim, out_dim)
+
+    def update(self, feats, nbr_feats):
+        return self.linear(feats.add(nbr_feats))
+
+
+class TestNonCommutativeDistributed:
+    """§5: LSTM aggregation forbids partial aggregation — the pipelined
+    plan must fall back to batched transfer."""
+
+    def test_layer_reported_non_commutative(self):
+        ds = load_dataset("reddit", scale="tiny")
+        model = NAUModel([_LSTMLayer(ds.feat_dim, ds.num_classes)],
+                         SelectionScope.STATIC, name="lstm-gnn")
+        trainer = DistributedTrainer(
+            model, ds.graph, hash_partition(ds.graph.num_vertices, 2)
+        )
+        assert not trainer._layer_commutative(model.layers[0])
+
+    def test_distributed_epoch_uses_batched_bytes(self):
+        ds = load_dataset("reddit", scale="tiny")
+        model = NAUModel([_LSTMLayer(ds.feat_dim, ds.num_classes)],
+                         SelectionScope.STATIC, name="lstm-gnn")
+        trainer = DistributedTrainer(
+            model, ds.graph, hash_partition(ds.graph.num_vertices, 2),
+            pipeline=True,
+        )
+        stats = trainer.train_epoch(
+            Tensor(ds.features), ds.labels, Adam(model.parameters(), 0.01),
+            ds.train_mask,
+        )
+        # The fallback ships per-edge features: bytes must match the
+        # batched plan, not the (smaller) partial-aggregation plan.
+        dep = dependency_stats(trainer._model_hdg, trainer.labels_part, 2)
+        batched = plan_layer_comm(dep, ds.feat_dim * 8, trainer.comm_config, "batched")
+        assert stats.total_bytes == pytest.approx(batched.total_bytes)
+        assert np.isfinite(stats.loss)
+
+    def test_lstm_gnn_learns(self):
+        ds = load_dataset("reddit", scale="tiny")
+        model = NAUModel([_LSTMLayer(ds.feat_dim, ds.num_classes)],
+                         SelectionScope.STATIC, name="lstm-gnn")
+        from repro.core import FlexGraphEngine
+
+        engine = FlexGraphEngine(model, ds.graph)
+        opt = Adam(model.parameters(), 0.01)
+        hist = engine.fit(Tensor(ds.features), ds.labels, opt, 4, mask=ds.train_mask)
+        assert hist[-1].loss < hist[0].loss

@@ -1,0 +1,187 @@
+"""Tests for the NAU abstraction and the single-machine execution engine:
+layer interfaces, HDG caching scopes, stage timing, checkpointing."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    FlexGraphEngine,
+    GNNLayer,
+    HDG,
+    NAUModel,
+    SelectionScope,
+    SumAggregator,
+    hdg_from_graph,
+)
+from repro.datasets import load_dataset
+from repro.models import gcn
+from repro.tensor import Adam, Linear, Tensor
+
+
+class CountingModel(NAUModel):
+    """GCN-like model that counts NeighborSelection invocations."""
+
+    def __init__(self, in_dim, out_dim, scope):
+        class L(GNNLayer):
+            def __init__(self):
+                super().__init__(aggregators=["sum"])
+                self.linear = Linear(in_dim, out_dim)
+
+            def update(self, feats, nbr_feats):
+                return self.linear(feats.add(nbr_feats))
+
+        super().__init__([L()], scope, name="counting")
+        self.selection_calls = 0
+
+    def neighbor_selection(self, graph, rng):
+        self.selection_calls += 1
+        return hdg_from_graph(graph)
+
+
+@pytest.fixture(scope="module")
+def ds():
+    return load_dataset("reddit", scale="tiny")
+
+
+class TestSelectionScopes:
+    def test_static_scope_builds_once(self, ds):
+        model = CountingModel(ds.feat_dim, ds.num_classes, SelectionScope.STATIC)
+        eng = FlexGraphEngine(model, ds.graph)
+        feats = Tensor(ds.features)
+        for epoch in range(3):
+            eng.forward(feats, epoch)
+        assert model.selection_calls == 1
+
+    def test_per_epoch_scope_rebuilds_each_epoch(self, ds):
+        model = CountingModel(ds.feat_dim, ds.num_classes, SelectionScope.PER_EPOCH)
+        eng = FlexGraphEngine(model, ds.graph)
+        feats = Tensor(ds.features)
+        for epoch in range(3):
+            eng.forward(feats, epoch)
+        assert model.selection_calls == 3
+
+    def test_per_epoch_scope_shared_within_epoch(self, ds):
+        model = CountingModel(ds.feat_dim, ds.num_classes, SelectionScope.PER_EPOCH)
+        eng = FlexGraphEngine(model, ds.graph)
+        feats = Tensor(ds.features)
+        eng.forward(feats, 0)
+        eng.forward(feats, 0)  # same epoch: reuse
+        assert model.selection_calls == 1
+
+    def test_per_layer_scope_rebuilds_every_layer(self, ds):
+        model = CountingModel(ds.feat_dim, ds.num_classes, SelectionScope.PER_LAYER)
+        eng = FlexGraphEngine(model, ds.graph)
+        feats = Tensor(ds.features)
+        eng.forward(feats, 0)
+        eng.forward(feats, 0)
+        assert model.selection_calls == 2  # one layer, two forwards
+
+    def test_invalidate_forces_rebuild(self, ds):
+        model = CountingModel(ds.feat_dim, ds.num_classes, SelectionScope.STATIC)
+        eng = FlexGraphEngine(model, ds.graph)
+        feats = Tensor(ds.features)
+        eng.forward(feats, 0)
+        eng.invalidate_hdgs()
+        eng.forward(feats, 1)
+        assert model.selection_calls == 2
+
+    def test_layer_level_selection_takes_precedence(self, ds):
+        class OwnSelectionLayer(GNNLayer):
+            def __init__(self):
+                super().__init__(aggregators=["sum"])
+                self.linear = Linear(ds.feat_dim, 4)
+                self.own_calls = 0
+
+            def neighbor_selection(self, graph, rng):
+                self.own_calls += 1
+                return hdg_from_graph(graph)
+
+            def update(self, feats, nbr_feats):
+                return self.linear(feats.add(nbr_feats))
+
+        layer = OwnSelectionLayer()
+        model = NAUModel([layer], SelectionScope.STATIC)
+        eng = FlexGraphEngine(model, ds.graph)
+        eng.forward(Tensor(ds.features), 0)
+        eng.forward(Tensor(ds.features), 1)
+        assert layer.own_calls == 1  # cached after the first build
+
+
+class TestEngineTraining:
+    def test_stage_times_populated(self, ds):
+        model = gcn(ds.feat_dim, 8, ds.num_classes)
+        eng = FlexGraphEngine(model, ds.graph)
+        stats = eng.train_epoch(Tensor(ds.features), ds.labels, Adam(model.parameters(), 0.01), ds.train_mask)
+        assert stats.times.aggregation > 0
+        assert stats.times.update > 0
+        assert stats.times.backward > 0
+        assert stats.times.total >= stats.times.forward_total
+
+    def test_loss_decreases_over_epochs(self, ds):
+        model = gcn(ds.feat_dim, 16, ds.num_classes)
+        eng = FlexGraphEngine(model, ds.graph)
+        history = eng.fit(Tensor(ds.features), ds.labels, Adam(model.parameters(), 0.01),
+                          num_epochs=8, mask=ds.train_mask)
+        assert history[-1].loss < history[0].loss
+
+    def test_evaluate_does_not_touch_grads(self, ds):
+        model = gcn(ds.feat_dim, 8, ds.num_classes)
+        eng = FlexGraphEngine(model, ds.graph)
+        acc = eng.evaluate(Tensor(ds.features), ds.labels, ds.test_mask)
+        assert 0.0 <= acc <= 1.0
+        assert all(p.grad is None for p in model.parameters())
+
+    def test_stage_times_iadd(self):
+        from repro.core import StageTimes
+
+        a = StageTimes(1.0, 2.0, 3.0, 4.0)
+        a += StageTimes(1.0, 1.0, 1.0, 1.0)
+        assert a.total == 14.0
+
+    def test_checkpoint_restore_roundtrip(self, ds):
+        model = gcn(ds.feat_dim, 8, ds.num_classes, seed=0)
+        eng = FlexGraphEngine(model, ds.graph)
+        snap = eng.checkpoint()
+        opt = Adam(model.parameters(), 0.05)
+        eng.train_epoch(Tensor(ds.features), ds.labels, opt, ds.train_mask)
+        changed = model.layers[0].linear.weight.data.copy()
+        eng.restore(snap)
+        assert not np.allclose(changed, model.layers[0].linear.weight.data)
+        np.testing.assert_allclose(
+            model.layers[0].linear.weight.data, snap["model_state"]["layer0.linear.weight"]
+        )
+
+    def test_forward_strategy_configurable(self, ds):
+        model = gcn(ds.feat_dim, 8, ds.num_classes, seed=1)
+        outs = []
+        for strategy in ("sa", "sa+fa", "ha"):
+            eng = FlexGraphEngine(model, ds.graph, strategy=strategy)
+            outs.append(eng.forward(Tensor(ds.features)).numpy())
+        np.testing.assert_allclose(outs[0], outs[1], rtol=1e-8)
+        np.testing.assert_allclose(outs[0], outs[2], rtol=1e-8)
+
+
+class TestNAUModelValidation:
+    def test_empty_layers_raise(self):
+        with pytest.raises(ValueError):
+            NAUModel([])
+
+    def test_forward_requires_matching_hdgs(self, ds):
+        model = gcn(ds.feat_dim, 8, ds.num_classes)
+        with pytest.raises(ValueError):
+            model.forward(Tensor(ds.features), [])
+
+    def test_model_forward_with_explicit_hdgs(self, ds):
+        model = gcn(ds.feat_dim, 8, ds.num_classes)
+        hdg = hdg_from_graph(ds.graph)
+        out = model.forward(Tensor(ds.features), [hdg, hdg])
+        assert out.shape == (ds.graph.num_vertices, ds.num_classes)
+
+    def test_layer_without_aggregators_raises(self, ds):
+        layer = GNNLayer()
+        with pytest.raises(NotImplementedError):
+            layer.aggregation(Tensor(ds.features), hdg_from_graph(ds.graph))
+
+    def test_base_update_not_implemented(self):
+        with pytest.raises(NotImplementedError):
+            GNNLayer().update(Tensor(np.ones((1, 1))), Tensor(np.ones((1, 1))))

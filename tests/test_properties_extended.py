@@ -1,0 +1,111 @@
+"""Additional property-based tests: sampling, PageRank, communication
+plans and storage round-trips under random inputs."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.core import hdg_from_graph, sample_fanout, validate_hdg
+from repro.distributed import CommConfig, dependency_stats, plan_layer_comm
+from repro.graph import Graph, pagerank
+
+
+@st.composite
+def random_graph(draw, min_n=2, max_n=25):
+    n = draw(st.integers(min_n, max_n))
+    m = draw(st.integers(1, 80))
+    rng = np.random.default_rng(draw(st.integers(0, 2**16)))
+    src = rng.integers(0, n, m)
+    dst = rng.integers(0, n, m)
+    return Graph(n, src, dst)
+
+
+class TestSamplingProperties:
+    @given(random_graph(), st.integers(1, 6), st.integers(0, 2**16))
+    @settings(max_examples=40, deadline=None)
+    def test_fanout_bounds_and_validity(self, g, fanout, seed):
+        hdg = hdg_from_graph(g)
+        sampled = sample_fanout(hdg, fanout, np.random.default_rng(seed))
+        validate_hdg(sampled)
+        counts = np.diff(sampled.leaf_offsets)
+        assert counts.max(initial=0) <= fanout
+        # Sampled fan-in equals min(original, fanout) per root.
+        original = np.diff(hdg.leaf_offsets)
+        np.testing.assert_array_equal(counts, np.minimum(original, fanout))
+
+    @given(random_graph(), st.integers(1, 4), st.integers(0, 2**16))
+    @settings(max_examples=30, deadline=None)
+    def test_sampled_edges_are_subset(self, g, fanout, seed):
+        hdg = hdg_from_graph(g)
+        sampled = sample_fanout(hdg, fanout, np.random.default_rng(seed))
+        for v in range(g.num_vertices):
+            lo, hi = sampled.leaf_offsets[v], sampled.leaf_offsets[v + 1]
+            kept = sampled.leaf_vertices[lo:hi]
+            full_lo, full_hi = hdg.leaf_offsets[v], hdg.leaf_offsets[v + 1]
+            full = hdg.leaf_vertices[full_lo:full_hi]
+            # Multiset containment.
+            kept_counts = dict(zip(*np.unique(kept, return_counts=True)))
+            full_counts = dict(zip(*np.unique(full, return_counts=True)))
+            assert all(full_counts.get(k, 0) >= c for k, c in kept_counts.items())
+
+
+class TestPageRankProperties:
+    @given(random_graph(min_n=2, max_n=20), st.floats(0.5, 0.95))
+    @settings(max_examples=30, deadline=None)
+    def test_probability_vector(self, g, damping):
+        pr = pagerank(g, damping=damping)
+        assert pr.shape == (g.num_vertices,)
+        np.testing.assert_allclose(pr.sum(), 1.0, rtol=1e-6)
+        assert (pr >= 0).all()
+
+
+class TestCommPlanProperties:
+    @given(random_graph(min_n=4, max_n=25), st.integers(2, 4),
+           st.integers(8, 512))
+    @settings(max_examples=40, deadline=None)
+    def test_plan_ordering_invariants(self, g, k, feat_bytes):
+        hdg = hdg_from_graph(g)
+        labels = np.arange(g.num_vertices) % k
+        stats = dependency_stats(hdg, labels, k)
+        cfg = CommConfig()
+        naive = plan_layer_comm(stats, feat_bytes, cfg, "naive")
+        batched = plan_layer_comm(stats, feat_bytes, cfg, "batched")
+        piped = plan_layer_comm(stats, feat_bytes, cfg, "pipelined")
+        # Batching preserves bytes, cuts messages; partial aggregation
+        # only shrinks bytes.
+        assert batched.total_bytes == naive.total_bytes
+        assert batched.total_messages <= naive.total_messages
+        assert piped.total_bytes <= batched.total_bytes
+        # Per-worker modeled time never negative and consistent.
+        for plan in (naive, batched, piped):
+            assert (plan.per_worker_seconds >= 0).all()
+
+    @given(random_graph(min_n=4, max_n=25), st.integers(2, 4))
+    @settings(max_examples=30, deadline=None)
+    def test_traffic_conservation(self, g, k):
+        hdg = hdg_from_graph(g)
+        labels = np.arange(g.num_vertices) % k
+        stats = dependency_stats(hdg, labels, k)
+        # Remote edge counts per pair sum to the per-worker remote edges.
+        np.testing.assert_array_equal(
+            stats.remote_edges_per_pair.sum(axis=1), stats.remote_edges
+        )
+
+
+class TestStorageProperties:
+    @given(random_graph())
+    @settings(max_examples=25, deadline=None)
+    def test_graph_roundtrip(self, g):
+        import os
+        import tempfile
+
+        from repro.storage import load_graph, save_graph
+
+        with tempfile.TemporaryDirectory() as tmp:
+            path = os.path.join(tmp, "g.npz")
+            save_graph(g, path)
+            loaded = load_graph(path)
+        assert loaded.num_vertices == g.num_vertices
+        assert loaded.num_edges == g.num_edges
+        a = np.sort(np.stack(g.edges()), axis=1)
+        b = np.sort(np.stack(loaded.edges()), axis=1)
+        np.testing.assert_array_equal(a, b)

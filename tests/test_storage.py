@@ -1,0 +1,145 @@
+"""Tests for the storage tier: graph/dataset/checkpoint persistence and
+partitioned shards."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.datasets import load_dataset
+from repro.graph import Graph, hash_partition, heterogeneous_graph
+from repro.models import gcn
+from repro.storage import (
+    PartitionedStore,
+    load_checkpoint,
+    load_dataset_from,
+    load_graph,
+    save_checkpoint,
+    save_dataset,
+    save_graph,
+)
+
+
+@pytest.fixture
+def ds():
+    return load_dataset("reddit", scale="tiny")
+
+
+class TestGraphRoundtrip:
+    def test_simple_graph(self, tmp_path):
+        g = Graph.from_edges(5, [[0, 1], [1, 2], [3, 4]], make_undirected=True)
+        path = str(tmp_path / "g.npz")
+        save_graph(g, path)
+        loaded = load_graph(path)
+        assert loaded.num_vertices == g.num_vertices
+        assert loaded.num_edges == g.num_edges
+        for v in range(5):
+            np.testing.assert_array_equal(
+                np.sort(loaded.out_neighbors(v)), np.sort(g.out_neighbors(v))
+            )
+
+    def test_typed_graph_preserves_types(self, tmp_path):
+        g = heterogeneous_graph(20, 5, 10, seed=0)
+        path = str(tmp_path / "typed.npz")
+        save_graph(g, path)
+        loaded = load_graph(path)
+        np.testing.assert_array_equal(loaded.vertex_types, g.vertex_types)
+        assert loaded.type_names == g.type_names
+
+    def test_version_check(self, tmp_path):
+        path = str(tmp_path / "bad.npz")
+        np.savez(path, format_version=np.int64(999), num_vertices=np.int64(1),
+                 src=np.array([0]), dst=np.array([0]),
+                 vertex_types=np.array([0]),
+                 type_names=np.array(["t"], dtype=object))
+        with pytest.raises(ValueError):
+            load_graph(path)
+
+
+class TestDatasetRoundtrip:
+    def test_full_roundtrip(self, tmp_path, ds):
+        path = str(tmp_path / "ds.npz")
+        save_dataset(ds, path)
+        loaded = load_dataset_from(path)
+        assert loaded.name == ds.name
+        np.testing.assert_array_equal(loaded.features, ds.features)
+        np.testing.assert_array_equal(loaded.labels, ds.labels)
+        np.testing.assert_array_equal(loaded.train_mask, ds.train_mask)
+        assert loaded.graph.num_edges == ds.graph.num_edges
+
+    def test_loaded_dataset_trains(self, tmp_path, ds):
+        from repro.core import FlexGraphEngine
+        from repro.tensor import Adam, Tensor
+
+        path = str(tmp_path / "ds.npz")
+        save_dataset(ds, path)
+        loaded = load_dataset_from(path)
+        model = gcn(loaded.feat_dim, 8, loaded.num_classes)
+        engine = FlexGraphEngine(model, loaded.graph)
+        stats = engine.train_epoch(
+            Tensor(loaded.features), loaded.labels,
+            Adam(model.parameters(), 0.01), loaded.train_mask,
+        )
+        assert np.isfinite(stats.loss)
+
+
+class TestCheckpointRoundtrip:
+    def test_state_and_metadata(self, tmp_path, ds):
+        model = gcn(ds.feat_dim, 8, ds.num_classes, seed=1)
+        path = str(tmp_path / "ckpt.npz")
+        save_checkpoint(model.state_dict(), path, {"epoch": 7, "loss": 0.5})
+        state, meta = load_checkpoint(path)
+        assert meta["epoch"] == 7
+        model2 = gcn(ds.feat_dim, 8, ds.num_classes, seed=2)
+        model2.load_state_dict(state)
+        np.testing.assert_allclose(
+            model.layers[0].linear.weight.data, model2.layers[0].linear.weight.data
+        )
+
+    def test_empty_metadata(self, tmp_path):
+        path = str(tmp_path / "c.npz")
+        save_checkpoint({"w": np.ones(3)}, path)
+        state, meta = load_checkpoint(path)
+        assert meta == {}
+        np.testing.assert_array_equal(state["w"], np.ones(3))
+
+
+class TestPartitionedStore:
+    def test_write_and_read_shards(self, tmp_path, ds):
+        store = PartitionedStore(str(tmp_path / "shards"))
+        labels = hash_partition(ds.graph.num_vertices, 4)
+        store.write_shards(ds, labels, 4)
+        manifest = store.read_manifest()
+        assert manifest["k"] == 4
+        assert manifest["num_vertices"] == ds.graph.num_vertices
+        total = 0
+        for worker in range(4):
+            shard = store.read_shard(worker)
+            owned = shard["owned_vertices"]
+            total += owned.size
+            np.testing.assert_array_equal(labels[owned], worker)
+            np.testing.assert_array_equal(shard["features"], ds.features[owned])
+        assert total == ds.graph.num_vertices
+
+    def test_partition_labels_roundtrip(self, tmp_path, ds):
+        store = PartitionedStore(str(tmp_path / "shards"))
+        labels = hash_partition(ds.graph.num_vertices, 2)
+        store.write_shards(ds, labels, 2)
+        np.testing.assert_array_equal(store.read_partition_labels(), labels)
+
+    def test_missing_shard_raises(self, tmp_path):
+        store = PartitionedStore(str(tmp_path / "empty"))
+        with pytest.raises(FileNotFoundError):
+            store.read_shard(0)
+
+    def test_bad_labels_shape_raises(self, tmp_path, ds):
+        store = PartitionedStore(str(tmp_path / "s"))
+        with pytest.raises(ValueError):
+            store.write_shards(ds, np.zeros(3, dtype=int), 2)
+
+    def test_label_out_of_range_raises(self, tmp_path, ds):
+        store = PartitionedStore(str(tmp_path / "s"))
+        bad = np.zeros(ds.graph.num_vertices, dtype=int)
+        bad[0] = 9
+        with pytest.raises(ValueError):
+            store.write_shards(ds, bad, 2)

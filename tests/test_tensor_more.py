@@ -1,0 +1,164 @@
+"""Additional autograd coverage: numerical gradient checks for composite
+modules (LSTM cell, attention), indexing edge cases, tape subtleties."""
+
+import numpy as np
+import pytest
+
+from repro.tensor import LSTMCell, Tensor, no_grad, softmax
+
+
+def numerical_grad(f, x, eps=1e-6):
+    grad = np.zeros_like(x)
+    flat, gflat = x.reshape(-1), grad.reshape(-1)
+    for i in range(flat.size):
+        old = flat[i]
+        flat[i] = old + eps
+        hi = f(x)
+        flat[i] = old - eps
+        lo = f(x)
+        flat[i] = old
+        gflat[i] = (hi - lo) / (2 * eps)
+    return grad
+
+
+class TestLSTMCellGradients:
+    def test_input_gradient_matches_numerical(self):
+        rng = np.random.default_rng(0)
+        cell = LSTMCell(3, 4, rng=rng)
+        h0 = np.zeros((2, 4))
+        c0 = np.zeros((2, 4))
+        x_data = rng.standard_normal((2, 3))
+
+        def f(arr):
+            h, c = cell(Tensor(arr), Tensor(h0), Tensor(c0))
+            return float((h.numpy() ** 2).sum() + c.numpy().sum())
+
+        x = Tensor(x_data.copy(), requires_grad=True)
+        h, c = cell(x, Tensor(h0), Tensor(c0))
+        ((h * h).sum() + c.sum()).backward()
+        num = numerical_grad(f, x_data.copy())
+        np.testing.assert_allclose(x.grad, num, rtol=1e-4, atol=1e-7)
+
+    def test_weight_gradient_matches_numerical(self):
+        rng = np.random.default_rng(1)
+        cell = LSTMCell(2, 2, rng=rng)
+        x = Tensor(rng.standard_normal((3, 2)))
+        h0, c0 = Tensor(np.zeros((3, 2))), Tensor(np.zeros((3, 2)))
+        w_data = cell.w_x.data.copy()
+
+        def f(arr):
+            cell.w_x.data[...] = arr
+            h, _c = cell(x, h0, c0)
+            return float(h.numpy().sum())
+
+        cell.w_x.data[...] = w_data
+        h, _c = cell(x, h0, c0)
+        cell.zero_grad()
+        h.sum().backward()
+        analytic = cell.w_x.grad.copy()
+        num = numerical_grad(f, w_data.copy())
+        cell.w_x.data[...] = w_data
+        np.testing.assert_allclose(analytic, num, rtol=1e-4, atol=1e-7)
+
+
+class TestAttentionGradients:
+    def test_attention_aggregator_matches_numerical(self):
+        from repro.core import AttentionAggregator
+
+        rng = np.random.default_rng(2)
+        attn = AttentionAggregator(3, rng=rng)
+        index = np.array([0, 0, 1, 1, 1])
+        data = rng.standard_normal((5, 3))
+
+        def f(arr):
+            out = attn.sparse(Tensor(arr), index, 2)
+            return float((out.numpy() ** 2).sum())
+
+        v = Tensor(data.copy(), requires_grad=True)
+        out = attn.sparse(v, index, 2)
+        (out * out).sum().backward()
+        num = numerical_grad(f, data.copy())
+        np.testing.assert_allclose(v.grad, num, rtol=1e-4, atol=1e-6)
+
+    def test_score_vector_receives_gradient(self):
+        from repro.core import AttentionAggregator
+
+        attn = AttentionAggregator(3)
+        v = Tensor(np.random.default_rng(3).standard_normal((4, 3)))
+        out = attn.sparse(v, np.array([0, 0, 1, 1]), 2)
+        attn.zero_grad()
+        (out * out).sum().backward()
+        assert attn.score_vector.grad is not None
+        assert np.abs(attn.score_vector.grad).sum() > 0
+
+
+class TestIndexingEdgeCases:
+    def test_boolean_mask_rows(self):
+        x = Tensor(np.arange(8.0).reshape(4, 2), requires_grad=True)
+        mask = np.array([True, False, True, False])
+        y = x[mask]
+        assert y.shape == (2, 2)
+        y.sum().backward()
+        np.testing.assert_allclose(x.grad.sum(axis=1), [2.0, 0.0, 2.0, 0.0])
+
+    def test_column_slice_gradient(self):
+        x = Tensor(np.ones((3, 5)), requires_grad=True)
+        x[:, 1:4].sum().backward()
+        np.testing.assert_allclose(x.grad[:, 0], 0.0)
+        np.testing.assert_allclose(x.grad[:, 1:4], 1.0)
+        np.testing.assert_allclose(x.grad[:, 4], 0.0)
+
+    def test_repeated_fancy_rows_accumulate(self):
+        x = Tensor(np.ones((3, 2)), requires_grad=True)
+        x[np.array([1, 1, 1])].sum().backward()
+        np.testing.assert_allclose(x.grad[1], [3.0, 3.0])
+
+    def test_reshape_minus_one(self):
+        x = Tensor(np.arange(6.0))
+        assert x.reshape(2, -1).shape == (2, 3)
+        assert x.reshape(-1, 6).shape == (1, 6)
+
+
+class TestTapeSubtleties:
+    def test_no_grad_nesting(self):
+        from repro.tensor import is_grad_enabled
+
+        with no_grad():
+            with no_grad():
+                assert not is_grad_enabled()
+            assert not is_grad_enabled()
+        assert is_grad_enabled()
+
+    def test_mixed_grad_and_nograd_parents(self):
+        x = Tensor(np.ones(2), requires_grad=True)
+        with no_grad():
+            frozen = (x * 3).detach()
+        y = x * frozen
+        y.sum().backward()
+        np.testing.assert_allclose(x.grad, [3.0, 3.0])
+
+    def test_backward_through_softmax_composition(self):
+        rng = np.random.default_rng(4)
+        data = rng.standard_normal((3, 4))
+
+        def f(arr):
+            s = softmax(Tensor(arr))
+            return float((s * s).numpy().sum())
+
+        x = Tensor(data.copy(), requires_grad=True)
+        s = softmax(x)
+        (s * s).sum().backward()
+        num = numerical_grad(f, data.copy())
+        np.testing.assert_allclose(x.grad, num, rtol=1e-4, atol=1e-8)
+
+    def test_grad_not_tracked_for_constants(self):
+        x = Tensor(np.ones(3), requires_grad=True)
+        const = Tensor(np.ones(3))
+        (x + const).sum().backward()
+        assert const.grad is None
+
+    def test_backward_on_detached_branch_does_not_leak(self):
+        x = Tensor(np.ones(2), requires_grad=True)
+        y = (x * 2).detach() + x
+        y.sum().backward()
+        np.testing.assert_allclose(x.grad, [1.0, 1.0])

@@ -1,0 +1,205 @@
+"""Unit tests for scatter / segment reductions — the sparse-op layer."""
+
+import numpy as np
+import pytest
+
+from repro.tensor import (
+    Tensor,
+    materialized_bytes,
+    reset_materialized_bytes,
+    scatter_add,
+    scatter_max,
+    scatter_mean,
+    scatter_min,
+    scatter_softmax,
+    segment_reduce_csr,
+)
+
+
+def make_segments(rng, n_dst=20, total=100, dim=5):
+    dst = np.sort(rng.integers(0, n_dst, total))
+    offsets = np.zeros(n_dst + 1, dtype=np.int64)
+    np.cumsum(np.bincount(dst, minlength=n_dst), out=offsets[1:])
+    sources = rng.integers(0, n_dst, total)
+    feats = rng.standard_normal((n_dst, dim))
+    return dst, offsets, sources, feats
+
+
+class TestScatterAdd:
+    def test_basic(self):
+        out = scatter_add(Tensor(np.ones((4, 2))), np.array([0, 0, 1, 3]), dim_size=4)
+        np.testing.assert_allclose(out.numpy()[:, 0], [2.0, 1.0, 0.0, 1.0])
+
+    def test_dim_size_inferred(self):
+        out = scatter_add(Tensor(np.ones((3, 1))), np.array([0, 2, 2]))
+        assert out.shape == (3, 1)
+
+    def test_gradient_is_gather(self):
+        v = Tensor(np.ones((4, 2)), requires_grad=True)
+        idx = np.array([0, 1, 1, 2])
+        out = scatter_add(v, idx, 3)
+        (out * Tensor(np.array([[1.0], [2.0], [3.0]]))).sum().backward()
+        np.testing.assert_allclose(v.grad[:, 0], [1.0, 2.0, 2.0, 3.0])
+
+    def test_index_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            scatter_add(Tensor(np.ones((3, 1))), np.array([0, 1]))
+
+    def test_2d_index_raises(self):
+        with pytest.raises(ValueError):
+            scatter_add(Tensor(np.ones((2, 1))), np.zeros((2, 1), dtype=int))
+
+    def test_records_materialized_bytes(self):
+        reset_materialized_bytes()
+        scatter_add(Tensor(np.ones((10, 4))), np.zeros(10, dtype=int), 1)
+        assert materialized_bytes() == 10 * 4 * 8
+
+
+class TestScatterMeanMaxMin:
+    def test_mean(self):
+        v = Tensor(np.array([[2.0], [4.0], [10.0]]))
+        out = scatter_mean(v, np.array([0, 0, 1]), 2)
+        np.testing.assert_allclose(out.numpy().ravel(), [3.0, 10.0])
+
+    def test_mean_empty_destination_is_zero(self):
+        out = scatter_mean(Tensor(np.ones((2, 1))), np.array([0, 0]), 3)
+        np.testing.assert_allclose(out.numpy().ravel(), [1.0, 0.0, 0.0])
+
+    def test_mean_gradient(self):
+        v = Tensor(np.ones((4, 1)), requires_grad=True)
+        scatter_mean(v, np.array([0, 0, 0, 1]), 2).sum().backward()
+        np.testing.assert_allclose(v.grad.ravel(), [1 / 3, 1 / 3, 1 / 3, 1.0])
+
+    def test_max(self):
+        v = Tensor(np.array([[1.0], [5.0], [-2.0]]))
+        out = scatter_max(v, np.array([0, 0, 1]), 2)
+        np.testing.assert_allclose(out.numpy().ravel(), [5.0, -2.0])
+
+    def test_min(self):
+        v = Tensor(np.array([[1.0], [5.0], [-2.0]]))
+        out = scatter_min(v, np.array([0, 0, 1]), 2)
+        np.testing.assert_allclose(out.numpy().ravel(), [1.0, -2.0])
+
+    def test_max_empty_destination_is_zero(self):
+        out = scatter_max(Tensor(np.array([[-3.0]])), np.array([0]), 2)
+        np.testing.assert_allclose(out.numpy().ravel(), [-3.0, 0.0])
+
+    def test_max_gradient_splits_ties(self):
+        v = Tensor(np.array([[2.0], [2.0]]), requires_grad=True)
+        scatter_max(v, np.array([0, 0]), 1).sum().backward()
+        np.testing.assert_allclose(v.grad.ravel(), [0.5, 0.5])
+
+
+class TestScatterSoftmax:
+    def test_groups_sum_to_one(self):
+        rng = np.random.default_rng(0)
+        v = Tensor(rng.standard_normal((10, 1)))
+        idx = rng.integers(0, 3, 10)
+        out = scatter_softmax(v, idx, 3)
+        sums = scatter_add(out, idx, 3)
+        np.testing.assert_allclose(sums.numpy().ravel(), np.ones(3), rtol=1e-10)
+
+    def test_stable_under_large_values(self):
+        v = Tensor(np.array([[1000.0], [1000.0]]))
+        out = scatter_softmax(v, np.array([0, 0]), 1)
+        np.testing.assert_allclose(out.numpy().ravel(), [0.5, 0.5])
+
+    def test_gradient_matches_numerical(self):
+        rng = np.random.default_rng(1)
+        data = rng.standard_normal((6, 1))
+        idx = np.array([0, 0, 1, 1, 1, 0])
+        weights = rng.standard_normal((6, 1))
+
+        def f(arr):
+            return float(
+                (scatter_softmax(Tensor(arr), idx, 2) * Tensor(weights)).numpy().sum()
+            )
+
+        v = Tensor(data.copy(), requires_grad=True)
+        (scatter_softmax(v, idx, 2) * Tensor(weights)).sum().backward()
+        eps = 1e-6
+        num = np.zeros_like(data)
+        for i in range(data.size):
+            d = data.copy()
+            d.flat[i] += eps
+            hi = f(d)
+            d.flat[i] -= 2 * eps
+            lo = f(d)
+            num.flat[i] = (hi - lo) / (2 * eps)
+        np.testing.assert_allclose(v.grad, num, rtol=1e-4, atol=1e-7)
+
+
+class TestSegmentReduce:
+    @pytest.mark.parametrize("reducer", ["sum", "mean", "max", "min"])
+    def test_matches_scatter(self, reducer):
+        rng = np.random.default_rng(2)
+        dst, offsets, sources, feats = make_segments(rng)
+        seg = segment_reduce_csr(Tensor(feats), offsets, sources, reducer)
+        gathered = Tensor(feats)[sources]
+        ref = {
+            "sum": scatter_add,
+            "mean": scatter_mean,
+            "max": scatter_max,
+            "min": scatter_min,
+        }[reducer](gathered, dst, offsets.size - 1)
+        np.testing.assert_allclose(seg.numpy(), ref.numpy(), rtol=1e-10)
+
+    @pytest.mark.parametrize("reducer", ["sum", "mean", "max", "min"])
+    def test_gradient_matches_scatter_path(self, reducer):
+        rng = np.random.default_rng(3)
+        dst, offsets, sources, feats = make_segments(rng, n_dst=8, total=30, dim=3)
+        g_out = rng.standard_normal((offsets.size - 1, 3))
+
+        a = Tensor(feats.copy(), requires_grad=True)
+        (segment_reduce_csr(a, offsets, sources, reducer) * Tensor(g_out)).sum().backward()
+
+        b = Tensor(feats.copy(), requires_grad=True)
+        ref_fn = {
+            "sum": scatter_add,
+            "mean": scatter_mean,
+            "max": scatter_max,
+            "min": scatter_min,
+        }[reducer]
+        (ref_fn(b[sources], dst, offsets.size - 1) * Tensor(g_out)).sum().backward()
+        np.testing.assert_allclose(a.grad, b.grad, rtol=1e-9, atol=1e-12)
+
+    def test_identity_sources(self):
+        feats = np.arange(6.0).reshape(6, 1)
+        out = segment_reduce_csr(Tensor(feats), np.array([0, 2, 6]), None, "sum")
+        np.testing.assert_allclose(out.numpy().ravel(), [1.0, 14.0])
+
+    def test_identity_sources_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            segment_reduce_csr(Tensor(np.ones((3, 1))), np.array([0, 2]), None)
+
+    def test_empty_segments_are_zero(self):
+        out = segment_reduce_csr(
+            Tensor(np.ones((2, 1))), np.array([0, 0, 2, 2]), None, "sum"
+        )
+        np.testing.assert_allclose(out.numpy().ravel(), [0.0, 2.0, 0.0])
+
+    def test_all_empty(self):
+        out = segment_reduce_csr(
+            Tensor(np.ones((4, 2))), np.array([0, 0, 0]), np.empty(0, dtype=int), "sum"
+        )
+        np.testing.assert_allclose(out.numpy(), np.zeros((2, 2)))
+
+    def test_all_empty_gradient_is_zero(self):
+        v = Tensor(np.ones((4, 2)), requires_grad=True)
+        segment_reduce_csr(v, np.array([0, 0]), np.empty(0, dtype=int)).sum().backward()
+        np.testing.assert_allclose(v.grad, np.zeros((4, 2)))
+
+    def test_decreasing_offsets_raise(self):
+        with pytest.raises(ValueError):
+            segment_reduce_csr(Tensor(np.ones((3, 1))), np.array([0, 2, 1]), None)
+
+    def test_unknown_reducer_raises(self):
+        with pytest.raises(ValueError):
+            segment_reduce_csr(Tensor(np.ones((2, 1))), np.array([0, 2]), None, "prod")
+
+    def test_does_not_record_materialized_bytes(self):
+        reset_materialized_bytes()
+        rng = np.random.default_rng(4)
+        _dst, offsets, sources, feats = make_segments(rng)
+        segment_reduce_csr(Tensor(feats), offsets, sources, "sum")
+        assert materialized_bytes() == 0

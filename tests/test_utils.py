@@ -1,0 +1,109 @@
+"""Tests for the shared utilities (seeding, timers, CSV logs)."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.utils import CSVLogger, Timer, set_global_seed
+
+
+class TestSeeding:
+    def test_returns_generator(self):
+        rng = set_global_seed(7)
+        assert isinstance(rng, np.random.Generator)
+
+    def test_reproducible(self):
+        a = set_global_seed(3).standard_normal(4)
+        b = set_global_seed(3).standard_normal(4)
+        np.testing.assert_array_equal(a, b)
+
+    def test_seeds_legacy_state(self):
+        set_global_seed(11)
+        a = np.random.rand(3)
+        set_global_seed(11)
+        np.testing.assert_array_equal(a, np.random.rand(3))
+
+
+class TestTimer:
+    def test_accumulates(self):
+        timer = Timer()
+        for _ in range(3):
+            with timer.section("work"):
+                time.sleep(0.001)
+        assert timer.count("work") == 3
+        assert timer.total("work") >= 0.003
+        assert timer.mean("work") > 0
+
+    def test_unknown_section_is_zero(self):
+        timer = Timer()
+        assert timer.total("nothing") == 0.0
+        assert timer.mean("nothing") == 0.0
+
+    def test_records_even_on_exception(self):
+        timer = Timer()
+        with pytest.raises(RuntimeError):
+            with timer.section("boom"):
+                raise RuntimeError("x")
+        assert timer.count("boom") == 1
+
+    def test_summary_sorted_by_total(self):
+        timer = Timer()
+        with timer.section("short"):
+            pass
+        with timer.section("long"):
+            time.sleep(0.002)
+        lines = timer.summary().splitlines()
+        assert lines[0].startswith("long")
+
+    def test_reset(self):
+        timer = Timer()
+        with timer.section("a"):
+            pass
+        timer.reset()
+        assert timer.count("a") == 0
+
+
+class TestCSVLogger:
+    def test_roundtrip(self, tmp_path):
+        log = CSVLogger(str(tmp_path / "metrics.csv"))
+        log.log(epoch=0, loss=1.5)
+        log.log(epoch=1, loss=0.7)
+        rows = log.read()
+        assert len(rows) == 2
+        assert rows[1]["loss"] == "0.7"
+
+    def test_changed_keys_raise(self, tmp_path):
+        log = CSVLogger(str(tmp_path / "m.csv"))
+        log.log(epoch=0)
+        with pytest.raises(ValueError):
+            log.log(step=1)
+
+    def test_empty_row_raises(self, tmp_path):
+        log = CSVLogger(str(tmp_path / "m.csv"))
+        with pytest.raises(ValueError):
+            log.log()
+
+    def test_creates_parent_directory(self, tmp_path):
+        log = CSVLogger(str(tmp_path / "deep" / "m.csv"))
+        log.log(x=1)
+        assert log.read()[0]["x"] == "1"
+
+    def test_integrates_with_training(self, tmp_path):
+        from repro.core import FlexGraphEngine
+        from repro.datasets import load_dataset
+        from repro.models import gcn
+        from repro.tensor import Adam, Tensor
+
+        ds = load_dataset("reddit", scale="tiny")
+        model = gcn(ds.feat_dim, 8, ds.num_classes)
+        engine = FlexGraphEngine(model, ds.graph)
+        opt = Adam(model.parameters(), 0.01)
+        log = CSVLogger(str(tmp_path / "train.csv"))
+        for epoch in range(3):
+            stats = engine.train_epoch(
+                Tensor(ds.features), ds.labels, opt, ds.train_mask, epoch
+            )
+            log.log(epoch=epoch, loss=round(stats.loss, 6),
+                    seconds=round(stats.times.total, 6))
+        assert len(log.read()) == 3
