@@ -22,6 +22,9 @@ Packages
     pipeline processing.
 ``repro.datasets``
     Synthetic stand-ins for Reddit, FB91, Twitter and IMDB.
+``repro.obs``
+    Unified observability layer: spans, counters/gauges (total + peak),
+    events, JSON trace export and summary tables.
 
 Quickstart
 ----------
@@ -39,9 +42,20 @@ Quickstart
 
 __version__ = "1.0.0"
 
-from . import baselines, core, datasets, distributed, graph, models, storage, tasks, tensor
+from . import (
+    baselines,
+    core,
+    datasets,
+    distributed,
+    graph,
+    models,
+    obs,
+    storage,
+    tasks,
+    tensor,
+)
 
 __all__ = [
     "tensor", "graph", "core", "models", "baselines", "distributed",
-    "datasets", "storage", "tasks", "__version__",
+    "datasets", "storage", "tasks", "obs", "__version__",
 ]

@@ -11,6 +11,11 @@ Usage (installed as the ``flexgraph`` console script, or via
     flexgraph bench --model gcn --engines dgl flexgraph
     flexgraph distributed --model gcn --dataset twitter --workers 8 --balance
     flexgraph linkpred --model gcn --dataset reddit
+    flexgraph train --model gcn --trace out.json   # repro.obs JSON trace
+
+Every dataset-bearing subcommand accepts ``--trace PATH``: the run's
+spans/counters/events are exported as a JSON trace (see
+``docs/observability.md``) and a summary table is printed.
 """
 
 from __future__ import annotations
@@ -81,6 +86,9 @@ def _dataset_args(parser: argparse.ArgumentParser) -> None:
                         default="reddit")
     parser.add_argument("--scale", choices=("tiny", "small", "bench"), default="small")
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--trace", metavar="PATH",
+                        help="export a repro.obs JSON trace of the run to "
+                             "PATH and print the observability summary")
 
 
 def _model_args(parser: argparse.ArgumentParser) -> None:
@@ -258,7 +266,17 @@ _COMMANDS = {
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    return _COMMANDS[args.command](args)
+    trace_path = getattr(args, "trace", None)
+    if trace_path:
+        from . import obs
+
+        obs.reset()
+    rc = _COMMANDS[args.command](args)
+    if trace_path:
+        obs.export_json(trace_path)
+        print(f"\ntrace written to {trace_path}")
+        print(obs.summary())
+    return rc
 
 
 if __name__ == "__main__":

@@ -1,31 +1,48 @@
 """Single-machine GNN execution engine (the core of Figure 12).
 
-The engine owns HDG construction/caching, runs each layer's stages with
-per-stage wall-clock accounting (the breakdown of Table 4), and drives the
-training loop (forward, loss, backward, optimizer step).
+The engine owns HDG construction/caching, runs each layer's stages under
+:mod:`repro.obs` spans (the per-stage breakdown of Table 4), and drives
+the training loop (forward, loss, backward, optimizer step).
 """
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
+from typing import Iterable
 
 import numpy as np
 
+from .. import obs
 from ..graph.graph import Graph
 from ..tensor.loss import accuracy, cross_entropy
 from ..tensor.optim import Optimizer
+from ..tensor.scatter import MATERIALIZED_BYTES_COUNTER
 from ..tensor.tensor import Tensor, no_grad
 from .hdg import HDG
 from .hybrid import ExecutionStrategy
 from .nau import NAUModel, SelectionScope
 
-__all__ = ["StageTimes", "EpochStats", "FlexGraphEngine"]
+__all__ = ["StageTimes", "EpochStats", "FlexGraphEngine", "STAGE_SPANS"]
+
+#: obs span names for the four NAU stages (Table 4's columns).
+STAGE_SPANS = {
+    "neighbor_selection": "stage.neighbor_selection",
+    "aggregation": "stage.aggregation",
+    "update": "stage.update",
+    "backward": "stage.backward",
+}
 
 
 @dataclass
 class StageTimes:
-    """Wall-clock seconds per NAU stage (Table 4's columns)."""
+    """Wall-clock seconds per NAU stage (Table 4's columns).
+
+    This is now a thin *view* over ``repro.obs`` span data: the engine
+    emits one ``stage.*`` span per layer per stage and sums their
+    durations here, so ``EpochStats.times`` and an exported trace always
+    agree exactly.  :meth:`from_spans` rebuilds the same view from any
+    span collection (live records or an exported JSON trace).
+    """
 
     neighbor_selection: float = 0.0
     aggregation: float = 0.0
@@ -46,6 +63,19 @@ class StageTimes:
         self.update += other.update
         self.backward += other.backward
         return self
+
+    @classmethod
+    def from_spans(cls, spans: Iterable) -> "StageTimes":
+        """Aggregate ``stage.*`` spans (records or trace dicts) by stage."""
+        by_span_name = {v: k for k, v in STAGE_SPANS.items()}
+        times = cls()
+        for s in spans:
+            name = s["name"] if isinstance(s, dict) else s.name
+            duration = s["duration"] if isinstance(s, dict) else s.duration
+            stage = by_span_name.get(name)
+            if stage is not None:
+                setattr(times, stage, getattr(times, stage) + float(duration))
+        return times
 
 
 @dataclass
@@ -83,6 +113,10 @@ class FlexGraphEngine:
         self._model_hdg: HDG | None = None
         self._layer_hdgs: dict[int, HDG] = {}
         self._hdg_epoch = -1
+        # PER_LAYER scope: the model-level fallback HDG is shared by every
+        # layer of one forward pass instead of being rebuilt per layer.
+        self._forward_pass = 0
+        self._per_layer_fallback: tuple[int, HDG] | None = None
         self.last_times = StageTimes()
 
     # ------------------------------------------------------------------
@@ -96,7 +130,15 @@ class FlexGraphEngine:
             own = layer.neighbor_selection(self.graph, self._rng)
             if own is not None:
                 return own
-            return self.model.neighbor_selection(self.graph, self._rng)
+            # Layers without their own selection share one model-level HDG
+            # per forward pass; rebuilding it for every layer repeated the
+            # same (possibly expensive) construction L times per forward.
+            cached = self._per_layer_fallback
+            if cached is None or cached[0] != self._forward_pass:
+                hdg = self.model.neighbor_selection(self.graph, self._rng)
+                self._per_layer_fallback = (self._forward_pass, hdg)
+                return hdg
+            return cached[1]
         if scope is SelectionScope.PER_EPOCH and self._hdg_epoch != epoch:
             self.invalidate_hdgs()
             self._hdg_epoch = epoch
@@ -116,25 +158,33 @@ class FlexGraphEngine:
         self._model_hdg = None
         self._layer_hdgs.clear()
         self._hdg_epoch = -1
+        self._per_layer_fallback = None
 
     # ------------------------------------------------------------------
     # Forward / training
     # ------------------------------------------------------------------
     def forward(self, feats: Tensor, epoch: int = 0) -> Tensor:
-        """Run all layers, accumulating per-stage times in ``last_times``."""
+        """Run all layers, accumulating per-stage times in ``last_times``.
+
+        Each stage runs under a ``stage.*`` obs span; ``last_times`` is
+        the per-stage sum of those spans' durations.
+        """
         times = StageTimes()
+        self._forward_pass += 1
         h = feats
         for i, layer in enumerate(self.model.layers):
-            t0 = time.perf_counter()
-            hdg = self.hdg_for_layer(i, epoch)
-            t1 = time.perf_counter()
-            nbr = layer.aggregation(h, hdg, self.strategy)
-            t2 = time.perf_counter()
-            h = layer.update(h, nbr)
-            t3 = time.perf_counter()
-            times.neighbor_selection += t1 - t0
-            times.aggregation += t2 - t1
-            times.update += t3 - t2
+            with obs.span(STAGE_SPANS["neighbor_selection"],
+                          layer=i, epoch=epoch) as s_sel:
+                hdg = self.hdg_for_layer(i, epoch)
+            with obs.span(STAGE_SPANS["aggregation"],
+                          layer=i, epoch=epoch,
+                          strategy=self.strategy.value) as s_agg:
+                nbr = layer.aggregation(h, hdg, self.strategy)
+            with obs.span(STAGE_SPANS["update"], layer=i, epoch=epoch) as s_upd:
+                h = layer.update(h, nbr)
+            times.neighbor_selection += s_sel.duration
+            times.aggregation += s_agg.duration
+            times.update += s_upd.duration
         self.last_times = times
         return h
 
@@ -148,13 +198,20 @@ class FlexGraphEngine:
     ) -> EpochStats:
         """One full-batch training epoch: forward, loss, backward, step."""
         self.model.train()
-        logits = self.forward(feats, epoch)
-        loss = cross_entropy(logits, labels, mask)
-        t0 = time.perf_counter()
-        optimizer.zero_grad()
-        loss.backward()
-        optimizer.step()
-        self.last_times.backward = time.perf_counter() - t0
+        mat = obs.counter(MATERIALIZED_BYTES_COUNTER)
+        mat_mark = mat.current
+        with obs.span("engine.train_epoch", epoch=epoch):
+            logits = self.forward(feats, epoch)
+            loss = cross_entropy(logits, labels, mask)
+            with obs.span(STAGE_SPANS["backward"], epoch=epoch) as s_back:
+                optimizer.zero_grad()
+                loss.backward()
+                optimizer.step()
+            self.last_times.backward = s_back.duration
+        # Per-edge intermediates die with the tape after backward; release
+        # them so the counter's peak tracks per-epoch concurrent bytes
+        # while its total keeps accumulating across the run.
+        mat.release(mat.current - mat_mark)
         return EpochStats(
             epoch=epoch,
             loss=loss.item(),
@@ -205,28 +262,31 @@ class FlexGraphEngine:
 
     def predict(self, feats: Tensor) -> np.ndarray:
         """Argmax class predictions for every vertex (no gradients)."""
+        was_training = self.model.training
         self.model.eval()
         with no_grad():
             logits = self.forward(feats)
-        self.model.train()
+        self.model.train(was_training)
         return logits.numpy().argmax(axis=1)
 
     def embed(self, feats: Tensor) -> np.ndarray:
         """Final-layer representations for every vertex (no gradients) —
         the low-dimensional features §2.1's downstream tasks consume."""
+        was_training = self.model.training
         self.model.eval()
         with no_grad():
             out = self.forward(feats)
-        self.model.train()
+        self.model.train(was_training)
         return out.numpy().copy()
 
     def evaluate(self, feats: Tensor, labels: np.ndarray,
                  mask: np.ndarray | None = None) -> float:
         """Accuracy of the current model on ``mask`` (no gradients)."""
+        was_training = self.model.training
         self.model.eval()
         with no_grad():
             logits = self.forward(feats)
-        self.model.train()
+        self.model.train(was_training)
         return accuracy(logits, labels, mask)
 
     # ------------------------------------------------------------------

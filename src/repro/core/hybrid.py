@@ -22,11 +22,17 @@ from __future__ import annotations
 
 import enum
 
+from ..obs import event as _obs_event
 from ..tensor.tensor import Tensor
 from .aggregation import Aggregator
 from .hdg import HDG
 
-__all__ = ["ExecutionStrategy", "hierarchical_aggregate"]
+__all__ = ["ExecutionStrategy", "hierarchical_aggregate", "BACKEND_EVENT"]
+
+#: obs event emitted once per HDG level per aggregation, recording which
+#: backend (sparse / fused / dense) the hybrid executor picked — this is
+#: what makes the Figure 14 strategy differences visible in traces.
+BACKEND_EVENT = "aggregation.backend"
 
 
 class ExecutionStrategy(enum.Enum):
@@ -104,9 +110,13 @@ def _reduce_bottom(hdg: HDG, feats: Tensor, agg: Aggregator,
     """Leaves -> instances (depth 3) or leaves -> roots (depth 1)."""
     n_out = hdg.num_instances if hdg.depth == 3 else hdg.num_roots
     if strategy is ExecutionStrategy.SA or not agg.supports_fused:
+        _obs_event(BACKEND_EVENT, level="bottom", backend="sparse",
+                   strategy=strategy.value, aggregator=agg.name)
         dst, src = hdg.sub_graph(hdg.max_level)
         gathered = feats[src]  # materializes one message per edge
         return agg.sparse(gathered, dst, n_out, weights=hdg.leaf_weights)
+    _obs_event(BACKEND_EVENT, level="bottom", backend="fused",
+               strategy=strategy.value, aggregator=agg.name)
     return agg.fused(feats, hdg.leaf_offsets, hdg.leaf_vertices, weights=hdg.leaf_weights)
 
 
@@ -115,7 +125,11 @@ def _reduce_instances(hdg: HDG, instance_feats: Tensor, agg: Aggregator,
     """Instances -> slots.  Instances are consecutive per slot, so HA can
     reduce on the elided layout without building an index."""
     if strategy is ExecutionStrategy.HA and agg.supports_fused:
+        _obs_event(BACKEND_EVENT, level="instances", backend="fused",
+                   strategy=strategy.value, aggregator=agg.name)
         return agg.fused(instance_feats, hdg.instance_offsets, sources=None)
+    _obs_event(BACKEND_EVENT, level="instances", backend="sparse",
+               strategy=strategy.value, aggregator=agg.name)
     dst, _src = hdg.sub_graph(2)
     return agg.sparse(instance_feats, dst, hdg.num_slots)
 
@@ -130,7 +144,11 @@ def _reduce_schema(hdg: HDG, slot_feats: Tensor, agg: Aggregator,
         # A single schema leaf: the slot features *are* the root features.
         return slot_feats
     if strategy is ExecutionStrategy.HA and agg.supports_dense:
+        _obs_event(BACKEND_EVENT, level="schema", backend="dense",
+                   strategy=strategy.value, aggregator=agg.name)
         dim = slot_feats.shape[-1]
         return agg.dense(slot_feats.reshape(hdg.num_roots, num_leaves, dim))
+    _obs_event(BACKEND_EVENT, level="schema", backend="sparse",
+               strategy=strategy.value, aggregator=agg.name)
     dst, _src = hdg.sub_graph(1)
     return agg.sparse(slot_feats, dst, hdg.num_roots)

@@ -20,7 +20,14 @@ from dataclasses import dataclass
 
 import numpy as np
 
-__all__ = ["CommConfig", "SimulatedComm"]
+from ..obs import counter as _obs_counter
+
+__all__ = ["CommConfig", "SimulatedComm", "BYTES_COUNTER", "MESSAGES_COUNTER"]
+
+#: obs counters fed by every simulated cross-worker send, so traces carry
+#: global traffic totals without the caller having to thread them through.
+BYTES_COUNTER = "comm.bytes"
+MESSAGES_COUNTER = "comm.messages"
 
 
 @dataclass(frozen=True)
@@ -66,6 +73,8 @@ class SimulatedComm:
         self._traffic[dst].recv_messages += messages
         self.total_bytes += nbytes
         self.total_messages += messages
+        _obs_counter(BYTES_COUNTER).add(nbytes)
+        _obs_counter(MESSAGES_COUNTER).add(messages)
 
     def worker_step_time(self, worker: int) -> float:
         """Modeled communication seconds for one worker this superstep."""

@@ -23,6 +23,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..core.hdg import HDG
+from ..obs import event as _obs_event
 from .comm import CommConfig, SimulatedComm
 
 __all__ = ["DependencyStats", "dependency_stats", "CommPlan", "plan_layer_comm"]
@@ -155,6 +156,14 @@ def plan_layer_comm(
         overlaps = True
     else:
         raise ValueError(f"unknown comm mode {mode!r}")
+    _obs_event(
+        "comm.plan",
+        mode=mode_effective,
+        requested_mode=mode,
+        bytes=comm.total_bytes,
+        messages=comm.total_messages,
+        overlaps_compute=overlaps,
+    )
     return CommPlan(
         mode=mode_effective,
         per_worker_seconds=comm.step_times(),

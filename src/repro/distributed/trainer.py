@@ -17,18 +17,19 @@ and 15b/c measure.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 
 import numpy as np
 
+from .. import obs
 from ..core.hdg import HDG
 from ..core.hybrid import ExecutionStrategy
 from ..core.nau import NAUModel, SelectionScope
 from ..tensor.loss import cross_entropy
 from ..tensor.optim import Optimizer
+from ..tensor.ops import concat
 from ..tensor.tensor import Tensor
-from .comm import CommConfig
+from .comm import CommConfig, SimulatedComm
 from .pipeline import dependency_stats, plan_layer_comm
 from .worker import Worker
 
@@ -113,6 +114,13 @@ class DistributedTrainer:
         self.workers = [
             Worker(w, np.flatnonzero(self.labels_part == w)) for w in range(self.k)
         ]
+        # The reassembly permutation (worker-concatenation order -> vertex
+        # order) depends only on the fixed partition, so compute it once
+        # instead of per layer per epoch.
+        n = graph.num_vertices
+        self._order = np.concatenate([w.root_orders for w in self.workers])
+        self._inverse = np.empty(n, dtype=np.int64)
+        self._inverse[self._order] = np.arange(n)
 
     # ------------------------------------------------------------------
     def _ensure_hdg(self, epoch: int) -> HDG:
@@ -121,9 +129,9 @@ class DistributedTrainer:
             scope is SelectionScope.PER_EPOCH and self._hdg_epoch != epoch
         )
         if stale:
-            t0 = time.perf_counter()
-            self._model_hdg = self.model.neighbor_selection(self.graph, self._rng)
-            self._selection_wall = time.perf_counter() - t0
+            with obs.span("dist.neighbor_selection", epoch=epoch) as s_sel:
+                self._model_hdg = self.model.neighbor_selection(self.graph, self._rng)
+            self._selection_wall = s_sel.duration
             self._hdg_epoch = epoch
             for worker in self.workers:
                 worker.attach_hdg(self._model_hdg)
@@ -151,7 +159,7 @@ class DistributedTrainer:
     ) -> DistributedEpochStats:
         """One data-parallel full-batch epoch with simulated-time accounting."""
         self.model.train()
-        hdg = self._ensure_hdg(epoch)
+        self._ensure_hdg(epoch)
         for worker in self.workers:
             worker.reset_epoch()
         # Selection is embarrassingly parallel across partitions (§5:
@@ -163,9 +171,8 @@ class DistributedTrainer:
         total_bytes = 0.0
         total_messages = 0
         mode = "pipelined" if self.pipeline else "batched"
-        n = self.graph.num_vertices
 
-        for layer in self.model.layers:
+        for layer_index, layer in enumerate(self.model.layers):
             feat_bytes = int(h.shape[1]) * 8
             commutative = self._layer_commutative(layer)
             plan = plan_layer_comm(
@@ -177,18 +184,29 @@ class DistributedTrainer:
             outputs = []
             compute = np.zeros(self.k)
             for worker in self.workers:
-                t0 = time.perf_counter()
-                nbr = layer.aggregation(h, worker.sub_hdg, self.strategy)
-                h_w = layer.update(h[worker.root_orders], nbr)
-                compute[worker.worker_id] = time.perf_counter() - t0
+                with obs.span("dist.compute", worker=worker.worker_id,
+                              layer=layer_index, epoch=epoch) as s_cmp:
+                    nbr = layer.aggregation(h, worker.sub_hdg, self.strategy)
+                    h_w = layer.update(h[worker.root_orders], nbr)
+                compute[worker.worker_id] = s_cmp.duration
                 outputs.append(h_w)
             compute = compute / self.worker_speeds
 
+            combine = (
+                _COMBINE_FRACTION * plan.per_worker_seconds
+                if plan.overlaps_compute
+                else np.zeros(self.k)
+            )
+            for worker in self.workers:
+                w = worker.worker_id
+                obs.record_span("dist.comm", float(plan.per_worker_seconds[w]),
+                                worker=w, layer=layer_index, epoch=epoch,
+                                mode=plan.mode)
+                if plan.overlaps_compute:
+                    obs.record_span("dist.combine", float(combine[w]),
+                                    worker=w, layer=layer_index, epoch=epoch)
             if plan.overlaps_compute:
-                layer_times = (
-                    np.maximum(compute, plan.per_worker_seconds)
-                    + _COMBINE_FRACTION * plan.per_worker_seconds
-                )
+                layer_times = np.maximum(compute, plan.per_worker_seconds) + combine
             else:
                 layer_times = compute + plan.per_worker_seconds
             simulated += float(layer_times.max())
@@ -197,26 +215,22 @@ class DistributedTrainer:
                 worker.comm_seconds += plan.per_worker_seconds[worker.worker_id]
 
             # Reassemble the global feature matrix in vertex order
-            # (differentiable permutation).
-            from ..tensor.ops import concat
-
+            # (differentiable permutation; self._inverse is fixed by the
+            # partition, computed once in __init__).
             stacked = concat(outputs, axis=0)
-            order = np.concatenate([w.root_orders for w in self.workers])
-            inverse = np.empty(n, dtype=np.int64)
-            inverse[order] = np.arange(n)
-            h = stacked[inverse]
+            h = stacked[self._inverse]
 
         loss = cross_entropy(h, labels, mask)
-        t0 = time.perf_counter()
-        optimizer.zero_grad()
-        loss.backward()
-        optimizer.step()
-        backward_wall = time.perf_counter() - t0
-        simulated += backward_wall / self.k
+        with obs.span("dist.backward", epoch=epoch) as s_back:
+            optimizer.zero_grad()
+            loss.backward()
+            optimizer.step()
+        simulated += s_back.duration / self.k
         param_bytes = sum(p.data.nbytes for p in self.model.parameters())
-        from .comm import SimulatedComm
-
-        simulated += SimulatedComm(self.k, self.comm_config).allreduce_time(param_bytes)
+        allreduce = SimulatedComm(self.k, self.comm_config).allreduce_time(param_bytes)
+        obs.record_span("dist.allreduce", allreduce, epoch=epoch,
+                        bytes=param_bytes)
+        simulated += allreduce
 
         return DistributedEpochStats(
             epoch=epoch,
@@ -233,14 +247,12 @@ class DistributedTrainer:
     def aggregation_epoch_time(self, feats: Tensor, epoch: int = 0) -> float:
         """Simulated seconds of the Aggregation stage only (Figures 15a-c
         measure Aggregation rather than end-to-end epochs)."""
-        hdg = self._ensure_hdg(epoch)
+        self._ensure_hdg(epoch)
         h = feats
         simulated = 0.0
         mode = "pipelined" if self.pipeline else "batched"
-        n = self.graph.num_vertices
-        from ..tensor.ops import concat
 
-        for layer in self.model.layers:
+        for layer_index, layer in enumerate(self.model.layers):
             feat_bytes = int(h.shape[1]) * 8
             plan = plan_layer_comm(
                 self._dep_stats, feat_bytes, self.comm_config, mode,
@@ -249,9 +261,10 @@ class DistributedTrainer:
             compute = np.zeros(self.k)
             outputs = []
             for worker in self.workers:
-                t0 = time.perf_counter()
-                nbr = layer.aggregation(h, worker.sub_hdg, self.strategy)
-                compute[worker.worker_id] = time.perf_counter() - t0
+                with obs.span("dist.compute", worker=worker.worker_id,
+                              layer=layer_index, epoch=epoch) as s_cmp:
+                    nbr = layer.aggregation(h, worker.sub_hdg, self.strategy)
+                compute[worker.worker_id] = s_cmp.duration
                 # Update runs untimed: this method isolates Aggregation.
                 outputs.append(layer.update(h[worker.root_orders], nbr))
             compute = compute / self.worker_speeds
@@ -264,8 +277,5 @@ class DistributedTrainer:
                 layer_times = compute + plan.per_worker_seconds
             simulated += float(layer_times.max())
             stacked = concat(outputs, axis=0)
-            order = np.concatenate([w.root_orders for w in self.workers])
-            inverse = np.empty(n, dtype=np.int64)
-            inverse[order] = np.arange(n)
-            h = stacked[inverse]
+            h = stacked[self._inverse]
         return simulated

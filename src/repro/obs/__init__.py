@@ -1,0 +1,55 @@
+"""``repro.obs`` — the unified observability layer.
+
+Every hot path in the reproduction reports into this one subsystem
+instead of growing its own ad-hoc clocks and module-global counters:
+
+* :class:`span` — nestable, monotonic timed regions (the per-stage
+  breakdown of Table 4 and the compute/comm overlap of Figure 15);
+* :func:`record_span` — spans with *modeled* durations (simulated
+  network time), flagged ``simulated`` in exports;
+* :func:`counter` / :func:`gauge` — typed metrics with running-total
+  *and* peak semantics (the memory accounting of Table 5);
+* :func:`event` — point annotations, e.g. which backend (FA / SA /
+  dense) the hybrid executor picked per HDG level (Figure 14);
+* :func:`export_json` / :func:`summary` — a JSON trace file and a
+  human-readable roll-up, also reachable via ``flexgraph ... --trace``.
+
+The registry is process-global; call :func:`reset` at the start of a
+measurement window.  All primitives are cheap (a ``perf_counter`` call
+and a list append) so they stay on in production code paths.
+"""
+
+from .export import aggregate_spans, export_json, render_summary, summary, to_dict
+from .metrics import Counter, Gauge
+from .registry import (
+    EventRecord,
+    Registry,
+    SpanRecord,
+    disable,
+    enable,
+    get_registry,
+    reset,
+)
+from .spans import counter, event, gauge, record_span, span
+
+__all__ = [
+    "span",
+    "record_span",
+    "event",
+    "counter",
+    "gauge",
+    "Counter",
+    "Gauge",
+    "Registry",
+    "SpanRecord",
+    "EventRecord",
+    "get_registry",
+    "reset",
+    "enable",
+    "disable",
+    "export_json",
+    "to_dict",
+    "summary",
+    "render_summary",
+    "aggregate_spans",
+]

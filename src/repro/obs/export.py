@@ -1,0 +1,163 @@
+"""Exporters: JSON trace files and a human-readable summary table.
+
+The JSON schema (version 1) is::
+
+    {
+      "schema": "repro.obs/1",
+      "meta": {"dropped_spans": 0, "dropped_events": 0},
+      "spans":    [{"id", "name", "start", "duration", "depth",
+                    "parent"?, "simulated"?, "attrs"?}, ...],
+      "events":   [{"name", "time", "attrs"?}, ...],
+      "counters": {name: {"total", "current", "peak", "count"}, ...},
+      "gauges":   {name: {"value", "peak", "count"}, ...}
+    }
+
+``tools/trace_summary.py`` pretty-prints this file from the command
+line; :func:`summary` renders the same aggregation for a live registry.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable
+
+from .registry import Registry, get_registry
+
+__all__ = ["to_dict", "export_json", "summary", "aggregate_spans"]
+
+SCHEMA = "repro.obs/1"
+
+
+def to_dict(registry: Registry | None = None) -> dict:
+    """Serializable snapshot of a registry (the global one by default)."""
+    reg = registry or get_registry()
+    return {
+        "schema": SCHEMA,
+        "meta": {
+            "dropped_spans": reg.dropped_spans,
+            "dropped_events": reg.dropped_events,
+        },
+        "spans": [s.to_dict() for s in reg.spans],
+        "events": [e.to_dict() for e in reg.events],
+        "counters": {name: c.to_dict() for name, c in reg.counters.items()},
+        "gauges": {name: g.to_dict() for name, g in reg.gauges.items()},
+    }
+
+
+def export_json(path: str, registry: Registry | None = None) -> None:
+    """Write the registry snapshot as a JSON trace file."""
+    with open(path, "w") as fh:
+        json.dump(to_dict(registry), fh, indent=1)
+        fh.write("\n")
+
+
+def aggregate_spans(spans: Iterable) -> dict[str, dict]:
+    """Aggregate span dicts/records by name -> count/total/max stats.
+
+    Accepts either :class:`SpanRecord` objects or the dicts found in an
+    exported trace, so the CLI trace tool can share this code path.
+    """
+    stats: dict[str, dict] = {}
+    for s in spans:
+        if isinstance(s, dict):
+            name, dur = s["name"], float(s["duration"])
+            simulated = bool(s.get("simulated"))
+        else:
+            name, dur, simulated = s.name, s.duration, s.simulated
+        row = stats.get(name)
+        if row is None:
+            row = stats[name] = {
+                "count": 0, "total": 0.0, "max": 0.0, "simulated": simulated,
+            }
+        row["count"] += 1
+        row["total"] += dur
+        row["max"] = max(row["max"], dur)
+    return stats
+
+
+def _format_seconds(seconds: float) -> str:
+    if seconds >= 1.0:
+        return f"{seconds:9.3f}s "
+    if seconds >= 1e-3:
+        return f"{seconds * 1e3:9.3f}ms"
+    return f"{seconds * 1e6:9.1f}us"
+
+
+def _format_bytes(n: float) -> str:
+    for unit in ("B", "KB", "MB", "GB", "TB"):
+        if abs(n) < 1024.0 or unit == "TB":
+            return f"{n:,.1f} {unit}" if unit != "B" else f"{int(n):,} B"
+        n /= 1024.0
+    return f"{n:,.1f} TB"
+
+
+def render_summary(
+    span_stats: dict[str, dict],
+    counters: dict[str, dict],
+    gauges: dict[str, dict],
+    events: list[dict],
+    meta: dict | None = None,
+) -> str:
+    """Render aggregated trace data as a fixed-width text table."""
+    lines: list[str] = []
+    if span_stats:
+        lines.append("spans (aggregated by name):")
+        lines.append(f"  {'name':<34} {'count':>7} {'total':>11} "
+                     f"{'mean':>11} {'max':>11}")
+        grand = sum(r["total"] for r in span_stats.values())
+        for name in sorted(span_stats, key=lambda n: -span_stats[n]["total"]):
+            row = span_stats[name]
+            mean = row["total"] / max(row["count"], 1)
+            tag = "~" if row.get("simulated") else " "
+            lines.append(
+                f" {tag}{name:<34} {row['count']:>7} "
+                f"{_format_seconds(row['total'])} {_format_seconds(mean)} "
+                f"{_format_seconds(row['max'])}"
+            )
+        lines.append(f"  {'(sum of spans; ~ = simulated)':<34} "
+                     f"{'':>7} {_format_seconds(grand)}")
+    if counters:
+        lines.append("counters:")
+        for name in sorted(counters):
+            c = counters[name]
+            rendered = (
+                f"total {_format_bytes(c['total'])}  "
+                f"peak {_format_bytes(c['peak'])}"
+                if "bytes" in name
+                else f"total {c['total']:,.0f}  peak {c['peak']:,.0f}"
+            )
+            lines.append(f"  {name:<36} {rendered}  (n={c['count']})")
+    if gauges:
+        lines.append("gauges:")
+        for name in sorted(gauges):
+            g = gauges[name]
+            peak = g["peak"]
+            peak_s = "n/a" if peak is None else f"{peak:,.4g}"
+            lines.append(f"  {name:<36} value {g['value']:,.4g}  peak {peak_s}")
+    if events:
+        lines.append("events (by name):")
+        by_name: dict[str, int] = {}
+        for e in events:
+            by_name[e["name"]] = by_name.get(e["name"], 0) + 1
+        for name in sorted(by_name):
+            lines.append(f"  {name:<36} x{by_name[name]}")
+    if meta and (meta.get("dropped_spans") or meta.get("dropped_events")):
+        lines.append(
+            f"  [capped: dropped {meta.get('dropped_spans', 0)} spans, "
+            f"{meta.get('dropped_events', 0)} events]"
+        )
+    if not lines:
+        return "(no observability data recorded)"
+    return "\n".join(lines)
+
+
+def summary(registry: Registry | None = None) -> str:
+    """Human-readable summary of everything recorded so far."""
+    snapshot = to_dict(registry)
+    return render_summary(
+        aggregate_spans(snapshot["spans"]),
+        snapshot["counters"],
+        snapshot["gauges"],
+        snapshot["events"],
+        snapshot["meta"],
+    )

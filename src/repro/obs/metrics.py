@@ -1,0 +1,90 @@
+"""Typed metric primitives: counters and gauges.
+
+A :class:`Counter` is a monotone accumulator with *three* readouts:
+
+* ``total`` — running sum of everything ever added (e.g. cumulative
+  bytes materialized by sparse aggregation across a whole run);
+* ``current`` — live value, i.e. ``add``s minus ``release``s (bytes
+  materialized and not yet freed);
+* ``peak`` — high-water mark of ``current`` (the number a memory-budget
+  experiment actually cares about, cf. Table 5).
+
+Callers that never ``release`` get ``peak == current == total``, which
+degrades gracefully to a plain running total.
+
+A :class:`Gauge` is a last-write-wins value that also remembers its
+maximum, for quantities that are set rather than accumulated (queue
+depths, per-epoch loss, partition imbalance factors).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["Counter", "Gauge"]
+
+
+@dataclass
+class Counter:
+    """Accumulator with running-total *and* peak (high-water) semantics."""
+
+    name: str
+    total: float = 0.0
+    current: float = 0.0
+    peak: float = 0.0
+    #: number of ``add`` calls, so averages can be derived
+    count: int = 0
+
+    def add(self, amount: float) -> None:
+        """Add ``amount`` to the running total and the live value."""
+        amount = float(amount)
+        self.total += amount
+        self.current += amount
+        self.count += 1
+        if self.current > self.peak:
+            self.peak = self.current
+
+    def release(self, amount: float) -> None:
+        """Lower the live value (resources freed); ``total`` is untouched."""
+        self.current = max(0.0, self.current - float(amount))
+
+    def reset(self) -> None:
+        self.total = self.current = self.peak = 0.0
+        self.count = 0
+
+    def to_dict(self) -> dict:
+        return {
+            "total": self.total,
+            "current": self.current,
+            "peak": self.peak,
+            "count": self.count,
+        }
+
+
+@dataclass
+class Gauge:
+    """Last-write-wins value with a remembered maximum."""
+
+    name: str
+    value: float = 0.0
+    peak: float = field(default=float("-inf"))
+    #: number of ``set`` calls
+    count: int = 0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+        self.count += 1
+        if self.value > self.peak:
+            self.peak = self.value
+
+    def reset(self) -> None:
+        self.value = 0.0
+        self.peak = float("-inf")
+        self.count = 0
+
+    def to_dict(self) -> dict:
+        return {
+            "value": self.value,
+            "peak": self.peak if self.count else None,
+            "count": self.count,
+        }

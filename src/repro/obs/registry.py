@@ -1,0 +1,199 @@
+"""The global observability registry.
+
+One process-wide :class:`Registry` collects every span, counter, gauge
+and event the instrumented code paths emit.  It is deliberately *not*
+thread-local: the simulated cluster runs every worker in one process, so
+a single registry sees the whole picture, and :func:`reset` gives each
+benchmark run a clean slate.
+
+Records are bounded (``max_records`` per kind); once the cap is hit new
+records are dropped and counted, so a long training run cannot grow
+memory without bound.  Aggregate statistics (counters, gauges, span
+aggregation in the summary) remain exact regardless.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from .metrics import Counter, Gauge
+
+__all__ = [
+    "SpanRecord",
+    "EventRecord",
+    "Registry",
+    "get_registry",
+    "reset",
+    "enable",
+    "disable",
+]
+
+
+@dataclass
+class SpanRecord:
+    """One finished (or still-open) timed region."""
+
+    span_id: int
+    name: str
+    start: float                  # seconds since the registry's origin
+    attrs: dict = field(default_factory=dict)
+    duration: float = 0.0
+    parent_id: int | None = None
+    depth: int = 0
+    #: modeled (simulated) durations are flagged so exporters can tell
+    #: them apart from wall-clock measurements
+    simulated: bool = False
+
+    def to_dict(self) -> dict:
+        out = {
+            "id": self.span_id,
+            "name": self.name,
+            "start": self.start,
+            "duration": self.duration,
+            "depth": self.depth,
+        }
+        if self.parent_id is not None:
+            out["parent"] = self.parent_id
+        if self.simulated:
+            out["simulated"] = True
+        if self.attrs:
+            out["attrs"] = self.attrs
+        return out
+
+
+@dataclass
+class EventRecord:
+    """A point-in-time annotation (no duration)."""
+
+    name: str
+    time: float
+    attrs: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        out = {"name": self.name, "time": self.time}
+        if self.attrs:
+            out["attrs"] = self.attrs
+        return out
+
+
+class Registry:
+    """Collects spans, events, counters and gauges for one run."""
+
+    def __init__(self, max_records: int = 200_000):
+        self.max_records = int(max_records)
+        self._init_state()
+
+    def _init_state(self) -> None:
+        self.origin = time.perf_counter()
+        self.spans: list[SpanRecord] = []
+        self.events: list[EventRecord] = []
+        self.counters: dict[str, Counter] = {}
+        self.gauges: dict[str, Gauge] = {}
+        self.dropped_spans = 0
+        self.dropped_events = 0
+        self.enabled = True
+        self._stack: list[SpanRecord] = []
+        self._next_id = 0
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def reset(self) -> None:
+        """Drop all recorded data and re-zero the clock."""
+        self._init_state()
+
+    def now(self) -> float:
+        """Seconds since this registry's origin (monotonic)."""
+        return time.perf_counter() - self.origin
+
+    # ------------------------------------------------------------------
+    # spans
+    # ------------------------------------------------------------------
+    def begin_span(self, name: str, attrs: dict,
+                   simulated: bool = False) -> SpanRecord:
+        parent = self._stack[-1] if self._stack else None
+        record = SpanRecord(
+            span_id=self._next_id,
+            name=name,
+            start=self.now(),
+            attrs=attrs,
+            parent_id=None if parent is None else parent.span_id,
+            depth=len(self._stack),
+            simulated=simulated,
+        )
+        self._next_id += 1
+        self._stack.append(record)
+        return record
+
+    def end_span(self, record: SpanRecord,
+                 duration: float | None = None) -> None:
+        if duration is None:
+            duration = self.now() - record.start
+        record.duration = float(duration)
+        # Tolerate out-of-order exits defensively: pop up to the record.
+        while self._stack:
+            top = self._stack.pop()
+            if top is record:
+                break
+        if not self.enabled:
+            return
+        if len(self.spans) >= self.max_records:
+            self.dropped_spans += 1
+            return
+        self.spans.append(record)
+
+    def record_span(self, name: str, duration: float, *,
+                    simulated: bool = True, **attrs) -> SpanRecord:
+        """Record a span whose duration is already known (e.g. modeled
+        network time), rather than measured by entry/exit."""
+        record = self.begin_span(name, attrs, simulated=simulated)
+        self.end_span(record, duration=duration)
+        return record
+
+    # ------------------------------------------------------------------
+    # events / counters / gauges
+    # ------------------------------------------------------------------
+    def event(self, name: str, **attrs) -> None:
+        if not self.enabled:
+            return
+        if len(self.events) >= self.max_records:
+            self.dropped_events += 1
+            return
+        self.events.append(EventRecord(name=name, time=self.now(), attrs=attrs))
+
+    def counter(self, name: str) -> Counter:
+        c = self.counters.get(name)
+        if c is None:
+            c = self.counters[name] = Counter(name)
+        return c
+
+    def gauge(self, name: str) -> Gauge:
+        g = self.gauges.get(name)
+        if g is None:
+            g = self.gauges[name] = Gauge(name)
+        return g
+
+
+_REGISTRY = Registry()
+
+
+def get_registry() -> Registry:
+    """The process-global registry all instrumentation writes to."""
+    return _REGISTRY
+
+
+def reset() -> None:
+    """Clear the global registry (start of a run / test / benchmark)."""
+    _REGISTRY.reset()
+
+
+def enable() -> None:
+    """Resume recording spans and events (counters always record)."""
+    _REGISTRY.enabled = True
+
+
+def disable() -> None:
+    """Stop recording spans/events; timing still works, records are not
+    kept.  Counters and gauges keep updating — they are O(1) state."""
+    _REGISTRY.enabled = False

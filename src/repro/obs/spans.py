@@ -1,0 +1,69 @@
+"""Span context managers — nestable timed regions.
+
+Usage::
+
+    from repro import obs
+
+    with obs.span("stage.aggregation", layer=i, epoch=epoch) as s:
+        nbr = layer.aggregation(h, hdg, strategy)
+    elapsed = s.duration      # available after exit, even when disabled
+
+Spans nest: a span opened inside another records its parent id and
+depth, so exporters can rebuild the call tree.  Timing uses
+``time.perf_counter`` (monotonic); a span's ``duration`` attribute is
+always populated on exit so hot paths can keep using the measured value
+(e.g. to fill ``StageTimes``) without re-reading the registry.
+
+For *modeled* durations — simulated network time that was never actually
+waited for — use :func:`record_span`, which stamps the span with
+``simulated: true``.
+"""
+
+from __future__ import annotations
+
+from .registry import SpanRecord, get_registry
+
+__all__ = ["span", "record_span", "event", "counter", "gauge"]
+
+
+class span:
+    """Context manager timing one named region; attrs are free-form."""
+
+    __slots__ = ("name", "attrs", "record")
+
+    def __init__(self, name: str, **attrs):
+        self.name = name
+        self.attrs = attrs
+        self.record: SpanRecord | None = None
+
+    def __enter__(self) -> "span":
+        self.record = get_registry().begin_span(self.name, self.attrs)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        get_registry().end_span(self.record)
+
+    @property
+    def duration(self) -> float:
+        """Seconds elapsed (0.0 while still open)."""
+        return 0.0 if self.record is None else self.record.duration
+
+
+def record_span(name: str, duration: float, **attrs) -> SpanRecord:
+    """Record a span with an externally computed (simulated) duration."""
+    return get_registry().record_span(name, duration, **attrs)
+
+
+def event(name: str, **attrs) -> None:
+    """Record a point-in-time event (e.g. a backend choice)."""
+    get_registry().event(name, **attrs)
+
+
+def counter(name: str):
+    """Fetch-or-create the named :class:`~repro.obs.metrics.Counter`."""
+    return get_registry().counter(name)
+
+
+def gauge(name: str):
+    """Fetch-or-create the named :class:`~repro.obs.metrics.Gauge`."""
+    return get_registry().gauge(name)

@@ -36,6 +36,8 @@ from .schedulers import (
 )
 from .scatter import (
     materialized_bytes,
+    peak_materialized_bytes,
+    release_materialized_bytes,
     reset_materialized_bytes,
     scatter_add,
     scatter_max,
@@ -52,7 +54,8 @@ __all__ = [
     "softmax", "log_softmax", "dropout", "scatter_rows",
     "scatter_add", "scatter_mean", "scatter_max", "scatter_min",
     "scatter_softmax", "segment_reduce_csr",
-    "materialized_bytes", "reset_materialized_bytes",
+    "materialized_bytes", "peak_materialized_bytes",
+    "reset_materialized_bytes", "release_materialized_bytes",
     "Module", "Parameter", "Linear", "Embedding", "LSTMCell", "ReLU", "Dropout", "Sequential",
     "Optimizer", "SGD", "Adam",
     "LRScheduler", "StepLR", "CosineAnnealingLR", "WarmupLR", "EarlyStopping",

@@ -12,9 +12,12 @@ aggregate neighbor features:
   materialization, modeling libgrape-lite's vertex-reduce.
 * **Dense ops** — plain reshape + reduce, used at the schema-tree level.
 
-All reductions here are autograd-aware.  ``MATERIALIZED_BYTES`` tracks the
-peak bytes of per-edge intermediates so memory-footprint experiments can
-observe the SA-vs-FA difference quantitatively.
+All reductions here are autograd-aware.  The ``scatter.materialized_bytes``
+observability counter tracks both the running *total* and the *peak*
+concurrently-live bytes of per-edge intermediates so memory-footprint
+experiments can observe the SA-vs-FA difference quantitatively (see
+:mod:`repro.obs`; training loops release the counter after backward so
+``peak`` reflects the per-epoch high-water mark).
 """
 
 from __future__ import annotations
@@ -22,6 +25,7 @@ from __future__ import annotations
 import numpy as np
 import scipy.sparse as _sp
 
+from ..obs import counter as _obs_counter
 from .tensor import Tensor, _as_tensor
 
 __all__ = [
@@ -32,32 +36,48 @@ __all__ = [
     "scatter_softmax",
     "segment_reduce_csr",
     "materialized_bytes",
+    "peak_materialized_bytes",
     "reset_materialized_bytes",
+    "release_materialized_bytes",
+    "MATERIALIZED_BYTES_COUNTER",
 ]
 
-# Running total of bytes materialized by per-edge scatter intermediates.
-_MATERIALIZED_BYTES = 0
+#: Name of the obs counter fed by per-edge scatter intermediates.
+MATERIALIZED_BYTES_COUNTER = "scatter.materialized_bytes"
 
 
 def materialized_bytes() -> int:
     """Total bytes of per-edge message tensors materialized so far."""
-    return _MATERIALIZED_BYTES
+    return int(_obs_counter(MATERIALIZED_BYTES_COUNTER).total)
+
+
+def peak_materialized_bytes() -> int:
+    """High-water mark of concurrently live per-edge bytes (Table 5's
+    peak-memory accounting).  Equals :func:`materialized_bytes` unless a
+    training loop releases intermediates after backward."""
+    return int(_obs_counter(MATERIALIZED_BYTES_COUNTER).peak)
 
 
 def reset_materialized_bytes() -> None:
-    global _MATERIALIZED_BYTES
-    _MATERIALIZED_BYTES = 0
+    _obs_counter(MATERIALIZED_BYTES_COUNTER).reset()
+
+
+def release_materialized_bytes(nbytes: int) -> None:
+    """Mark ``nbytes`` of per-edge intermediates as freed (lowers the
+    live value the peak tracks; the running total is unaffected)."""
+    _obs_counter(MATERIALIZED_BYTES_COUNTER).release(nbytes)
 
 
 def _record_materialization(nbytes: int) -> None:
-    global _MATERIALIZED_BYTES
-    _MATERIALIZED_BYTES += int(nbytes)
+    _obs_counter(MATERIALIZED_BYTES_COUNTER).add(int(nbytes))
 
 
-def _check_index(index: np.ndarray, length: int) -> np.ndarray:
-    index = np.asarray(index)
-    if isinstance(index, Tensor):  # pragma: no cover - defensive
+def _check_index(index, length: int) -> np.ndarray:
+    # Unwrap Tensor *before* np.asarray: asarray would build a 0-d object
+    # array from a Tensor, so unwrapping afterwards never fired.
+    if isinstance(index, Tensor):
         index = index.data
+    index = np.asarray(index)
     index = index.astype(np.int64, copy=False)
     if index.ndim != 1:
         raise ValueError(f"scatter index must be 1-D, got shape {index.shape}")
@@ -210,6 +230,10 @@ def segment_reduce_csr(
     offsets = np.asarray(offsets, dtype=np.int64)
     if offsets.ndim != 1 or offsets.size == 0:
         raise ValueError("offsets must be a non-empty 1-D array")
+    if offsets[0] != 0:
+        # A nonzero first offset would silently build an invalid scipy
+        # CSR indptr (rows before offsets[0] are dropped from segment 0).
+        raise ValueError(f"offsets must start at 0, got offsets[0]={int(offsets[0])}")
     if np.any(np.diff(offsets) < 0):
         raise ValueError("offsets must be non-decreasing")
     n = offsets.size - 1

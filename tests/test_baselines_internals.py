@@ -14,7 +14,7 @@ from repro.baselines import (
 )
 from repro.baselines.saga_nn import DistDGLEngine as _DistDGL
 from repro.datasets import load_dataset
-from repro.graph import community_graph, k_hop_neighbors
+from repro.graph import k_hop_neighbors
 
 
 @pytest.fixture(scope="module")

@@ -1,6 +1,5 @@
 """Tests for the flexgraph CLI."""
 
-import numpy as np
 import pytest
 
 from repro.cli import build_parser, main

@@ -149,6 +149,20 @@ class TestDistributedTrainer:
         )
         assert d_stats.loss == pytest.approx(s_stats.loss, rel=1e-8)
 
+    def test_reassembly_permutation_precomputed_once(self, ds):
+        # Regression (perf): the constant order/inverse permutation used
+        # to be recomputed inside every layer loop of every epoch; it is
+        # now derived from the fixed partition once, at construction.
+        model = gcn(ds.feat_dim, 8, ds.num_classes)
+        trainer = DistributedTrainer(
+            model, ds.graph, hash_partition(ds.graph.num_vertices, 4)
+        )
+        n = ds.graph.num_vertices
+        order = np.concatenate([w.root_orders for w in trainer.workers])
+        np.testing.assert_array_equal(trainer._order, order)
+        np.testing.assert_array_equal(trainer._order[trainer._inverse],
+                                      np.arange(n))
+
     def test_pipeline_not_slower_than_batched(self, ds):
         feats = Tensor(ds.features)
         times = {}

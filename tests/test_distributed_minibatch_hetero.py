@@ -146,7 +146,7 @@ class TestTypeProjection:
     def test_composes_with_magnn(self, imdb):
         """The real heterogeneous pipeline: project per type, then run
         the INHA model on the shared space."""
-        from repro.tensor import Module, cross_entropy
+        from repro.tensor import cross_entropy
 
         proj = TypeProjection(imdb.graph.vertex_types, imdb.feat_dim, 16,
                               rng=np.random.default_rng(1))

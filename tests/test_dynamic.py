@@ -5,7 +5,6 @@ import numpy as np
 import pytest
 
 from repro.core import MetapathHDGMaintainer, instances_through_edges, validate_hdg
-from repro.core.selection import build_metapath_hdg
 from repro.graph import Graph, Metapath, heterogeneous_graph
 from repro.graph.metapath import match_length3_metapath
 
@@ -150,7 +149,7 @@ class TestMaintainer:
         assert maintainer.last_delta < total / 4
 
     def test_hdg_usable_for_training_after_updates(self, hgraph):
-        from repro.core import FlexGraphEngine, HDG, NAUModel
+        from repro.core import FlexGraphEngine
         from repro.models import MAGNN
         from repro.tensor import Adam, Tensor
 

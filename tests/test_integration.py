@@ -8,7 +8,6 @@ import pytest
 from repro.baselines import ENGINES, FlexGraphAdapter, PyTorchEngine
 from repro.core import (
     ADBBalancer,
-    ExecutionStrategy,
     FlexGraphEngine,
     metrics_from_hdg,
 )

@@ -14,7 +14,7 @@ from repro.core import (
     hierarchical_aggregate,
 )
 from repro.datasets import load_dataset
-from repro.distributed import DistributedTrainer, dependency_stats, plan_layer_comm, CommConfig
+from repro.distributed import DistributedTrainer, dependency_stats, plan_layer_comm
 from repro.graph import community_graph, hash_partition
 from repro.tensor import Adam, LSTMCell, Linear, Tensor
 

@@ -5,12 +5,9 @@ import pytest
 
 from repro.core import FlexGraphEngine, SelectionScope
 from repro.datasets import load_dataset
-from repro.graph import Metapath, community_graph
+from repro.graph import community_graph
 from repro.models import (
-    GCN,
     MAGNN,
-    PGNN,
-    PinSage,
     default_metapaths,
     gcn,
     gin,

@@ -7,10 +7,8 @@ import pytest
 from repro.core import (
     FlexGraphEngine,
     GNNLayer,
-    HDG,
     NAUModel,
     SelectionScope,
-    SumAggregator,
     hdg_from_graph,
 )
 from repro.datasets import load_dataset
@@ -76,6 +74,45 @@ class TestSelectionScopes:
         eng.forward(feats, 0)
         assert model.selection_calls == 2  # one layer, two forwards
 
+    def test_per_layer_fallback_shared_within_one_forward(self, ds):
+        # Regression (perf): layers *without* their own selection used to
+        # rebuild the model-level HDG once per layer per forward; the
+        # fallback is now built once per forward pass and shared.
+        class TwoLayerCounting(NAUModel):
+            def __init__(self):
+                class L(GNNLayer):
+                    def __init__(self, in_dim, out_dim):
+                        super().__init__(aggregators=["sum"])
+                        self.linear = Linear(in_dim, out_dim)
+
+                    def update(self, feats, nbr_feats):
+                        return self.linear(feats.add(nbr_feats))
+
+                super().__init__(
+                    [L(ds.feat_dim, ds.feat_dim), L(ds.feat_dim, 4)],
+                    SelectionScope.PER_LAYER, name="two-layer-counting",
+                )
+                self.selection_calls = 0
+
+            def neighbor_selection(self, graph, rng):
+                self.selection_calls += 1
+                return hdg_from_graph(graph)
+
+        model = TwoLayerCounting()
+        eng = FlexGraphEngine(model, ds.graph)
+        feats = Tensor(ds.features)
+        eng.forward(feats, 0)
+        assert model.selection_calls == 1   # shared across both layers
+        eng.forward(feats, 0)
+        assert model.selection_calls == 2   # but rebuilt per forward
+
+    def test_per_layer_fallback_invalidated(self, ds):
+        model = CountingModel(ds.feat_dim, ds.num_classes, SelectionScope.PER_LAYER)
+        eng = FlexGraphEngine(model, ds.graph)
+        eng.forward(Tensor(ds.features), 0)
+        eng.invalidate_hdgs()
+        assert eng._per_layer_fallback is None
+
     def test_invalidate_forces_rebuild(self, ds):
         model = CountingModel(ds.feat_dim, ds.num_classes, SelectionScope.STATIC)
         eng = FlexGraphEngine(model, ds.graph)
@@ -130,6 +167,25 @@ class TestEngineTraining:
         acc = eng.evaluate(Tensor(ds.features), ds.labels, ds.test_mask)
         assert 0.0 <= acc <= 1.0
         assert all(p.grad is None for p in model.parameters())
+
+    def test_no_grad_helpers_restore_prior_mode(self, ds):
+        # Regression: predict/embed/evaluate unconditionally called
+        # model.train() afterwards, clobbering a caller's eval mode.
+        model = gcn(ds.feat_dim, 8, ds.num_classes)
+        eng = FlexGraphEngine(model, ds.graph)
+        feats = Tensor(ds.features)
+
+        model.eval()
+        eng.predict(feats)
+        assert model.training is False
+        eng.embed(feats)
+        assert model.training is False
+        eng.evaluate(feats, ds.labels, ds.test_mask)
+        assert model.training is False
+
+        model.train()
+        eng.predict(feats)
+        assert model.training is True
 
     def test_stage_times_iadd(self):
         from repro.core import StageTimes

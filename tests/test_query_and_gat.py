@@ -7,7 +7,7 @@ from repro.baselines import GraphQuery
 from repro.core import FlexGraphEngine
 from repro.datasets import load_dataset
 from repro.graph import Graph, heterogeneous_graph
-from repro.models import GAT, gat
+from repro.models import gat
 from repro.tensor import Adam, Tensor
 
 

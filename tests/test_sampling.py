@@ -11,7 +11,6 @@ from repro.core import (
     validate_hdg,
 )
 from repro.datasets import load_dataset
-from repro.graph import community_graph
 from repro.models import gcn, magnn, pinsage
 from repro.tensor import Adam, Tensor, scatter_rows
 

@@ -10,7 +10,6 @@ from repro.graph import (
     community_graph,
     edge_cut,
     hash_partition,
-    pulp_partition,
     spectral_partition,
 )
 from repro.models import gcn

@@ -1,7 +1,6 @@
 """Tests for the storage tier: graph/dataset/checkpoint persistence and
 partitioned shards."""
 
-import os
 
 import numpy as np
 import pytest

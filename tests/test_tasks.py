@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.datasets import load_dataset
-from repro.graph import Graph, community_graph
+from repro.graph import Graph
 from repro.models import gcn
 from repro.tasks import (
     LinkPredictionTrainer,

@@ -2,7 +2,6 @@
 modules (LSTM cell, attention), indexing edge cases, tape subtleties."""
 
 import numpy as np
-import pytest
 
 from repro.tensor import LSTMCell, Tensor, no_grad, softmax
 

@@ -8,7 +8,6 @@ from repro.tensor import (
     Adam,
     Dropout,
     Linear,
-    Module,
     Parameter,
     ReLU,
     Sequential,

@@ -6,6 +6,8 @@ import pytest
 from repro.tensor import (
     Tensor,
     materialized_bytes,
+    peak_materialized_bytes,
+    release_materialized_bytes,
     reset_materialized_bytes,
     scatter_add,
     scatter_max,
@@ -53,6 +55,23 @@ class TestScatterAdd:
         reset_materialized_bytes()
         scatter_add(Tensor(np.ones((10, 4))), np.zeros(10, dtype=int), 1)
         assert materialized_bytes() == 10 * 4 * 8
+
+    def test_tensor_index_accepted(self):
+        # Regression: the Tensor unwrap in _check_index sat *after*
+        # np.asarray, which built an object-dtype array and broke the
+        # Tensor-index path entirely.
+        idx = np.array([0, 0, 1, 3])
+        ref = scatter_add(Tensor(np.ones((4, 2))), idx, dim_size=4)
+        out = scatter_add(Tensor(np.ones((4, 2))), Tensor(idx), dim_size=4)
+        np.testing.assert_allclose(out.numpy(), ref.numpy())
+
+    def test_peak_tracks_concurrent_bytes_across_release(self):
+        reset_materialized_bytes()
+        scatter_add(Tensor(np.ones((10, 4))), np.zeros(10, dtype=int), 1)
+        release_materialized_bytes(10 * 4 * 8)
+        scatter_add(Tensor(np.ones((5, 4))), np.zeros(5, dtype=int), 1)
+        assert materialized_bytes() == (10 + 5) * 4 * 8   # running total
+        assert peak_materialized_bytes() == 10 * 4 * 8    # high-water mark
 
 
 class TestScatterMeanMaxMin:
@@ -192,6 +211,15 @@ class TestSegmentReduce:
     def test_decreasing_offsets_raise(self):
         with pytest.raises(ValueError):
             segment_reduce_csr(Tensor(np.ones((3, 1))), np.array([0, 2, 1]), None)
+
+    def test_nonzero_first_offset_raises(self):
+        # Regression: offsets[0] != 0 used to slip past validation and
+        # silently build an invalid scipy CSR indptr.
+        with pytest.raises(ValueError, match="start at 0"):
+            segment_reduce_csr(
+                Tensor(np.ones((4, 1))), np.array([1, 2, 4]),
+                np.array([0, 1, 2, 3]),
+            )
 
     def test_unknown_reducer_raises(self):
         with pytest.raises(ValueError):

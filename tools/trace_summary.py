@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Pretty-print a ``repro.obs`` JSON trace (``flexgraph ... --trace``).
+
+Usage::
+
+    python tools/trace_summary.py out.json            # aggregated summary
+    python tools/trace_summary.py out.json --spans    # per-span listing
+    python tools/trace_summary.py out.json --events   # per-event listing
+
+The summary view aggregates spans by name (count / total / mean / max,
+``~`` marking simulated durations), then lists counters (total + peak),
+gauges and event counts — the same rendering ``repro.obs.summary()``
+produces for a live registry.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
+)
+
+from repro.obs import aggregate_spans, render_summary  # noqa: E402
+
+
+def _span_listing(spans: list[dict], limit: int) -> str:
+    lines = [f"  {'t':>10}  {'duration':>10}  span"]
+    for s in spans[:limit]:
+        indent = "  " * int(s.get("depth", 0))
+        attrs = s.get("attrs") or {}
+        rendered = " ".join(f"{k}={v}" for k, v in attrs.items())
+        sim = "~" if s.get("simulated") else " "
+        lines.append(
+            f"  {s['start'] * 1e3:9.3f}ms {s['duration'] * 1e3:9.3f}ms "
+            f"{sim}{indent}{s['name']}  {rendered}"
+        )
+    if len(spans) > limit:
+        lines.append(f"  ... {len(spans) - limit} more (raise --limit)")
+    return "\n".join(lines)
+
+
+def _event_listing(events: list[dict], limit: int) -> str:
+    lines = []
+    for e in events[:limit]:
+        attrs = e.get("attrs") or {}
+        rendered = " ".join(f"{k}={v}" for k, v in attrs.items())
+        lines.append(f"  {e['time'] * 1e3:9.3f}ms  {e['name']}  {rendered}")
+    if len(events) > limit:
+        lines.append(f"  ... {len(events) - limit} more (raise --limit)")
+    return "\n".join(lines) or "  (no events)"
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Pretty-print a repro.obs JSON trace file."
+    )
+    parser.add_argument("trace", help="path to a --trace JSON file")
+    parser.add_argument("--spans", action="store_true",
+                        help="list individual spans in time order")
+    parser.add_argument("--events", action="store_true",
+                        help="list individual events in time order")
+    parser.add_argument("--limit", type=int, default=200,
+                        help="max rows for --spans/--events (default 200)")
+    args = parser.parse_args(argv)
+
+    with open(args.trace) as fh:
+        data = json.load(fh)
+    schema = data.get("schema")
+    if schema != "repro.obs/1":
+        print(f"warning: unknown trace schema {schema!r}; "
+              "attempting to render anyway", file=sys.stderr)
+
+    print(f"trace: {args.trace}  "
+          f"({len(data.get('spans', []))} spans, "
+          f"{len(data.get('events', []))} events)")
+    if args.spans:
+        print(_span_listing(data.get("spans", []), args.limit))
+        return 0
+    if args.events:
+        print(_event_listing(data.get("events", []), args.limit))
+        return 0
+    print(render_summary(
+        aggregate_spans(data.get("spans", [])),
+        data.get("counters", {}),
+        data.get("gauges", {}),
+        data.get("events", []),
+        data.get("meta"),
+    ))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
