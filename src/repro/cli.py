@@ -12,10 +12,13 @@ Usage (installed as the ``flexgraph`` console script, or via
     flexgraph distributed --model gcn --dataset twitter --workers 8 --balance
     flexgraph linkpred --model gcn --dataset reddit
     flexgraph train --model gcn --trace out.json   # repro.obs JSON trace
+    flexgraph train --model gcn --chrome-trace t.json --metrics prom.txt
 
-Every dataset-bearing subcommand accepts ``--trace PATH``: the run's
-spans/counters/events are exported as a JSON trace (see
-``docs/observability.md``) and a summary table is printed.
+Every dataset-bearing subcommand accepts ``--trace PATH`` (native JSON
+trace + printed summary table), ``--chrome-trace PATH`` (Chrome Trace
+Event Format, loadable in chrome://tracing or Perfetto) and
+``--metrics PATH`` (Prometheus text exposition); see
+``docs/observability.md``.
 """
 
 from __future__ import annotations
@@ -89,6 +92,12 @@ def _dataset_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--trace", metavar="PATH",
                         help="export a repro.obs JSON trace of the run to "
                              "PATH and print the observability summary")
+    parser.add_argument("--chrome-trace", metavar="PATH",
+                        help="export the run as a Chrome Trace Event Format "
+                             "file (chrome://tracing / Perfetto)")
+    parser.add_argument("--metrics", metavar="PATH",
+                        help="export the run's counters/gauges/histograms "
+                             "in Prometheus text exposition format")
 
 
 def _model_args(parser: argparse.ArgumentParser) -> None:
@@ -177,7 +186,8 @@ def _cmd_compare(args) -> int:
 
 
 def _cmd_distributed(args) -> int:
-    from .core import ADBBalancer, FlexGraphEngine, metrics_from_hdg
+    from . import obs
+    from .core import ADBBalancer, CostModel, FlexGraphEngine, metrics_from_hdg
     from .datasets import load_dataset
     from .distributed import DistributedTrainer
     from .graph import hash_partition
@@ -190,6 +200,10 @@ def _cmd_distributed(args) -> int:
         hdg = FlexGraphEngine(model, ds.graph).hdg_for_layer(0)
         metrics = metrics_from_hdg(hdg, ds.feat_dim)
         balancer = ADBBalancer(num_plans=5, threshold=1.05, seed=args.seed)
+        # Bootstrap the learned cost function from the analytical default
+        # (stands in for sampled running logs; publishes the calibration
+        # gauge + residual histogram).
+        balancer.observe(metrics, CostModel.default_costs(metrics))
         labels, plan = balancer.rebalance(hdg, labels, args.workers, metrics)
         print("ADB:", "no migration needed" if plan is None else
               f"moved {plan.moved.size} vertices "
@@ -206,6 +220,9 @@ def _cmd_distributed(args) -> int:
               f"simulated {stats.simulated_seconds * 1000:.1f}ms  "
               f"({stats.total_bytes / 1e6:.1f} MB, "
               f"{stats.total_messages} msgs, {stats.comm_mode})")
+    if args.workers > 1:
+        print("\nstraggler report:")
+        print(obs.straggler_report().render())
     return 0
 
 
@@ -267,7 +284,10 @@ _COMMANDS = {
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     trace_path = getattr(args, "trace", None)
-    if trace_path:
+    chrome_path = getattr(args, "chrome_trace", None)
+    metrics_path = getattr(args, "metrics", None)
+    exporting = trace_path or chrome_path or metrics_path
+    if exporting:
         from . import obs
 
         obs.reset()
@@ -276,6 +296,13 @@ def main(argv: list[str] | None = None) -> int:
         obs.export_json(trace_path)
         print(f"\ntrace written to {trace_path}")
         print(obs.summary())
+    if chrome_path:
+        obs.export_chrome_trace(chrome_path)
+        print(f"chrome trace written to {chrome_path} "
+              f"(load in chrome://tracing or ui.perfetto.dev)")
+    if metrics_path:
+        obs.export_prometheus(metrics_path)
+        print(f"prometheus metrics written to {metrics_path}")
     return rc
 
 

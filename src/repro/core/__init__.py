@@ -16,8 +16,18 @@ from .aggregation import (
     WeightedSumAggregator,
     get_aggregator,
 )
-from .balancer import ADBBalancer, BalancePlan, induced_dependency_edges
-from .cost_model import CostModel, metrics_from_hdg
+from .balancer import (
+    REBALANCE_EVENT,
+    ADBBalancer,
+    BalancePlan,
+    induced_dependency_edges,
+)
+from .cost_model import (
+    R_SQUARED_GAUGE,
+    RESIDUAL_HISTOGRAM,
+    CostModel,
+    metrics_from_hdg,
+)
 from .dynamic import MetapathHDGMaintainer, instances_through_edges
 from .engine import EpochStats, FlexGraphEngine, StageTimes
 from .hetero import TypeProjection
@@ -59,8 +69,8 @@ __all__ = [
     "validate_hdg", "hdg_summary", "HDGInvariantError",
     "MetapathHDGMaintainer", "instances_through_edges",
     "TypeProjection",
-    "CostModel", "metrics_from_hdg",
-    "ADBBalancer", "BalancePlan", "induced_dependency_edges",
+    "CostModel", "metrics_from_hdg", "R_SQUARED_GAUGE", "RESIDUAL_HISTOGRAM",
+    "ADBBalancer", "BalancePlan", "induced_dependency_edges", "REBALANCE_EVENT",
     "select_direct_neighbors", "select_pinsage_neighbors",
     "select_metapath_neighbors", "select_anchor_set_neighbors",
     "select_distance_ring_neighbors",

@@ -23,10 +23,16 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from .. import obs
 from .cost_model import CostModel
 from .hdg import HDG
 
-__all__ = ["BalancePlan", "ADBBalancer", "induced_dependency_edges"]
+__all__ = ["BalancePlan", "ADBBalancer", "induced_dependency_edges",
+           "REBALANCE_EVENT"]
+
+#: event emitted by every rebalance() call: balance factor before/after,
+#: plans generated/rejected, and the chosen plan's cut/migration size.
+REBALANCE_EVENT = "adb.rebalance"
 
 
 def induced_dependency_edges(hdg: HDG) -> tuple[np.ndarray, np.ndarray]:
@@ -121,27 +127,62 @@ class ADBBalancer:
         part_costs = np.zeros(k)
         np.add.at(part_costs, labels, costs)
         balance = _balance_factor(part_costs)
+        obs.gauge("adb.balance_factor").set(balance)
         if balance <= self.threshold:
+            self._emit_rebalance(balance, balance, 0, 0, None)
             return labels, None
 
         src_roots, dst_leaves = induced_dependency_edges(hdg)
         adjacency = _build_adjacency(src_roots, dst_leaves)
 
         best: BalancePlan | None = None
+        generated = 0
         for _ in range(self.num_plans):
             plan = self._generate_plan(
                 hdg, labels, k, costs, part_costs, adjacency, src_roots, dst_leaves
             )
             if plan is None:
                 continue
+            generated += 1
             if best is None or (plan.cut_edges, plan.balance_factor) < (
                 best.cut_edges,
                 best.balance_factor,
             ):
                 best = plan
         if best is None or best.balance_factor >= balance:
+            self._emit_rebalance(balance, balance, generated, generated, None)
             return labels, None
+        self._emit_rebalance(
+            balance, best.balance_factor, generated, generated - 1, best
+        )
+        obs.gauge("adb.balance_factor").set(best.balance_factor)
         return best.labels, best
+
+    def _emit_rebalance(
+        self,
+        balance_before: float,
+        balance_after: float,
+        generated: int,
+        rejected: int,
+        plan: BalancePlan | None,
+    ) -> None:
+        attrs = {
+            "balance_before": balance_before,
+            "balance_after": balance_after,
+            "plans_generated": generated,
+            "plans_rejected": rejected,
+            "triggered": plan is not None,
+        }
+        if plan is not None:
+            attrs.update(
+                cut_edges=plan.cut_edges,
+                moved_vertices=int(plan.moved.size),
+                source_partition=plan.source_partition,
+                target_partition=plan.target_partition,
+            )
+            obs.gauge("adb.moved_vertices").set(plan.moved.size)
+            obs.gauge("adb.cut_edges").set(plan.cut_edges)
+        obs.event(REBALANCE_EVENT, **attrs)
 
     # ------------------------------------------------------------------
     def _generate_plan(
@@ -189,16 +230,20 @@ class ADBBalancer:
         candidates = np.array(sorted(member_set - kept), dtype=np.int64)
         if candidates.size == 0:
             return None
-        # Cap the migration so the target partition does not overshoot.
+        # Cap the migration so the target partition does not overshoot:
+        # keep only the longest prefix whose *cumulative* cost fits the
+        # headroom (searchsorted side="right" counts prefixes <= headroom;
+        # the previous +1 off-by-one admitted the first candidate that
+        # exceeded it).
         move_cost = costs[candidates].sum()
         headroom = budget - part_costs[underloaded]
         if move_cost > headroom > 0:
             order = self._rng.permutation(candidates.size)
             running = np.cumsum(costs[candidates[order]])
-            take = order[: int(np.searchsorted(running, headroom)) + 1]
-            candidates = candidates[np.sort(take)]
-            if candidates.size == 0:
+            fits = int(np.searchsorted(running, headroom, side="right"))
+            if fits == 0:
                 return None
+            candidates = candidates[np.sort(order[:fits])]
 
         new_labels = labels.copy()
         new_labels[candidates] = underloaded

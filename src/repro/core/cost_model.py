@@ -18,9 +18,16 @@ from __future__ import annotations
 
 import numpy as np
 
+from .. import obs
 from .hdg import HDG
 
-__all__ = ["CostModel", "metrics_from_hdg"]
+__all__ = ["CostModel", "metrics_from_hdg",
+           "R_SQUARED_GAUGE", "RESIDUAL_HISTOGRAM"]
+
+#: calibration metrics every fit() publishes, so cost-model drift across
+#: epochs is visible in traces without extra plumbing.
+R_SQUARED_GAUGE = "adb.cost_model.r_squared"
+RESIDUAL_HISTOGRAM = "adb.cost_model.residual"
 
 
 def metrics_from_hdg(hdg: HDG, feat_dim: int) -> np.ndarray:
@@ -75,12 +82,22 @@ class CostModel:
         return self.coef_ is not None
 
     def fit(self, metrics: np.ndarray, observed_costs: np.ndarray) -> "CostModel":
-        """Least-squares fit of the polynomial to sampled running logs."""
+        """Least-squares fit of the polynomial to sampled running logs.
+
+        Each fit publishes calibration metrics: the in-sample R² as the
+        ``adb.cost_model.r_squared`` gauge (its history across epochs
+        shows drift) and the absolute residuals into the
+        ``adb.cost_model.residual`` histogram (its tail shows which
+        roots the polynomial cannot explain).
+        """
         x = self._expand(metrics)
         y = np.asarray(observed_costs, dtype=np.float64)
         if y.shape != (x.shape[0],):
             raise ValueError(f"observed costs must be ({x.shape[0]},), got {y.shape}")
         self.coef_, *_ = np.linalg.lstsq(x, y, rcond=None)
+        pred = np.maximum(x @ self.coef_, 0.0)
+        obs.gauge(R_SQUARED_GAUGE).set(_r_squared(y, pred))
+        obs.histogram(RESIDUAL_HISTOGRAM).observe_many(np.abs(y - pred))
         return self
 
     def predict(self, metrics: np.ndarray) -> np.ndarray:
@@ -92,13 +109,20 @@ class CostModel:
     def r_squared(self, metrics: np.ndarray, observed_costs: np.ndarray) -> float:
         """Coefficient of determination on held-out observations."""
         y = np.asarray(observed_costs, dtype=np.float64)
-        pred = self.predict(metrics)
-        ss_res = float(((y - pred) ** 2).sum())
-        ss_tot = float(((y - y.mean()) ** 2).sum())
-        if ss_tot == 0:
-            tolerance = 1e-10 * max(1.0, float((y**2).sum()))
-            return 1.0 if ss_res <= tolerance else 0.0
-        return 1.0 - ss_res / ss_tot
+        return _r_squared(y, self.predict(metrics))
+
+    def calibration(self, metrics: np.ndarray,
+                    observed_costs: np.ndarray) -> dict:
+        """R² plus residual quartiles on one batch of observations."""
+        y = np.asarray(observed_costs, dtype=np.float64)
+        residuals = np.abs(y - self.predict(metrics))
+        return {
+            "r_squared": _r_squared(y, self.predict(metrics)),
+            "residual_p50": float(np.percentile(residuals, 50)),
+            "residual_p90": float(np.percentile(residuals, 90)),
+            "residual_max": float(residuals.max()) if residuals.size else 0.0,
+            "n": int(y.size),
+        }
 
     @staticmethod
     def default_costs(metrics: np.ndarray) -> np.ndarray:
@@ -107,3 +131,13 @@ class CostModel:
         metrics = np.asarray(metrics, dtype=np.float64)
         k = metrics.shape[1] // 2
         return (metrics[:, :k] * metrics[:, k:]).sum(axis=1)
+
+
+def _r_squared(y: np.ndarray, pred: np.ndarray) -> float:
+    """Coefficient of determination, with a tolerance for constant ``y``."""
+    ss_res = float(((y - pred) ** 2).sum())
+    ss_tot = float(((y - y.mean()) ** 2).sum())
+    if ss_tot == 0:
+        tolerance = 1e-10 * max(1.0, float((y**2).sum()))
+        return 1.0 if ss_res <= tolerance else 0.0
+    return 1.0 - ss_res / ss_tot

@@ -212,11 +212,22 @@ class FlexGraphEngine:
         # them so the counter's peak tracks per-epoch concurrent bytes
         # while its total keeps accumulating across the run.
         mat.release(mat.current - mat_mark)
+        train_acc = accuracy(logits, labels, mask)
+        seconds = self.last_times.total
+        obs.epoch_log().log(
+            epoch,
+            loss=loss.item(),
+            seconds=seconds,
+            train_accuracy=train_acc,
+            vertices_per_sec=(
+                self.graph.num_vertices / seconds if seconds > 0 else 0.0
+            ),
+        )
         return EpochStats(
             epoch=epoch,
             loss=loss.item(),
             times=self.last_times,
-            train_accuracy=accuracy(logits, labels, mask),
+            train_accuracy=train_acc,
         )
 
     def fit(

@@ -24,9 +24,16 @@ import numpy as np
 
 from ..core.hdg import HDG
 from ..obs import event as _obs_event
+from ..obs import histogram as _obs_histogram
 from .comm import CommConfig, SimulatedComm
 
-__all__ = ["DependencyStats", "dependency_stats", "CommPlan", "plan_layer_comm"]
+#: per-message payload size distribution across all planned transfers —
+#: the skew between naive (many tiny messages) and batched/pipelined
+#: (few assembled ones) is the whole point of §5's batching.
+MESSAGE_BYTES_HISTOGRAM = "comm.message_bytes"
+
+__all__ = ["DependencyStats", "dependency_stats", "CommPlan",
+           "plan_layer_comm", "MESSAGE_BYTES_HISTOGRAM"]
 
 
 @dataclass
@@ -123,6 +130,7 @@ def plan_layer_comm(
     """
     k = stats.k
     comm = SimulatedComm(k, config)
+    size_hist = _obs_histogram(MESSAGE_BYTES_HISTOGRAM)
     if mode == "pipelined" and not commutative:
         mode_effective = "batched"
     else:
@@ -135,6 +143,7 @@ def plan_layer_comm(
                 count = int(stats.remote_edges_per_pair[dst, src])
                 if count:
                     comm.send(src, dst, count * feat_bytes, messages=count)
+                    size_hist.observe(feat_bytes, count=count)
         overlaps = False
     elif mode_effective == "batched":
         # Same per-root features, but everything bound for the same
@@ -144,6 +153,7 @@ def plan_layer_comm(
                 count = int(stats.remote_edges_per_pair[dst, src])
                 if count:
                     comm.send(src, dst, count * feat_bytes, messages=1)
+                    size_hist.observe(count * feat_bytes)
         overlaps = False
     elif mode_effective == "pipelined":
         # Partial aggregation: one dim-sized value per (root, remote
@@ -153,6 +163,7 @@ def plan_layer_comm(
                 count = int(stats.partial_messages_per_pair[dst, src])
                 if count:
                     comm.send(src, dst, count * feat_bytes, messages=1)
+                    size_hist.observe(count * feat_bytes)
         overlaps = True
     else:
         raise ValueError(f"unknown comm mode {mode!r}")

@@ -52,6 +52,9 @@ class DistributedEpochStats:
     selection_seconds: float
     total_bytes: float
     total_messages: int
+    #: the mode the layer plans actually used ("pipelined" / "batched" /
+    #: "naive", or "mixed" when layers differed) — a non-commutative
+    #: aggregator downgrades a requested pipelined plan to batched.
     comm_mode: str
 
 
@@ -171,6 +174,7 @@ class DistributedTrainer:
         total_bytes = 0.0
         total_messages = 0
         mode = "pipelined" if self.pipeline else "batched"
+        effective_modes: set[str] = set()
 
         for layer_index, layer in enumerate(self.model.layers):
             feat_bytes = int(h.shape[1]) * 8
@@ -178,19 +182,24 @@ class DistributedTrainer:
             plan = plan_layer_comm(
                 self._dep_stats, feat_bytes, self.comm_config, mode, commutative
             )
+            effective_modes.add(plan.mode)
             total_bytes += plan.total_bytes
             total_messages += plan.total_messages
 
             outputs = []
             compute = np.zeros(self.k)
             for worker in self.workers:
-                with obs.span("dist.compute", worker=worker.worker_id,
+                # scale= divides measured time by the worker's modeled
+                # speed, so the recorded span carries the effective
+                # duration straggler analysis and histograms must see.
+                with obs.span("dist.compute",
+                              scale=1.0 / self.worker_speeds[worker.worker_id],
+                              worker=worker.worker_id,
                               layer=layer_index, epoch=epoch) as s_cmp:
                     nbr = layer.aggregation(h, worker.sub_hdg, self.strategy)
                     h_w = layer.update(h[worker.root_orders], nbr)
                 compute[worker.worker_id] = s_cmp.duration
                 outputs.append(h_w)
-            compute = compute / self.worker_speeds
 
             combine = (
                 _COMBINE_FRACTION * plan.per_worker_seconds
@@ -232,16 +241,45 @@ class DistributedTrainer:
                         bytes=param_bytes)
         simulated += allreduce
 
+        # Report the mode the plans actually used: a non-commutative
+        # aggregator silently downgrades pipelined -> batched (§5), and
+        # models can mix commutative and non-commutative layers.
+        if len(effective_modes) == 1:
+            effective_mode = next(iter(effective_modes))
+        elif effective_modes:
+            effective_mode = "mixed"
+        else:
+            effective_mode = mode
+
+        per_worker_compute = np.array([w.compute_seconds for w in self.workers])
+        mean_compute = per_worker_compute.mean()
+        balance = (
+            float(per_worker_compute.max() / mean_compute)
+            if mean_compute > 0 else 1.0
+        )
+        obs.epoch_log().log(
+            epoch,
+            loss=loss.item(),
+            simulated_seconds=simulated,
+            bytes=total_bytes,
+            messages=total_messages,
+            balance_factor=balance,
+            vertices_per_sec=(
+                self.graph.num_vertices / simulated if simulated > 0 else 0.0
+            ),
+            comm_mode=effective_mode,
+        )
+
         return DistributedEpochStats(
             epoch=epoch,
             loss=loss.item(),
             simulated_seconds=simulated,
-            compute_seconds=np.array([w.compute_seconds for w in self.workers]),
+            compute_seconds=per_worker_compute,
             comm_seconds=np.array([w.comm_seconds for w in self.workers]),
             selection_seconds=selection_sim,
             total_bytes=total_bytes,
             total_messages=total_messages,
-            comm_mode=mode,
+            comm_mode=effective_mode,
         )
 
     def aggregation_epoch_time(self, feats: Tensor, epoch: int = 0) -> float:
@@ -261,13 +299,14 @@ class DistributedTrainer:
             compute = np.zeros(self.k)
             outputs = []
             for worker in self.workers:
-                with obs.span("dist.compute", worker=worker.worker_id,
+                with obs.span("dist.compute",
+                              scale=1.0 / self.worker_speeds[worker.worker_id],
+                              worker=worker.worker_id,
                               layer=layer_index, epoch=epoch) as s_cmp:
                     nbr = layer.aggregation(h, worker.sub_hdg, self.strategy)
                 compute[worker.worker_id] = s_cmp.duration
                 # Update runs untimed: this method isolates Aggregation.
                 outputs.append(layer.update(h[worker.root_orders], nbr))
-            compute = compute / self.worker_speeds
             if plan.overlaps_compute:
                 layer_times = (
                     np.maximum(compute, plan.per_worker_seconds)

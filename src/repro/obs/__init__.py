@@ -9,19 +9,42 @@ instead of growing its own ad-hoc clocks and module-global counters:
   network time), flagged ``simulated`` in exports;
 * :func:`counter` / :func:`gauge` — typed metrics with running-total
   *and* peak semantics (the memory accounting of Table 5);
+* :func:`histogram` — log-bucketed distributions with p50/p90/p99
+  readouts; the registry derives one per span name automatically;
+* :func:`epoch_log` — append-only per-epoch scalar time-series (loss,
+  simulated seconds, traffic, balance factor, throughput);
 * :func:`event` — point annotations, e.g. which backend (FA / SA /
   dense) the hybrid executor picked per HDG level (Figure 14);
-* :func:`export_json` / :func:`summary` — a JSON trace file and a
-  human-readable roll-up, also reachable via ``flexgraph ... --trace``.
+* :mod:`repro.obs.analysis` — straggler/skew reports aggregated from
+  the distributed per-worker spans;
+* :func:`export_json` / :func:`export_chrome_trace` /
+  :func:`export_prometheus` / :func:`summary` — a native JSON trace, a
+  ``chrome://tracing``/Perfetto trace, a Prometheus text exposition,
+  and a human-readable roll-up, reachable via ``flexgraph ...
+  --trace/--chrome-trace/--metrics``.
 
 The registry is process-global; call :func:`reset` at the start of a
 measurement window.  All primitives are cheap (a ``perf_counter`` call
 and a list append) so they stay on in production code paths.
 """
 
-from .export import aggregate_spans, export_json, render_summary, summary, to_dict
+from . import analysis
+from .analysis import StragglerReport, render_straggler_report, straggler_report
+from .export import (
+    aggregate_spans,
+    export_chrome_trace,
+    export_json,
+    export_prometheus,
+    render_summary,
+    summary,
+    to_chrome_trace,
+    to_dict,
+    to_prometheus,
+)
+from .histogram import Histogram
 from .metrics import Counter, Gauge
 from .registry import (
+    SPAN_HISTOGRAM_PREFIX,
     EventRecord,
     Registry,
     SpanRecord,
@@ -30,7 +53,8 @@ from .registry import (
     get_registry,
     reset,
 )
-from .spans import counter, event, gauge, record_span, span
+from .spans import counter, epoch_log, event, gauge, histogram, record_span, span
+from .timeseries import EpochLog
 
 __all__ = [
     "span",
@@ -38,18 +62,31 @@ __all__ = [
     "event",
     "counter",
     "gauge",
+    "histogram",
+    "epoch_log",
     "Counter",
     "Gauge",
+    "Histogram",
+    "EpochLog",
     "Registry",
     "SpanRecord",
     "EventRecord",
+    "SPAN_HISTOGRAM_PREFIX",
     "get_registry",
     "reset",
     "enable",
     "disable",
     "export_json",
     "to_dict",
+    "to_chrome_trace",
+    "export_chrome_trace",
+    "to_prometheus",
+    "export_prometheus",
     "summary",
     "render_summary",
     "aggregate_spans",
+    "analysis",
+    "straggler_report",
+    "StragglerReport",
+    "render_straggler_report",
 ]

@@ -1,0 +1,161 @@
+"""Straggler analysis over distributed spans.
+
+The distributed trainer emits one ``dist.compute`` (measured, scaled by
+the worker's modeled speed) and one ``dist.comm`` (simulated) span per
+worker per layer.  Synchronous data-parallel training runs at the pace
+of the slowest worker, so the quantity that matters is not total time
+but *skew*: how much slower the worst worker is than the median.  This
+module aggregates those spans into a :class:`StragglerReport`:
+
+* per-worker compute/comm totals;
+* the slowest worker and its skew ratio (max / median compute);
+* workers exceeding a configurable straggler threshold;
+* the critical-path worker per layer (who the barrier waited for).
+
+Works on live registry records or on the ``"spans"`` list of an
+exported JSON trace, like the other aggregation helpers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from .registry import get_registry
+
+__all__ = ["StragglerReport", "straggler_report", "render_straggler_report"]
+
+COMPUTE_SPAN = "dist.compute"
+COMM_SPAN = "dist.comm"
+
+
+@dataclass
+class StragglerReport:
+    """Per-worker skew summary of one (or more) distributed runs."""
+
+    #: worker -> {"compute": s, "comm": s}
+    per_worker: dict[int, dict] = field(default_factory=dict)
+    #: worker with the largest total compute time (None when no spans)
+    slowest_worker: int | None = None
+    #: max / median per-worker compute (1.0 when balanced or empty)
+    skew_ratio: float = 1.0
+    #: workers whose compute exceeds threshold * median
+    stragglers: list[int] = field(default_factory=list)
+    threshold: float = 1.2
+    #: layer -> worker whose compute + comm bounded that layer's barrier
+    critical_path: dict[int, int] = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {
+            "per_worker": {str(w): dict(v) for w, v in self.per_worker.items()},
+            "slowest_worker": self.slowest_worker,
+            "skew_ratio": self.skew_ratio,
+            "stragglers": list(self.stragglers),
+            "threshold": self.threshold,
+            "critical_path": {str(l): w for l, w in self.critical_path.items()},
+        }
+
+    def render(self) -> str:
+        return render_straggler_report(self)
+
+
+def _median(values: list[float]) -> float:
+    ordered = sorted(values)
+    n = len(ordered)
+    if n == 0:
+        return 0.0
+    mid = n // 2
+    if n % 2:
+        return ordered[mid]
+    return 0.5 * (ordered[mid - 1] + ordered[mid])
+
+
+def straggler_report(
+    spans: Iterable | None = None,
+    threshold: float = 1.2,
+    registry=None,
+) -> StragglerReport:
+    """Aggregate ``dist.compute``/``dist.comm`` spans into a skew report.
+
+    Parameters
+    ----------
+    spans:
+        Span records or exported-trace dicts; defaults to the global
+        registry's records.
+    threshold:
+        A worker whose total compute exceeds ``threshold * median`` is
+        reported as a straggler.
+    """
+    if threshold <= 0:
+        raise ValueError("threshold must be positive")
+    if spans is None:
+        spans = (registry or get_registry()).spans
+
+    per_worker: dict[int, dict] = {}
+    # (layer, worker) -> compute + comm seconds, for the critical path
+    layer_time: dict[tuple[int, int], float] = {}
+    for s in spans:
+        if isinstance(s, dict):
+            name, duration = s["name"], float(s["duration"])
+            attrs = s.get("attrs") or {}
+        else:
+            name, duration, attrs = s.name, s.duration, s.attrs
+        if name not in (COMPUTE_SPAN, COMM_SPAN) or "worker" not in attrs:
+            continue
+        worker = int(attrs["worker"])
+        row = per_worker.setdefault(worker, {"compute": 0.0, "comm": 0.0})
+        kind = "compute" if name == COMPUTE_SPAN else "comm"
+        row[kind] += duration
+        layer = attrs.get("layer")
+        if layer is not None:
+            key = (int(layer), worker)
+            layer_time[key] = layer_time.get(key, 0.0) + duration
+
+    report = StragglerReport(per_worker=per_worker, threshold=float(threshold))
+    if not per_worker:
+        return report
+
+    computes = {w: row["compute"] for w, row in per_worker.items()}
+    report.slowest_worker = max(computes, key=lambda w: (computes[w], -w))
+    median = _median(list(computes.values()))
+    worst = computes[report.slowest_worker]
+    report.skew_ratio = worst / median if median > 0 else 1.0
+    if median > 0:
+        report.stragglers = sorted(
+            w for w, c in computes.items() if c > threshold * median
+        )
+    for (layer, worker), seconds in layer_time.items():
+        current = report.critical_path.get(layer)
+        if current is None or seconds > layer_time[(layer, current)]:
+            report.critical_path[layer] = worker
+    return report
+
+
+def render_straggler_report(report: StragglerReport) -> str:
+    """Fixed-width text rendering of a :class:`StragglerReport`."""
+    if not report.per_worker:
+        return "(no distributed spans recorded)"
+    lines = [f"  {'worker':>6} {'compute':>11} {'comm':>11} {'share':>7}"]
+    total = sum(r["compute"] for r in report.per_worker.values()) or 1.0
+    for worker in sorted(report.per_worker):
+        row = report.per_worker[worker]
+        mark = ""
+        if worker in report.stragglers:
+            mark = "  <- straggler"
+        elif worker == report.slowest_worker:
+            mark = "  <- slowest"
+        lines.append(
+            f"  {worker:>6} {row['compute'] * 1e3:9.3f}ms "
+            f"{row['comm'] * 1e3:9.3f}ms {row['compute'] / total:6.1%}{mark}"
+        )
+    lines.append(
+        f"  skew ratio (max/median compute): {report.skew_ratio:.2f} "
+        f"(straggler threshold {report.threshold:.2f})"
+    )
+    if report.critical_path:
+        path = " ".join(
+            f"L{layer}->w{worker}"
+            for layer, worker in sorted(report.critical_path.items())
+        )
+        lines.append(f"  critical path per layer: {path}")
+    return "\n".join(lines)

@@ -1,31 +1,53 @@
-"""Exporters: JSON trace files and a human-readable summary table.
+"""Exporters: JSON traces, Chrome traces, Prometheus text, summaries.
 
-The JSON schema (version 1) is::
+The native JSON schema (version 2) is::
 
     {
-      "schema": "repro.obs/1",
+      "schema": "repro.obs/2",
       "meta": {"dropped_spans": 0, "dropped_events": 0},
       "spans":    [{"id", "name", "start", "duration", "depth",
                     "parent"?, "simulated"?, "attrs"?}, ...],
       "events":   [{"name", "time", "attrs"?}, ...],
       "counters": {name: {"total", "current", "peak", "count"}, ...},
-      "gauges":   {name: {"value", "peak", "count"}, ...}
+      "gauges":   {name: {"value", "peak", "count"}, ...},
+      "histograms": {name: {"count", "sum", "min", "max",
+                            "p50", "p90", "p99", "buckets"}, ...},
+      "epochs":   {name: {"name", "rows": [{"epoch", ...}, ...]}, ...}
     }
 
-``tools/trace_summary.py`` pretty-prints this file from the command
+Version 2 is a superset of version 1 (readers of /1 traces keep
+working; the new sections default to empty).  Two standard formats are
+also supported:
+
+* :func:`export_chrome_trace` — Chrome Trace Event Format, loadable in
+  ``chrome://tracing`` and https://ui.perfetto.dev;
+* :func:`export_prometheus` — Prometheus text exposition (counters,
+  gauges and histograms with cumulative ``le`` buckets).
+
+``tools/trace_summary.py`` pretty-prints native traces from the command
 line; :func:`summary` renders the same aggregation for a live registry.
 """
 
 from __future__ import annotations
 
 import json
+import re
 from typing import Iterable
 
 from .registry import Registry, get_registry
 
-__all__ = ["to_dict", "export_json", "summary", "aggregate_spans"]
+__all__ = [
+    "to_dict",
+    "export_json",
+    "summary",
+    "aggregate_spans",
+    "to_chrome_trace",
+    "export_chrome_trace",
+    "to_prometheus",
+    "export_prometheus",
+]
 
-SCHEMA = "repro.obs/1"
+SCHEMA = "repro.obs/2"
 
 
 def to_dict(registry: Registry | None = None) -> dict:
@@ -41,6 +63,12 @@ def to_dict(registry: Registry | None = None) -> dict:
         "events": [e.to_dict() for e in reg.events],
         "counters": {name: c.to_dict() for name, c in reg.counters.items()},
         "gauges": {name: g.to_dict() for name, g in reg.gauges.items()},
+        "histograms": {
+            name: h.to_dict() for name, h in reg.histograms.items()
+        },
+        "epochs": {
+            name: log.to_dict() for name, log in reg.epoch_logs.items()
+        },
     }
 
 
@@ -49,6 +77,143 @@ def export_json(path: str, registry: Registry | None = None) -> None:
     with open(path, "w") as fh:
         json.dump(to_dict(registry), fh, indent=1)
         fh.write("\n")
+
+
+# ----------------------------------------------------------------------
+# Chrome Trace Event Format (chrome://tracing, Perfetto)
+# ----------------------------------------------------------------------
+
+#: pid lanes: measured spans vs modeled (simulated) durations.  Modeled
+#: spans never occupied wall time, so mixing them into the measured
+#: timeline would draw misleading overlaps.
+_PID_MEASURED = 0
+_PID_SIMULATED = 1
+
+
+def to_chrome_trace(registry: Registry | None = None,
+                    pid_offset: int = 0) -> dict:
+    """Registry snapshot in Chrome Trace Event Format.
+
+    Spans become complete events (``ph: "X"``, microsecond timestamps);
+    point events become global instants (``ph: "i"``).  Measured and
+    simulated spans live in separate process lanes, and spans carrying a
+    ``worker`` attribute are placed on that worker's thread so the
+    per-worker timelines of the simulated cluster line up visually.
+    ``pid_offset`` shifts both lanes, letting callers merge several runs
+    into one file (``tools/bench.py`` gives each config its own lanes).
+    """
+    reg = registry or get_registry()
+    trace_events: list[dict] = [
+        {
+            "ph": "M", "name": "process_name", "pid": pid_offset + pid,
+            "tid": 0, "args": {"name": label},
+        }
+        for pid, label in (
+            (_PID_MEASURED, "repro (measured)"),
+            (_PID_SIMULATED, "repro (simulated)"),
+        )
+    ]
+    for s in reg.spans:
+        pid = _PID_SIMULATED if s.simulated else _PID_MEASURED
+        worker = s.attrs.get("worker", 0)
+        try:
+            tid = int(worker)
+        except (TypeError, ValueError):
+            tid = 0
+        trace_events.append({
+            "ph": "X",
+            "name": s.name,
+            "pid": pid_offset + pid,
+            "tid": tid,
+            "ts": s.start * 1e6,
+            "dur": s.duration * 1e6,
+            "args": dict(s.attrs),
+        })
+    for e in reg.events:
+        trace_events.append({
+            "ph": "i",
+            "s": "g",
+            "name": e.name,
+            "pid": pid_offset + _PID_MEASURED,
+            "tid": 0,
+            "ts": e.time * 1e6,
+            "args": dict(e.attrs),
+        })
+    return {"traceEvents": trace_events, "displayTimeUnit": "ms"}
+
+
+def export_chrome_trace(path: str, registry: Registry | None = None) -> None:
+    """Write a ``chrome://tracing``/Perfetto-loadable trace file."""
+    with open(path, "w") as fh:
+        json.dump(to_chrome_trace(registry), fh)
+        fh.write("\n")
+
+
+# ----------------------------------------------------------------------
+# Prometheus text exposition format
+# ----------------------------------------------------------------------
+
+def _prom_name(name: str) -> str:
+    """Sanitize a metric name into the Prometheus charset."""
+    name = re.sub(r"[^a-zA-Z0-9_:]", "_", name)
+    if name and name[0].isdigit():
+        name = "_" + name
+    return name
+
+
+def _prom_float(value: float) -> str:
+    if value == float("inf"):
+        return "+Inf"
+    if value == float("-inf"):
+        return "-Inf"
+    return repr(float(value))
+
+
+def to_prometheus(registry: Registry | None = None) -> str:
+    """Registry snapshot in the Prometheus text exposition format.
+
+    Counters expose ``<name>_total`` (plus ``_peak`` and ``_current``
+    gauges for their high-water semantics), gauges map directly, and
+    histograms expose cumulative ``le``-labelled buckets with ``_sum``
+    and ``_count`` — scrape-ready for a pushgateway or node exporter's
+    textfile collector.
+    """
+    reg = registry or get_registry()
+    lines: list[str] = []
+    for name in sorted(reg.counters):
+        c = reg.counters[name]
+        base = _prom_name(name)
+        lines.append(f"# TYPE {base}_total counter")
+        lines.append(f"{base}_total {_prom_float(c.total)}")
+        lines.append(f"# TYPE {base}_peak gauge")
+        lines.append(f"{base}_peak {_prom_float(c.peak)}")
+        lines.append(f"# TYPE {base}_current gauge")
+        lines.append(f"{base}_current {_prom_float(c.current)}")
+    for name in sorted(reg.gauges):
+        g = reg.gauges[name]
+        base = _prom_name(name)
+        lines.append(f"# TYPE {base} gauge")
+        lines.append(f"{base} {_prom_float(g.value)}")
+    for name in sorted(reg.histograms):
+        h = reg.histograms[name]
+        base = _prom_name(name)
+        lines.append(f"# TYPE {base} histogram")
+        cumulative = 0
+        for bound, count in h.bucket_bounds():
+            cumulative += count
+            lines.append(
+                f'{base}_bucket{{le="{_prom_float(bound)}"}} {cumulative}'
+            )
+        lines.append(f'{base}_bucket{{le="+Inf"}} {h.count}')
+        lines.append(f"{base}_sum {_prom_float(h.sum)}")
+        lines.append(f"{base}_count {h.count}")
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def export_prometheus(path: str, registry: Registry | None = None) -> None:
+    """Write the Prometheus text exposition to ``path``."""
+    with open(path, "w") as fh:
+        fh.write(to_prometheus(registry))
 
 
 def aggregate_spans(spans: Iterable) -> dict[str, dict]:
@@ -97,6 +262,8 @@ def render_summary(
     gauges: dict[str, dict],
     events: list[dict],
     meta: dict | None = None,
+    histograms: dict[str, dict] | None = None,
+    epochs: dict[str, dict] | None = None,
 ) -> str:
     """Render aggregated trace data as a fixed-width text table."""
     lines: list[str] = []
@@ -134,6 +301,32 @@ def render_summary(
             peak = g["peak"]
             peak_s = "n/a" if peak is None else f"{peak:,.4g}"
             lines.append(f"  {name:<36} value {g['value']:,.4g}  peak {peak_s}")
+    if histograms:
+        lines.append("histograms (percentiles; span.* are seconds):")
+        lines.append(f"  {'name':<34} {'count':>7} {'p50':>11} "
+                     f"{'p90':>11} {'p99':>11} {'max':>11}")
+        for name in sorted(histograms):
+            h = histograms[name]
+            if not h["count"]:
+                continue
+            if name.startswith("span."):
+                fmt = _format_seconds
+            elif "bytes" in name:
+                fmt = lambda v: f"{_format_bytes(v):>11}"  # noqa: E731
+            else:
+                fmt = lambda v: f"{v:>11.4g}"  # noqa: E731
+            lines.append(
+                f"  {name:<34} {h['count']:>7} "
+                f"{fmt(h['p50'])} {fmt(h['p90'])} "
+                f"{fmt(h['p99'])} {fmt(h['max'])}"
+            )
+    if epochs:
+        lines.append("epoch series:")
+        for name in sorted(epochs):
+            rows = epochs[name].get("rows", [])
+            keys = [k for k in (rows[-1] if rows else {}) if k != "epoch"]
+            lines.append(f"  {name:<36} {len(rows)} epochs "
+                         f"({', '.join(keys)})")
     if events:
         lines.append("events (by name):")
         by_name: dict[str, int] = {}
@@ -160,4 +353,6 @@ def summary(registry: Registry | None = None) -> str:
         snapshot["gauges"],
         snapshot["events"],
         snapshot["meta"],
+        histograms=snapshot["histograms"],
+        epochs=snapshot["epochs"],
     )

@@ -17,12 +17,18 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 
+from .histogram import Histogram
 from .metrics import Counter, Gauge
+from .timeseries import EpochLog
+
+#: prefix of the latency histograms the registry derives per span name.
+SPAN_HISTOGRAM_PREFIX = "span."
 
 __all__ = [
     "SpanRecord",
     "EventRecord",
     "Registry",
+    "SPAN_HISTOGRAM_PREFIX",
     "get_registry",
     "reset",
     "enable",
@@ -44,6 +50,8 @@ class SpanRecord:
     #: modeled (simulated) durations are flagged so exporters can tell
     #: them apart from wall-clock measurements
     simulated: bool = False
+    #: set once by end_span; a second end of the same record is a no-op
+    closed: bool = field(default=False, compare=False, repr=False)
 
     def to_dict(self) -> dict:
         out = {
@@ -90,6 +98,8 @@ class Registry:
         self.events: list[EventRecord] = []
         self.counters: dict[str, Counter] = {}
         self.gauges: dict[str, Gauge] = {}
+        self.histograms: dict[str, Histogram] = {}
+        self.epoch_logs: dict[str, EpochLog] = {}
         self.dropped_spans = 0
         self.dropped_events = 0
         self.enabled = True
@@ -128,14 +138,27 @@ class Registry:
 
     def end_span(self, record: SpanRecord,
                  duration: float | None = None) -> None:
+        if record.closed:
+            # Stale/double end: the record already has its duration and
+            # was already (maybe) stored; ending it again must not
+            # disturb currently open spans.
+            return
         if duration is None:
             duration = self.now() - record.start
         record.duration = float(duration)
-        # Tolerate out-of-order exits defensively: pop up to the record.
-        while self._stack:
-            top = self._stack.pop()
-            if top is record:
-                break
+        record.closed = True
+        # Tolerate out-of-order exits defensively: pop up to the record —
+        # but only if the record is actually on the stack, otherwise a
+        # stale end would silently discard every open span.
+        if any(open_span is record for open_span in self._stack):
+            while self._stack:
+                if self._stack.pop() is record:
+                    break
+        # Per-span-name latency histograms stay exact regardless of the
+        # record cap or enabled state (O(1) aggregate, like counters).
+        self.histogram(SPAN_HISTOGRAM_PREFIX + record.name).observe(
+            record.duration
+        )
         if not self.enabled:
             return
         if len(self.spans) >= self.max_records:
@@ -173,6 +196,18 @@ class Registry:
         if g is None:
             g = self.gauges[name] = Gauge(name)
         return g
+
+    def histogram(self, name: str) -> Histogram:
+        h = self.histograms.get(name)
+        if h is None:
+            h = self.histograms[name] = Histogram(name)
+        return h
+
+    def epoch_log(self, name: str = "train") -> EpochLog:
+        log = self.epoch_logs.get(name)
+        if log is None:
+            log = self.epoch_logs[name] = EpochLog(name)
+        return log
 
 
 _REGISTRY = Registry()

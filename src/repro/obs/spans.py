@@ -23,17 +23,25 @@ from __future__ import annotations
 
 from .registry import SpanRecord, get_registry
 
-__all__ = ["span", "record_span", "event", "counter", "gauge"]
+__all__ = ["span", "record_span", "event", "counter", "gauge",
+           "histogram", "epoch_log"]
 
 
 class span:
-    """Context manager timing one named region; attrs are free-form."""
+    """Context manager timing one named region; attrs are free-form.
 
-    __slots__ = ("name", "attrs", "record")
+    ``scale`` multiplies the measured duration at exit — the distributed
+    trainer passes ``1 / worker_speed`` so a modeled-slow worker's
+    ``dist.compute`` spans carry its effective (slowed-down) time, which
+    is what straggler analysis and latency histograms must see.
+    """
 
-    def __init__(self, name: str, **attrs):
+    __slots__ = ("name", "attrs", "record", "scale")
+
+    def __init__(self, name: str, scale: float | None = None, **attrs):
         self.name = name
         self.attrs = attrs
+        self.scale = scale
         self.record: SpanRecord | None = None
 
     def __enter__(self) -> "span":
@@ -41,7 +49,12 @@ class span:
         return self
 
     def __exit__(self, exc_type, exc, tb) -> None:
-        get_registry().end_span(self.record)
+        reg = get_registry()
+        if self.scale is None:
+            reg.end_span(self.record)
+        else:
+            measured = reg.now() - self.record.start
+            reg.end_span(self.record, duration=measured * self.scale)
 
     @property
     def duration(self) -> float:
@@ -67,3 +80,13 @@ def counter(name: str):
 def gauge(name: str):
     """Fetch-or-create the named :class:`~repro.obs.metrics.Gauge`."""
     return get_registry().gauge(name)
+
+
+def histogram(name: str):
+    """Fetch-or-create the named :class:`~repro.obs.histogram.Histogram`."""
+    return get_registry().histogram(name)
+
+
+def epoch_log(name: str = "train"):
+    """Fetch-or-create the named :class:`~repro.obs.timeseries.EpochLog`."""
+    return get_registry().epoch_log(name)

@@ -1,0 +1,64 @@
+"""Per-epoch scalar time-series (:class:`EpochLog`).
+
+Histograms answer "how is a quantity distributed?"; an :class:`EpochLog`
+answers "how does it evolve over training?".  Each call to :meth:`log`
+appends one row of named scalars for one epoch — loss, simulated
+seconds, traffic, balance factor, throughput — and :meth:`series` reads
+any column back as a list, so convergence and perf regressions are one
+comparison away.
+
+The trainer and the single-machine engine feed the registry's default
+``train`` log automatically; callers may keep additional named logs
+(e.g. one per ablation arm) via ``obs.epoch_log("arm-a")``.
+"""
+
+from __future__ import annotations
+
+__all__ = ["EpochLog"]
+
+
+class EpochLog:
+    """Append-only per-epoch rows of named scalars."""
+
+    __slots__ = ("name", "rows")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.rows: list[dict] = []
+
+    def log(self, epoch: int, **scalars) -> dict:
+        """Append one epoch's snapshot; returns the stored row."""
+        row = {"epoch": int(epoch)}
+        for key, value in scalars.items():
+            row[key] = float(value) if isinstance(value, (int, float)) else value
+        self.rows.append(row)
+        return row
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def keys(self) -> list[str]:
+        """Every column name that appears in at least one row."""
+        seen: dict[str, None] = {}
+        for row in self.rows:
+            for key in row:
+                seen.setdefault(key, None)
+        return list(seen)
+
+    def series(self, key: str) -> list:
+        """The column ``key`` across epochs (rows missing it are skipped)."""
+        return [row[key] for row in self.rows if key in row]
+
+    def latest(self) -> dict | None:
+        """The most recently logged row, or ``None`` when empty."""
+        return self.rows[-1] if self.rows else None
+
+    def reset(self) -> None:
+        self.rows.clear()
+
+    def to_dict(self) -> dict:
+        return {"name": self.name, "rows": [dict(r) for r in self.rows]}
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"EpochLog({self.name!r}, epochs={len(self.rows)})"

@@ -1,0 +1,141 @@
+"""Tests for tools/bench.py: report schema, validation, Chrome trace."""
+
+import json
+import os
+import sys
+
+import pytest
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "tools")
+)
+
+import bench  # noqa: E402
+
+
+@pytest.fixture(scope="module")
+def smoke_outputs(tmp_path_factory):
+    """One smoke run shared by every test (it trains real models)."""
+    out = tmp_path_factory.mktemp("bench")
+    report_path = out / "report.json"
+    trace_path = out / "trace.json"
+    rc = bench.main([
+        "--smoke",
+        "--output", str(report_path),
+        "--chrome-trace", str(trace_path),
+    ])
+    assert rc == 0
+    return (json.loads(report_path.read_text()),
+            json.loads(trace_path.read_text()))
+
+
+class TestReport:
+    def test_schema_and_config_count(self, smoke_outputs):
+        report, _trace = smoke_outputs
+        assert report["schema"] == bench.SCHEMA
+        assert report["mode"] == "smoke"
+        assert len(report["configs"]) >= 4
+
+    def test_required_keys_and_sanity(self, smoke_outputs):
+        report, _trace = smoke_outputs
+        for row in report["configs"]:
+            assert row["median_epoch_seconds"] > 0
+            assert row["p90_epoch_seconds"] >= row["median_epoch_seconds"]
+            assert row["peak_materialized_bytes"] >= 0
+            assert row["time_basis"] in ("wall", "simulated")
+        kinds = {row["kind"] for row in report["configs"]}
+        assert kinds == {"single", "distributed"}
+
+    def test_distributed_rows_carry_workers_and_pipeline(self, smoke_outputs):
+        report, _trace = smoke_outputs
+        dist = [r for r in report["configs"] if r["kind"] == "distributed"]
+        assert len(dist) == 2
+        assert {r["pipeline"] for r in dist} == {True, False}
+        assert all(r["workers"] == 4 for r in dist)
+        assert all(r["time_basis"] == "simulated" for r in dist)
+
+    def test_validate_accepts_own_output(self, smoke_outputs):
+        report, _trace = smoke_outputs
+        bench.validate_report(report)   # must not raise
+
+
+class TestValidate:
+    def _good(self):
+        row = {"name": "x", "model": "gcn", "dataset": "reddit",
+               "kind": "single", "epochs": 3,
+               "median_epoch_seconds": 0.1, "p90_epoch_seconds": 0.2,
+               "peak_materialized_bytes": 10, "time_basis": "wall"}
+        return {"schema": bench.SCHEMA,
+                "configs": [dict(row, name=f"c{i}") for i in range(4)]}
+
+    def test_good_report_passes(self):
+        bench.validate_report(self._good())
+
+    def test_bad_schema_rejected(self):
+        report = self._good()
+        report["schema"] = "something/else"
+        with pytest.raises(ValueError, match="schema"):
+            bench.validate_report(report)
+
+    def test_too_few_configs_rejected(self):
+        report = self._good()
+        report["configs"] = report["configs"][:3]
+        with pytest.raises(ValueError, match=">= 4"):
+            bench.validate_report(report)
+
+    def test_missing_key_rejected(self):
+        report = self._good()
+        del report["configs"][1]["p90_epoch_seconds"]
+        with pytest.raises(ValueError, match="missing"):
+            bench.validate_report(report)
+
+    def test_non_positive_median_rejected(self):
+        report = self._good()
+        report["configs"][0]["median_epoch_seconds"] = 0.0
+        with pytest.raises(ValueError, match="non-positive"):
+            bench.validate_report(report)
+
+    def test_p90_below_median_rejected(self):
+        report = self._good()
+        report["configs"][2]["p90_epoch_seconds"] = 0.01
+        with pytest.raises(ValueError, match="p90 < median"):
+            bench.validate_report(report)
+
+
+class TestPercentile:
+    def test_interpolation(self):
+        assert bench._percentile([1.0, 2.0, 3.0, 4.0], 50) == 2.5
+        assert bench._percentile([5.0], 90) == 5.0
+        assert bench._percentile([1.0, 3.0], 100) == 3.0
+
+
+class TestChromeTrace:
+    def test_trace_event_format(self, smoke_outputs):
+        _report, trace = smoke_outputs
+        events = trace["traceEvents"]
+        assert events
+        for e in events:
+            assert e["ph"] in ("X", "i", "M")
+            assert "pid" in e and "tid" in e and "name" in e
+
+    def test_one_lane_pair_per_config(self, smoke_outputs):
+        report, trace = smoke_outputs
+        pids = {e["pid"] for e in trace["traceEvents"]}
+        # Config i owns pids {10i, 10i+1} (measured/simulated lanes).
+        expected = set()
+        for i in range(len(report["configs"])):
+            expected |= {i * 10, i * 10 + 1}
+        assert pids <= expected
+        # At least the measured lane of every config is populated.
+        assert {i * 10 for i in range(len(report["configs"]))} <= pids
+
+
+class TestCommittedBaseline:
+    def test_repo_root_baseline_is_valid(self):
+        """BENCH_epoch_time.json at the repo root (the committed
+        baseline) must satisfy the same schema the CI gate enforces."""
+        assert os.path.exists(bench.DEFAULT_OUTPUT), (
+            "run `python tools/bench.py` to regenerate the baseline"
+        )
+        with open(bench.DEFAULT_OUTPUT) as fh:
+            bench.validate_report(json.load(fh))

@@ -49,6 +49,19 @@ class TestMetrics:
         metrics = np.array([[1.0, 4.0, 60.0, 60.0]])
         np.testing.assert_allclose(CostModel.default_costs(metrics), [300.0])
 
+    def test_zero_instance_type_yields_finite_zeros(self):
+        """A schema type with no instances anywhere must produce n=0 and
+        m=0 (not NaN) for every root."""
+        schema = SchemaTree(("MP1", "MP2"))
+        records = [NeighborRecord(0, (1, 2, 0), 0),
+                   NeighborRecord(3, (4, 5, 3), 0)]   # only type 0
+        hdg = build_hdg(records, schema, np.array([0, 3]), 6)
+        m = metrics_from_hdg(hdg, feat_dim=20)
+        assert np.isfinite(m).all()
+        np.testing.assert_array_equal(m[:, 1], 0.0)   # n_2 = 0
+        np.testing.assert_array_equal(m[:, 3], 0.0)   # m_2 = 0
+        assert (m[:, 0] > 0).all() and (m[:, 2] > 0).all()
+
 
 class TestCostModel:
     def test_fit_recovers_linear_combination(self, magnn_hdg):
@@ -88,6 +101,13 @@ class TestCostModel:
     def test_r_squared_perfect_constant(self):
         cm = CostModel().fit(np.ones((4, 2)), np.full(4, 7.0))
         assert cm.r_squared(np.ones((4, 2)), np.full(4, 7.0)) == pytest.approx(1.0)
+
+    def test_r_squared_constant_observed_tolerance_fail(self):
+        """Constant held-out costs that the model does NOT predict must
+        score 0.0, not divide by a zero total sum of squares."""
+        metrics = np.column_stack([np.arange(1.0, 9.0), np.full(8, 2.0)])
+        cm = CostModel().fit(metrics, np.arange(1.0, 9.0) * 10.0)
+        assert cm.r_squared(metrics, np.full(8, 7.0)) == 0.0
 
 
 class TestInducedGraph:
@@ -183,3 +203,50 @@ class TestADBBalancer:
         _, plan10 = many.rebalance(hdg, labels, 4, metrics)
         if plan1 is not None and plan10 is not None:
             assert plan10.cut_edges <= plan1.cut_edges
+
+    def test_migration_cap_respects_target_headroom(self):
+        """Regression: the cumulative-cost cap previously kept one extra
+        candidate (``searchsorted(...) + 1``), overshooting the target
+        partition's headroom.
+
+        Setup forces the cap path deterministically: partition 0 holds a
+        chain of six cost-10 vertices, budget 32 -> BFS keeps three
+        (cost 30) from any seed, leaving three cost-10 candidates
+        against headroom 28.  A correct cap moves exactly two (cost 20);
+        the off-by-one moved all three (cost 30 > 28)."""
+        costs = np.zeros(10)
+        costs[:6] = 10.0
+        costs[6:] = 1.0
+        labels = np.array([0] * 6 + [1] * 4, dtype=np.int64)
+        part_costs = np.array([60.0, 4.0])
+        # Chain 0-1-2-3-4-5 keeps partition 0 BFS-connected; the same
+        # edges serve as the induced graph for the cut computation.
+        src = np.arange(5, dtype=np.int64)
+        dst = np.arange(1, 6, dtype=np.int64)
+        from repro.core.balancer import _build_adjacency
+
+        adjacency = _build_adjacency(src, dst)
+        balancer = ADBBalancer(num_plans=1, threshold=1.05, seed=0)
+        headroom = part_costs.mean() - part_costs[1]
+        for seed in range(8):
+            balancer._rng = np.random.default_rng(seed)
+            plan = balancer._generate_plan(
+                None, labels, 2, costs, part_costs, adjacency, src, dst
+            )
+            assert plan is not None
+            moved_cost = costs[plan.moved].sum()
+            assert moved_cost <= headroom + 1e-9, seed
+            assert plan.moved.size == 2, seed
+
+    def test_rebalance_never_overshoots_target(self):
+        """End-to-end form of the cap invariant on the skewed setup."""
+        _g, hdg, metrics, labels = self.make_skewed_setup()
+        balancer = ADBBalancer(num_plans=5, threshold=1.05, seed=0)
+        costs = np.zeros(hdg.num_input_vertices)
+        costs[hdg.roots] = balancer.per_root_costs(metrics)
+        part_costs = np.zeros(4)
+        np.add.at(part_costs, labels, costs)
+        _new, plan = balancer.rebalance(hdg, labels, 4, metrics)
+        if plan is not None:
+            headroom = part_costs.mean() - part_costs[plan.target_partition]
+            assert costs[plan.moved].sum() <= headroom + 1e-9

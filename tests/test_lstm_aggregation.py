@@ -148,6 +148,22 @@ class TestNonCommutativeDistributed:
         assert stats.total_bytes == pytest.approx(batched.total_bytes)
         assert np.isfinite(stats.loss)
 
+    def test_stats_report_effective_mode_not_requested(self):
+        """Regression: comm_mode echoed the *requested* mode even when
+        every layer's plan silently fell back to batched transfer."""
+        ds = load_dataset("reddit", scale="tiny")
+        model = NAUModel([_LSTMLayer(ds.feat_dim, ds.num_classes)],
+                         SelectionScope.STATIC, name="lstm-gnn")
+        trainer = DistributedTrainer(
+            model, ds.graph, hash_partition(ds.graph.num_vertices, 2),
+            pipeline=True,   # requested pipelined; LSTM forces batched
+        )
+        stats = trainer.train_epoch(
+            Tensor(ds.features), ds.labels, Adam(model.parameters(), 0.01),
+            ds.train_mask,
+        )
+        assert stats.comm_mode == "batched"
+
     def test_lstm_gnn_learns(self):
         ds = load_dataset("reddit", scale="tiny")
         model = NAUModel([_LSTMLayer(ds.feat_dim, ds.num_classes)],

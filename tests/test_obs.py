@@ -3,6 +3,7 @@ integration with the engine, the hybrid executor, the scatter layer and
 the simulated distributed runtime."""
 
 import json
+import time
 
 import pytest
 
@@ -66,9 +67,43 @@ class TestSpans:
             pass
         obs.counter("c").add(5)
         obs.event("e")
+        obs.epoch_log().log(0, loss=1.0)
         obs.reset()
         reg = obs.get_registry()
         assert reg.spans == [] and reg.events == [] and reg.counters == {}
+        assert reg.histograms == {} and reg.epoch_logs == {}
+
+    def test_stale_end_does_not_discard_open_spans(self):
+        """Ending a record that is not on the stack (double end) must not
+        unwind the currently open spans."""
+        reg = obs.get_registry()
+        with obs.span("outer"):
+            with obs.span("inner") as inner:
+                pass
+            # inner is already ended: end it again while outer is open.
+            reg.end_span(inner.record)
+            assert len(reg._stack) == 1
+            assert reg._stack[0].name == "outer"
+            with obs.span("sibling"):
+                pass
+        names = [s.name for s in reg.spans]
+        assert names == ["inner", "sibling", "outer"]
+        # The double end neither duplicated the record nor re-timed it.
+        assert sum(1 for s in reg.spans if s is inner.record) == 1
+
+    def test_double_end_keeps_first_duration(self):
+        reg = obs.get_registry()
+        rec = obs.record_span("fixed", 0.5)
+        reg.end_span(rec, duration=9.0)
+        assert rec.duration == 0.5
+        assert len(reg.spans) == 1
+
+    def test_span_scale_multiplies_duration(self):
+        with obs.span("scaled", scale=50.0) as s:
+            time.sleep(0.002)
+        # sleep() never returns early, so measured >= 2ms and scaled >= 0.1.
+        assert s.duration >= 0.05
+        assert obs.get_registry().spans[0].duration == s.duration
 
     def test_record_cap_drops_and_counts(self):
         reg = obs.get_registry()
@@ -122,7 +157,7 @@ class TestExport:
         path = tmp_path / "trace.json"
         obs.export_json(str(path))
         data = json.loads(path.read_text())
-        assert data["schema"] == "repro.obs/1"
+        assert data["schema"] == "repro.obs/2"
         names = {s["name"] for s in data["spans"]}
         assert names == {"outer", "sim"}
         assert any(s.get("simulated") for s in data["spans"])
@@ -268,7 +303,7 @@ class TestCLITrace:
                    "--trace", str(path)])
         assert rc == 0
         data = json.loads(path.read_text())
-        assert data["schema"] == "repro.obs/1"
+        assert data["schema"] == "repro.obs/2"
         names = {s["name"] for s in data["spans"]}
         assert STAGE_SPANS["aggregation"] in names
         assert "scatter.materialized_bytes" in data["counters"]

@@ -1,0 +1,228 @@
+#!/usr/bin/env python3
+"""Fixed-matrix perf baseline: writes ``BENCH_epoch_time.json``.
+
+Runs a small, fixed model/dataset matrix (single-machine and simulated
+distributed configs) and records, per configuration, the median and p90
+epoch seconds plus the peak concurrently materialized bytes — the three
+numbers every perf-oriented PR must not regress.  The output schema
+(``repro.bench/1``) is::
+
+    {
+      "schema": "repro.bench/1",
+      "mode": "smoke" | "full",
+      "configs": [
+        {"name", "model", "dataset", "scale", "kind", "workers"?,
+         "pipeline"?, "strategy", "epochs",
+         "median_epoch_seconds", "p90_epoch_seconds",
+         "peak_materialized_bytes", "time_basis": "wall" | "simulated"},
+        ...
+      ]
+    }
+
+Usage::
+
+    python tools/bench.py                      # full matrix -> repo root
+    python tools/bench.py --smoke              # tiny/fast (CI gate)
+    python tools/bench.py --output path.json --chrome-trace trace.json
+
+``--chrome-trace`` merges every configuration's spans into one Chrome
+Trace Event Format file (one process-lane pair per config), loadable in
+chrome://tracing or https://ui.perfetto.dev.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import statistics
+import sys
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
+)
+
+from repro import obs  # noqa: E402
+
+SCHEMA = "repro.bench/1"
+REPO_ROOT = os.path.abspath(
+    os.path.join(os.path.dirname(os.path.abspath(__file__)), "..")
+)
+DEFAULT_OUTPUT = os.path.join(REPO_ROOT, "BENCH_epoch_time.json")
+
+#: the fixed matrix: strategy spread (HA vs SA exercises the hybrid
+#: executor and the materialization counter), plus distributed runs with
+#: and without pipeline processing (Figure 15b/c's comparison).
+MATRIX = [
+    {"name": "gcn-single-ha", "kind": "single", "model": "gcn",
+     "dataset": "reddit", "strategy": "ha"},
+    {"name": "gcn-single-sa", "kind": "single", "model": "gcn",
+     "dataset": "reddit", "strategy": "sa"},
+    {"name": "gat-single-ha", "kind": "single", "model": "gat",
+     "dataset": "reddit", "strategy": "ha"},
+    {"name": "gcn-dist4-pipelined", "kind": "distributed", "model": "gcn",
+     "dataset": "reddit", "strategy": "ha", "workers": 4, "pipeline": True},
+    {"name": "gcn-dist4-batched", "kind": "distributed", "model": "gcn",
+     "dataset": "reddit", "strategy": "ha", "workers": 4, "pipeline": False},
+]
+
+
+def _build(config: dict, scale: str, seed: int):
+    from repro import models
+    from repro.datasets import load_dataset
+
+    ds = load_dataset(config["dataset"], scale=scale, seed=seed)
+    factory = getattr(models, config["model"])
+    model = factory(ds.feat_dim, 16, ds.num_classes, seed=seed)
+    return ds, model
+
+
+def _run_single(config: dict, ds, model, epochs: int, seed: int) -> list[float]:
+    from repro.core import FlexGraphEngine
+    from repro.tensor import Adam, Tensor
+
+    engine = FlexGraphEngine(model, ds.graph, strategy=config["strategy"],
+                             seed=seed)
+    optimizer = Adam(model.parameters(), lr=0.01)
+    feats = Tensor(ds.features)
+    seconds = []
+    for epoch in range(epochs):
+        stats = engine.train_epoch(feats, ds.labels, optimizer,
+                                   ds.train_mask, epoch)
+        seconds.append(stats.times.total)
+    return seconds
+
+
+def _run_distributed(config: dict, ds, model, epochs: int,
+                     seed: int) -> list[float]:
+    from repro.distributed import DistributedTrainer
+    from repro.graph import hash_partition
+    from repro.tensor import Adam, Tensor
+
+    labels = hash_partition(ds.graph.num_vertices, config["workers"])
+    trainer = DistributedTrainer(
+        model, ds.graph, labels, strategy=config["strategy"],
+        pipeline=config["pipeline"], seed=seed,
+    )
+    optimizer = Adam(model.parameters(), lr=0.01)
+    feats = Tensor(ds.features)
+    seconds = []
+    for epoch in range(epochs):
+        stats = trainer.train_epoch(feats, ds.labels, optimizer,
+                                    ds.train_mask, epoch)
+        seconds.append(stats.simulated_seconds)
+    return seconds
+
+
+def _percentile(values: list[float], q: float) -> float:
+    """Linear-interpolated percentile (numpy-free for tiny lists)."""
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = q / 100.0 * (len(ordered) - 1)
+    low = int(rank)
+    high = min(low + 1, len(ordered) - 1)
+    return ordered[low] + (ordered[high] - ordered[low]) * (rank - low)
+
+
+def run_matrix(scale: str, epochs: int, seed: int,
+               chrome_trace: str | None = None) -> dict:
+    """Run every config and return the bench report dict."""
+    configs = []
+    merged_events: list[dict] = []
+    for index, config in enumerate(MATRIX):
+        obs.reset()
+        ds, model = _build(config, scale, seed)
+        runner = _run_single if config["kind"] == "single" else _run_distributed
+        seconds = runner(config, ds, model, epochs, seed)
+        peak = obs.counter("scatter.materialized_bytes").peak
+        row = {
+            "name": config["name"],
+            "model": config["model"],
+            "dataset": config["dataset"],
+            "scale": scale,
+            "kind": config["kind"],
+            "strategy": config["strategy"],
+            "epochs": epochs,
+            "median_epoch_seconds": statistics.median(seconds),
+            "p90_epoch_seconds": _percentile(seconds, 90),
+            "peak_materialized_bytes": peak,
+            "time_basis": "wall" if config["kind"] == "single" else "simulated",
+        }
+        if config["kind"] == "distributed":
+            row["workers"] = config["workers"]
+            row["pipeline"] = config["pipeline"]
+        configs.append(row)
+        print(f"  {row['name']:<22} median {row['median_epoch_seconds']:.4f}s  "
+              f"p90 {row['p90_epoch_seconds']:.4f}s  "
+              f"peak {row['peak_materialized_bytes'] / 1e6:.2f} MB "
+              f"({row['time_basis']})")
+        if chrome_trace:
+            # Each config gets its own pid lane pair in the merged trace.
+            merged_events.extend(
+                obs.to_chrome_trace(pid_offset=index * 10)["traceEvents"]
+            )
+    report = {"schema": SCHEMA,
+              "mode": "smoke" if scale == "tiny" else "full",
+              "scale": scale,
+              "configs": configs}
+    if chrome_trace:
+        with open(chrome_trace, "w") as fh:
+            json.dump({"traceEvents": merged_events,
+                       "displayTimeUnit": "ms"}, fh)
+            fh.write("\n")
+        print(f"chrome trace written to {chrome_trace}")
+    return report
+
+
+def validate_report(report: dict) -> None:
+    """Raise ValueError when the report violates the bench schema."""
+    if report.get("schema") != SCHEMA:
+        raise ValueError(f"bad schema: {report.get('schema')!r}")
+    configs = report.get("configs")
+    if not isinstance(configs, list) or len(configs) < 4:
+        raise ValueError("bench report must contain >= 4 configurations")
+    required = ("name", "model", "dataset", "kind", "epochs",
+                "median_epoch_seconds", "p90_epoch_seconds",
+                "peak_materialized_bytes", "time_basis")
+    for row in configs:
+        for key in required:
+            if key not in row:
+                raise ValueError(f"config {row.get('name')!r} missing {key!r}")
+        if row["median_epoch_seconds"] <= 0:
+            raise ValueError(f"config {row['name']!r} has non-positive median")
+        if row["p90_epoch_seconds"] < row["median_epoch_seconds"]:
+            raise ValueError(f"config {row['name']!r} has p90 < median")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="fixed-matrix perf baseline -> BENCH_epoch_time.json"
+    )
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny datasets, few epochs (CI gate)")
+    parser.add_argument("--epochs", type=int, default=None,
+                        help="epochs per config (default: 5, smoke: 3)")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--output", default=DEFAULT_OUTPUT,
+                        help=f"output JSON path (default {DEFAULT_OUTPUT})")
+    parser.add_argument("--chrome-trace", metavar="PATH",
+                        help="also write a merged Chrome trace of every config")
+    args = parser.parse_args(argv)
+
+    scale = "tiny" if args.smoke else "small"
+    epochs = args.epochs if args.epochs is not None else (3 if args.smoke else 5)
+    print(f"bench matrix ({'smoke' if args.smoke else 'full'}): "
+          f"{len(MATRIX)} configs, scale={scale}, {epochs} epochs each")
+    report = run_matrix(scale, epochs, args.seed,
+                        chrome_trace=args.chrome_trace)
+    validate_report(report)
+    with open(args.output, "w") as fh:
+        json.dump(report, fh, indent=1)
+        fh.write("\n")
+    print(f"bench report written to {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

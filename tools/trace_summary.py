@@ -70,7 +70,7 @@ def main(argv: list[str] | None = None) -> int:
     with open(args.trace) as fh:
         data = json.load(fh)
     schema = data.get("schema")
-    if schema != "repro.obs/1":
+    if schema not in ("repro.obs/1", "repro.obs/2"):
         print(f"warning: unknown trace schema {schema!r}; "
               "attempting to render anyway", file=sys.stderr)
 
@@ -89,6 +89,8 @@ def main(argv: list[str] | None = None) -> int:
         data.get("gauges", {}),
         data.get("events", []),
         data.get("meta"),
+        histograms=data.get("histograms", {}),
+        epochs=data.get("epochs", {}),
     ))
     return 0
 
