@@ -16,8 +16,9 @@ Usage (installed as the ``flexgraph`` console script, or via
 
 Every dataset-bearing subcommand accepts ``--trace PATH`` (native JSON
 trace + printed summary table), ``--chrome-trace PATH`` (Chrome Trace
-Event Format, loadable in chrome://tracing or Perfetto) and
-``--metrics PATH`` (Prometheus text exposition); see
+Event Format, loadable in chrome://tracing or Perfetto),
+``--metrics PATH`` (Prometheus text exposition) and ``--profile PATH``
+(op-level FLOP/byte work profile with a printed roofline report); see
 ``docs/observability.md``.
 """
 
@@ -98,6 +99,11 @@ def _dataset_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--metrics", metavar="PATH",
                         help="export the run's counters/gauges/histograms "
                              "in Prometheus text exposition format")
+    parser.add_argument("--profile", metavar="PATH",
+                        help="export the op-level work profile (FLOPs, "
+                             "bytes, arithmetic intensity per op/span/"
+                             "backend) as JSON and print the roofline "
+                             "report")
 
 
 def _model_args(parser: argparse.ArgumentParser) -> None:
@@ -286,7 +292,8 @@ def main(argv: list[str] | None = None) -> int:
     trace_path = getattr(args, "trace", None)
     chrome_path = getattr(args, "chrome_trace", None)
     metrics_path = getattr(args, "metrics", None)
-    exporting = trace_path or chrome_path or metrics_path
+    profile_path = getattr(args, "profile", None)
+    exporting = trace_path or chrome_path or metrics_path or profile_path
     if exporting:
         from . import obs
 
@@ -303,6 +310,10 @@ def main(argv: list[str] | None = None) -> int:
     if metrics_path:
         obs.export_prometheus(metrics_path)
         print(f"prometheus metrics written to {metrics_path}")
+    if profile_path:
+        report = obs.export_profile(profile_path)
+        print(f"work profile written to {profile_path}")
+        print(obs.render_profile_report(report))
     return rc
 
 

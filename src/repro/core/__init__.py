@@ -23,6 +23,8 @@ from .balancer import (
     induced_dependency_edges,
 )
 from .cost_model import (
+    DRIFT_EVENT,
+    DRIFT_GAUGE,
     R_SQUARED_GAUGE,
     RESIDUAL_HISTOGRAM,
     CostModel,
@@ -70,6 +72,7 @@ __all__ = [
     "MetapathHDGMaintainer", "instances_through_edges",
     "TypeProjection",
     "CostModel", "metrics_from_hdg", "R_SQUARED_GAUGE", "RESIDUAL_HISTOGRAM",
+    "DRIFT_GAUGE", "DRIFT_EVENT",
     "ADBBalancer", "BalancePlan", "induced_dependency_edges", "REBALANCE_EVENT",
     "select_direct_neighbors", "select_pinsage_neighbors",
     "select_metapath_neighbors", "select_anchor_set_neighbors",

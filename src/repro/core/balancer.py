@@ -95,10 +95,26 @@ class ADBBalancer:
         self.threshold = threshold
         self._rng = np.random.default_rng(seed)
         self.cost_model = CostModel()
+        #: result of the drift check run on the most recent observe()
+        #: (None until the model has been fitted at least once before)
+        self.last_drift: dict | None = None
 
     # ------------------------------------------------------------------
-    def observe(self, metrics: np.ndarray, observed_costs: np.ndarray) -> None:
-        """Feed sampled running logs; fits the polynomial cost function."""
+    def observe(self, metrics: np.ndarray, observed_costs: np.ndarray,
+                drift_threshold: float = 0.5) -> None:
+        """Feed sampled running logs; fits the polynomial cost function.
+
+        Before refitting, an already-fitted model is drift-checked
+        against the fresh observations (predicted-vs-actual feedback):
+        the relative error lands in the ``adb.cost_model.drift`` gauge
+        and, past ``drift_threshold``, an ``adb.cost_model.drift_flagged``
+        event — so a workload shift is visible *before* the refit hides
+        it.  The result is kept in :attr:`last_drift`.
+        """
+        if self.cost_model.is_fitted:
+            self.last_drift = self.cost_model.drift_check(
+                metrics, observed_costs, threshold=drift_threshold
+            )
         self.cost_model.fit(metrics, observed_costs)
 
     def per_root_costs(self, metrics: np.ndarray) -> np.ndarray:

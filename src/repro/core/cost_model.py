@@ -22,12 +22,18 @@ from .. import obs
 from .hdg import HDG
 
 __all__ = ["CostModel", "metrics_from_hdg",
-           "R_SQUARED_GAUGE", "RESIDUAL_HISTOGRAM"]
+           "R_SQUARED_GAUGE", "RESIDUAL_HISTOGRAM",
+           "DRIFT_GAUGE", "DRIFT_EVENT"]
 
 #: calibration metrics every fit() publishes, so cost-model drift across
 #: epochs is visible in traces without extra plumbing.
 R_SQUARED_GAUGE = "adb.cost_model.r_squared"
 RESIDUAL_HISTOGRAM = "adb.cost_model.residual"
+#: relative prediction error of the *previous* fit against fresh
+#: observations (published by drift_check; the feedback loop that makes
+#: a stale cost model visible instead of silently misbalancing).
+DRIFT_GAUGE = "adb.cost_model.drift"
+DRIFT_EVENT = "adb.cost_model.drift_flagged"
 
 
 def metrics_from_hdg(hdg: HDG, feat_dim: int) -> np.ndarray:
@@ -121,6 +127,44 @@ class CostModel:
             "residual_p50": float(np.percentile(residuals, 50)),
             "residual_p90": float(np.percentile(residuals, 90)),
             "residual_max": float(residuals.max()) if residuals.size else 0.0,
+            "n": int(y.size),
+        }
+
+    def drift_check(self, metrics: np.ndarray, observed_costs: np.ndarray,
+                    threshold: float = 0.5) -> dict:
+        """Predicted-vs-actual feedback loop: how far has the workload
+        moved from what this model was fitted on?
+
+        Drift is the relative mean absolute error of the current fit's
+        predictions against freshly observed costs::
+
+            drift = mean(|predict(metrics) - observed|) / mean(|observed|)
+
+        A model still describing the workload scores near 0; a model fit
+        on a structurally different workload (different schema, skew, or
+        degree distribution) scores high.  The value is published as the
+        ``adb.cost_model.drift`` gauge every call; when it exceeds
+        ``threshold`` the check is *flagged* and an
+        ``adb.cost_model.drift_flagged`` event is emitted.
+
+        Returns ``{"drift", "threshold", "flagged", "r_squared", "n"}``.
+        """
+        if threshold <= 0:
+            raise ValueError("drift threshold must be positive")
+        y = np.asarray(observed_costs, dtype=np.float64)
+        pred = self.predict(metrics)
+        scale = max(float(np.abs(y).mean()), 1e-12)
+        drift = float(np.abs(pred - y).mean()) / scale
+        flagged = drift > threshold
+        obs.gauge(DRIFT_GAUGE).set(drift)
+        if flagged:
+            obs.event(DRIFT_EVENT, drift=drift, threshold=float(threshold),
+                      n=int(y.size))
+        return {
+            "drift": drift,
+            "threshold": float(threshold),
+            "flagged": flagged,
+            "r_squared": _r_squared(y, pred),
             "n": int(y.size),
         }
 

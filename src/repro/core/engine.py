@@ -176,6 +176,10 @@ class FlexGraphEngine:
             with obs.span(STAGE_SPANS["neighbor_selection"],
                           layer=i, epoch=epoch) as s_sel:
                 hdg = self.hdg_for_layer(i, epoch)
+                # The selection stage's work is structural, not FLOPs: it
+                # hands the HDG (offsets, leaves, schema) to aggregation.
+                obs.record_op("neighbor_selection.hdg",
+                              bytes_read=hdg.nbytes)
             with obs.span(STAGE_SPANS["aggregation"],
                           layer=i, epoch=epoch,
                           strategy=self.strategy.value) as s_agg:
@@ -200,6 +204,7 @@ class FlexGraphEngine:
         self.model.train()
         mat = obs.counter(MATERIALIZED_BYTES_COUNTER)
         mat_mark = mat.current
+        work_mark = obs.work_snapshot()
         with obs.span("engine.train_epoch", epoch=epoch):
             logits = self.forward(feats, epoch)
             loss = cross_entropy(logits, labels, mask)
@@ -214,6 +219,7 @@ class FlexGraphEngine:
         mat.release(mat.current - mat_mark)
         train_acc = accuracy(logits, labels, mask)
         seconds = self.last_times.total
+        work = obs.work_since(work_mark)
         obs.epoch_log().log(
             epoch,
             loss=loss.item(),
@@ -222,6 +228,8 @@ class FlexGraphEngine:
             vertices_per_sec=(
                 self.graph.num_vertices / seconds if seconds > 0 else 0.0
             ),
+            flops=work["flops"],
+            work_bytes=work["bytes_read"] + work["bytes_written"],
         )
         return EpochStats(
             epoch=epoch,

@@ -21,8 +21,10 @@ Figure 14.
 from __future__ import annotations
 
 import enum
+import time
 
 from ..obs import event as _obs_event
+from ..obs.profile import record_op, work_since, work_snapshot
 from ..tensor.tensor import Tensor
 from .aggregation import Aggregator
 from .hdg import HDG
@@ -30,9 +32,28 @@ from .hdg import HDG
 __all__ = ["ExecutionStrategy", "hierarchical_aggregate", "BACKEND_EVENT"]
 
 #: obs event emitted once per HDG level per aggregation, recording which
-#: backend (sparse / fused / dense) the hybrid executor picked — this is
-#: what makes the Figure 14 strategy differences visible in traces.
+#: backend (sparse / fused / dense) the hybrid executor picked *and* its
+#: measured cost (seconds plus the FLOPs/bytes the profiler attributed
+#: to the invocation) — this is what makes the Figure 14 strategy
+#: differences visible, and rankable, in traces
+#: (``obs.backend_report()``).
 BACKEND_EVENT = "aggregation.backend"
+
+
+def _run_backend(level: str, backend: str, strategy: "ExecutionStrategy",
+                 agg: Aggregator, fn):
+    """Invoke one backend, measuring wall time and profiled work, and
+    emit the ``aggregation.backend`` event with the measured cost."""
+    start = time.perf_counter()
+    before = work_snapshot()
+    out = fn()
+    work = work_since(before)
+    _obs_event(
+        BACKEND_EVENT, level=level, backend=backend,
+        strategy=strategy.value, aggregator=agg.name,
+        seconds=time.perf_counter() - start, **work,
+    )
+    return out
 
 
 class ExecutionStrategy(enum.Enum):
@@ -109,15 +130,22 @@ def _reduce_bottom(hdg: HDG, feats: Tensor, agg: Aggregator,
                    strategy: ExecutionStrategy) -> Tensor:
     """Leaves -> instances (depth 3) or leaves -> roots (depth 1)."""
     n_out = hdg.num_instances if hdg.depth == 3 else hdg.num_roots
+
     if strategy is ExecutionStrategy.SA or not agg.supports_fused:
-        _obs_event(BACKEND_EVENT, level="bottom", backend="sparse",
-                   strategy=strategy.value, aggregator=agg.name)
-        dst, src = hdg.sub_graph(hdg.max_level)
-        gathered = feats[src]  # materializes one message per edge
-        return agg.sparse(gathered, dst, n_out, weights=hdg.leaf_weights)
-    _obs_event(BACKEND_EVENT, level="bottom", backend="fused",
-               strategy=strategy.value, aggregator=agg.name)
-    return agg.fused(feats, hdg.leaf_offsets, hdg.leaf_vertices, weights=hdg.leaf_weights)
+        def sparse_path():
+            dst, src = hdg.sub_graph(hdg.max_level)
+            gathered = feats[src]  # materializes one message per edge
+            record_op("gather",
+                      bytes_read=gathered.data.nbytes + src.nbytes,
+                      bytes_written=gathered.data.nbytes)
+            return agg.sparse(gathered, dst, n_out, weights=hdg.leaf_weights)
+        return _run_backend("bottom", "sparse", strategy, agg, sparse_path)
+
+    return _run_backend(
+        "bottom", "fused", strategy, agg,
+        lambda: agg.fused(feats, hdg.leaf_offsets, hdg.leaf_vertices,
+                          weights=hdg.leaf_weights),
+    )
 
 
 def _reduce_instances(hdg: HDG, instance_feats: Tensor, agg: Aggregator,
@@ -125,13 +153,16 @@ def _reduce_instances(hdg: HDG, instance_feats: Tensor, agg: Aggregator,
     """Instances -> slots.  Instances are consecutive per slot, so HA can
     reduce on the elided layout without building an index."""
     if strategy is ExecutionStrategy.HA and agg.supports_fused:
-        _obs_event(BACKEND_EVENT, level="instances", backend="fused",
-                   strategy=strategy.value, aggregator=agg.name)
-        return agg.fused(instance_feats, hdg.instance_offsets, sources=None)
-    _obs_event(BACKEND_EVENT, level="instances", backend="sparse",
-               strategy=strategy.value, aggregator=agg.name)
-    dst, _src = hdg.sub_graph(2)
-    return agg.sparse(instance_feats, dst, hdg.num_slots)
+        return _run_backend(
+            "instances", "fused", strategy, agg,
+            lambda: agg.fused(instance_feats, hdg.instance_offsets,
+                              sources=None),
+        )
+
+    def sparse_path():
+        dst, _src = hdg.sub_graph(2)
+        return agg.sparse(instance_feats, dst, hdg.num_slots)
+    return _run_backend("instances", "sparse", strategy, agg, sparse_path)
 
 
 def _reduce_schema(hdg: HDG, slot_feats: Tensor, agg: Aggregator,
@@ -144,11 +175,19 @@ def _reduce_schema(hdg: HDG, slot_feats: Tensor, agg: Aggregator,
         # A single schema leaf: the slot features *are* the root features.
         return slot_feats
     if strategy is ExecutionStrategy.HA and agg.supports_dense:
-        _obs_event(BACKEND_EVENT, level="schema", backend="dense",
-                   strategy=strategy.value, aggregator=agg.name)
-        dim = slot_feats.shape[-1]
-        return agg.dense(slot_feats.reshape(hdg.num_roots, num_leaves, dim))
-    _obs_event(BACKEND_EVENT, level="schema", backend="sparse",
-               strategy=strategy.value, aggregator=agg.name)
-    dst, _src = hdg.sub_graph(1)
-    return agg.sparse(slot_feats, dst, hdg.num_roots)
+        def dense_path():
+            dim = slot_feats.shape[-1]
+            reshaped = slot_feats.reshape(hdg.num_roots, num_leaves, dim)
+            out = agg.dense(reshaped)
+            # reshape is free (a view); the reduction costs one FLOP per
+            # input element and streams the slot matrix once
+            record_op("dense_reduce", flops=float(reshaped.data.size),
+                      bytes_read=reshaped.data.nbytes,
+                      bytes_written=out.data.nbytes)
+            return out
+        return _run_backend("schema", "dense", strategy, agg, dense_path)
+
+    def sparse_path():
+        dst, _src = hdg.sub_graph(1)
+        return agg.sparse(slot_feats, dst, hdg.num_roots)
+    return _run_backend("schema", "sparse", strategy, agg, sparse_path)

@@ -134,6 +134,8 @@ class DistributedTrainer:
         if stale:
             with obs.span("dist.neighbor_selection", epoch=epoch) as s_sel:
                 self._model_hdg = self.model.neighbor_selection(self.graph, self._rng)
+                obs.record_op("neighbor_selection.hdg",
+                              bytes_read=self._model_hdg.nbytes)
             self._selection_wall = s_sel.duration
             self._hdg_epoch = epoch
             for worker in self.workers:
@@ -163,6 +165,7 @@ class DistributedTrainer:
         """One data-parallel full-batch epoch with simulated-time accounting."""
         self.model.train()
         self._ensure_hdg(epoch)
+        work_mark = obs.work_snapshot()
         for worker in self.workers:
             worker.reset_epoch()
         # Selection is embarrassingly parallel across partitions (§5:
@@ -257,6 +260,7 @@ class DistributedTrainer:
             float(per_worker_compute.max() / mean_compute)
             if mean_compute > 0 else 1.0
         )
+        work = obs.work_since(work_mark)
         obs.epoch_log().log(
             epoch,
             loss=loss.item(),
@@ -268,6 +272,8 @@ class DistributedTrainer:
                 self.graph.num_vertices / simulated if simulated > 0 else 0.0
             ),
             comm_mode=effective_mode,
+            flops=work["flops"],
+            work_bytes=work["bytes_read"] + work["bytes_written"],
         )
 
         return DistributedEpochStats(

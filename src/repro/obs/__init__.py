@@ -15,8 +15,12 @@ instead of growing its own ad-hoc clocks and module-global counters:
   simulated seconds, traffic, balance factor, throughput);
 * :func:`event` — point annotations, e.g. which backend (FA / SA /
   dense) the hybrid executor picked per HDG level (Figure 14);
+* :mod:`repro.obs.profile` — op-level FLOP/byte accounting attributed
+  to the enclosing spans, with :func:`profile_report` /
+  :func:`render_profile_report` roofline-style summaries;
 * :mod:`repro.obs.analysis` — straggler/skew reports aggregated from
-  the distributed per-worker spans;
+  the distributed per-worker spans, plus :func:`backend_report`
+  ranking aggregation backends per HDG level by measured cost;
 * :func:`export_json` / :func:`export_chrome_trace` /
   :func:`export_prometheus` / :func:`summary` — a native JSON trace, a
   ``chrome://tracing``/Perfetto trace, a Prometheus text exposition,
@@ -28,8 +32,14 @@ measurement window.  All primitives are cheap (a ``perf_counter`` call
 and a list append) so they stay on in production code paths.
 """
 
-from . import analysis
-from .analysis import StragglerReport, render_straggler_report, straggler_report
+from . import analysis, profile
+from .analysis import (
+    StragglerReport,
+    backend_report,
+    render_backend_report,
+    render_straggler_report,
+    straggler_report,
+)
 from .export import (
     aggregate_spans,
     export_chrome_trace,
@@ -52,6 +62,20 @@ from .registry import (
     enable,
     get_registry,
     reset,
+)
+from .profile import (
+    WORK_RATE_SPANS,
+    disable_profiling,
+    enable_profiling,
+    export_profile,
+    peak_work_rates,
+    profile_report,
+    profiling_enabled,
+    record_op,
+    render_profile_report,
+    span_work,
+    work_since,
+    work_snapshot,
 )
 from .spans import counter, epoch_log, event, gauge, histogram, record_span, span
 from .timeseries import EpochLog
@@ -89,4 +113,19 @@ __all__ = [
     "straggler_report",
     "StragglerReport",
     "render_straggler_report",
+    "backend_report",
+    "render_backend_report",
+    "profile",
+    "record_op",
+    "profiling_enabled",
+    "enable_profiling",
+    "disable_profiling",
+    "work_snapshot",
+    "work_since",
+    "span_work",
+    "peak_work_rates",
+    "profile_report",
+    "render_profile_report",
+    "export_profile",
+    "WORK_RATE_SPANS",
 ]

@@ -34,6 +34,7 @@ import json
 import re
 from typing import Iterable
 
+from .profile import WORK_RATE_SPANS
 from .registry import Registry, get_registry
 
 __all__ = [
@@ -89,6 +90,28 @@ def export_json(path: str, registry: Registry | None = None) -> None:
 _PID_MEASURED = 0
 _PID_SIMULATED = 1
 
+#: non-integer worker labels are mapped onto tids starting here, well
+#: clear of any realistic integer worker rank
+_LABEL_TID_BASE = 10_000
+
+
+def _worker_label_tids(spans) -> dict[str, int]:
+    """Stable tid per distinct non-integer ``worker`` label.
+
+    Labels are sorted before numbering, so the mapping depends only on
+    the *set* of labels present, not on span order.
+    """
+    labels: set[str] = set()
+    for s in spans:
+        worker = s.attrs.get("worker", 0)
+        try:
+            int(worker)
+        except (TypeError, ValueError):
+            labels.add(str(worker))
+    return {
+        label: _LABEL_TID_BASE + i for i, label in enumerate(sorted(labels))
+    }
+
 
 def to_chrome_trace(registry: Registry | None = None,
                     pid_offset: int = 0) -> dict:
@@ -99,8 +122,14 @@ def to_chrome_trace(registry: Registry | None = None,
     simulated spans live in separate process lanes, and spans carrying a
     ``worker`` attribute are placed on that worker's thread so the
     per-worker timelines of the simulated cluster line up visually.
-    ``pid_offset`` shifts both lanes, letting callers merge several runs
-    into one file (``tools/bench.py`` gives each config its own lanes).
+    Non-integer worker labels get distinct stable tids (>= 10000) with a
+    ``thread_name`` metadata record and a ``trace.worker_label_coerced``
+    instant documenting each mapping.  Spans named in
+    ``profile.WORK_RATE_SPANS`` that carry work attribution additionally
+    emit counter events (``ph: "C"``) so FLOP/s and bytes/s render as
+    tracks in Perfetto.  ``pid_offset`` shifts both lanes, letting
+    callers merge several runs into one file (``tools/bench.py`` gives
+    each config its own lanes).
     """
     reg = registry or get_registry()
     trace_events: list[dict] = [
@@ -113,13 +142,26 @@ def to_chrome_trace(registry: Registry | None = None,
             (_PID_SIMULATED, "repro (simulated)"),
         )
     ]
+    label_tids = _worker_label_tids(reg.spans)
+    for label, tid in label_tids.items():
+        trace_events.append({
+            "ph": "M", "name": "thread_name",
+            "pid": pid_offset + _PID_MEASURED, "tid": tid,
+            "args": {"name": f"worker {label}"},
+        })
+        trace_events.append({
+            "ph": "i", "s": "g", "name": "trace.worker_label_coerced",
+            "pid": pid_offset + _PID_MEASURED, "tid": tid, "ts": 0.0,
+            "args": {"worker": label, "tid": tid},
+        })
+    rate_names = set(WORK_RATE_SPANS)
     for s in reg.spans:
         pid = _PID_SIMULATED if s.simulated else _PID_MEASURED
         worker = s.attrs.get("worker", 0)
         try:
             tid = int(worker)
         except (TypeError, ValueError):
-            tid = 0
+            tid = label_tids[str(worker)]
         trace_events.append({
             "ph": "X",
             "name": s.name,
@@ -129,6 +171,23 @@ def to_chrome_trace(registry: Registry | None = None,
             "dur": s.duration * 1e6,
             "args": dict(s.attrs),
         })
+        if s.name in rate_names and s.duration > 0 and "flops" in s.attrs:
+            flops_rate = s.attrs.get("flops", 0.0) / s.duration
+            bytes_rate = (
+                s.attrs.get("bytes_read", 0.0)
+                + s.attrs.get("bytes_written", 0.0)
+            ) / s.duration
+            for name, value, ts in (
+                ("work.flops_per_sec", flops_rate, s.start),
+                ("work.bytes_per_sec", bytes_rate, s.start),
+                ("work.flops_per_sec", 0.0, s.start + s.duration),
+                ("work.bytes_per_sec", 0.0, s.start + s.duration),
+            ):
+                trace_events.append({
+                    "ph": "C", "name": name,
+                    "pid": pid_offset + pid, "tid": 0,
+                    "ts": ts * 1e6, "args": {"value": value},
+                })
     for e in reg.events:
         trace_events.append({
             "ph": "i",

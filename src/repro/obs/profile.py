@@ -1,0 +1,406 @@
+"""Op-level work accounting: FLOPs and bytes, attributed to spans.
+
+The time-only tracer (spans, histograms) answers *how long* a stage
+took; this module answers *how much work* it did.  Every instrumented
+numerical op — matmul in the autograd tensor, the scatter reductions,
+``segment_reduce_csr``, softmax, the hybrid executor's gather and dense
+reduce — calls :func:`record_op` with its FLOP count and the bytes it
+read and wrote.  The work is accumulated three ways at once:
+
+1. **Global counters** — ``profile.flops`` / ``profile.bytes_read`` /
+   ``profile.bytes_written`` plus two per-op counters
+   (``profile.op.<op>.flops``, ``profile.op.<op>.bytes``), so totals
+   survive the span-record cap and export through every existing
+   exporter for free.
+2. **Inclusive span attribution** — the work is added to *every* span
+   currently open on the registry stack, so a matmul executed inside
+   ``stage.update`` inside ``engine.train_epoch`` shows up on both.
+   When a work-carrying span closes, the registry stamps its
+   ``arithmetic_intensity`` (FLOPs per byte moved) into its attrs.
+3. **Reports** — :func:`profile_report` aggregates per-op and per-span
+   totals into a roofline-style JSON document;
+   :func:`render_profile_report` pretty-prints it.
+
+FLOP conventions (documented per-op in ``docs/observability.md``):
+a matmul ``(n,k) @ (k,m)`` costs ``2*n*k*m`` FLOPs (multiply + add);
+``scatter_add`` 1 FLOP per scattered element, ``scatter_mean`` 2,
+``scatter_max``/``min`` 1 comparison, ``scatter_softmax`` ~5;
+``segment_reduce_csr`` sum/mean ``2 * total * dim`` (the SpMM
+convention); softmax/log-softmax ~5 FLOPs per element; pure data
+movement (gather, concat) is 0 FLOPs but nonzero bytes.  Bytes are the
+logical tensor traffic (operand ``nbytes`` read, result ``nbytes``
+written), not cache-aware — arithmetic intensity derived from them is
+an upper bound on the true intensity, which is the standard roofline
+convention for first-order analysis.
+
+Profiling is on by default (the cost per op is two dict lookups and a
+few float adds); :func:`disable_profiling` turns it into a no-op for
+overhead-sensitive measurements.
+"""
+
+from __future__ import annotations
+
+import json
+
+from .registry import Registry, get_registry
+
+__all__ = [
+    "FLOPS_COUNTER",
+    "BYTES_READ_COUNTER",
+    "BYTES_WRITTEN_COUNTER",
+    "OP_COUNTER_PREFIX",
+    "WORK_RATE_SPANS",
+    "record_op",
+    "profiling_enabled",
+    "enable_profiling",
+    "disable_profiling",
+    "work_snapshot",
+    "work_since",
+    "span_work",
+    "peak_work_rates",
+    "profile_report",
+    "render_profile_report",
+    "export_profile",
+]
+
+#: global running totals (Counter.total is the figure of record)
+FLOPS_COUNTER = "profile.flops"
+BYTES_READ_COUNTER = "profile.bytes_read"
+BYTES_WRITTEN_COUNTER = "profile.bytes_written"
+#: per-op counters live under ``profile.op.<op>.flops`` / ``.bytes``
+OP_COUNTER_PREFIX = "profile.op."
+
+#: Span names whose FLOP/s and bytes/s are rendered as Chrome-trace
+#: counter tracks and searched for peak achieved rates.  These spans
+#: never nest within each other, so one counter track per process lane
+#: stays consistent.  (Hardcoded here — importing the stage names from
+#: ``core.engine`` would invert the layering.)
+WORK_RATE_SPANS = (
+    "stage.neighbor_selection",
+    "stage.aggregation",
+    "stage.update",
+    "stage.backward",
+    "dist.compute",
+)
+
+_ENABLED = True
+
+
+def profiling_enabled() -> bool:
+    """Whether :func:`record_op` currently records anything."""
+    return _ENABLED
+
+
+def enable_profiling() -> None:
+    """Resume op-level work accounting (the default state)."""
+    global _ENABLED
+    _ENABLED = True
+
+
+def disable_profiling() -> None:
+    """Make :func:`record_op` a no-op (overhead-sensitive timing)."""
+    global _ENABLED
+    _ENABLED = False
+
+
+def record_op(op: str, *, flops: float = 0.0, bytes_read: float = 0.0,
+              bytes_written: float = 0.0) -> None:
+    """Account one executed op: global + per-op counters, and inclusive
+    attribution to every currently open span."""
+    if not _ENABLED:
+        return
+    reg = get_registry()
+    flops = float(flops)
+    bytes_read = float(bytes_read)
+    bytes_written = float(bytes_written)
+    reg.counter(FLOPS_COUNTER).add(flops)
+    reg.counter(BYTES_READ_COUNTER).add(bytes_read)
+    reg.counter(BYTES_WRITTEN_COUNTER).add(bytes_written)
+    reg.counter(OP_COUNTER_PREFIX + op + ".flops").add(flops)
+    reg.counter(OP_COUNTER_PREFIX + op + ".bytes").add(
+        bytes_read + bytes_written
+    )
+    for record in reg._stack:
+        attrs = record.attrs
+        attrs["flops"] = attrs.get("flops", 0.0) + flops
+        attrs["bytes_read"] = attrs.get("bytes_read", 0.0) + bytes_read
+        attrs["bytes_written"] = (
+            attrs.get("bytes_written", 0.0) + bytes_written
+        )
+
+
+# ----------------------------------------------------------------------
+# snapshots / deltas
+# ----------------------------------------------------------------------
+def work_snapshot(registry: Registry | None = None) -> dict:
+    """Current global work totals, for later differencing."""
+    reg = registry if registry is not None else get_registry()
+    return {
+        "flops": reg.counter(FLOPS_COUNTER).total,
+        "bytes_read": reg.counter(BYTES_READ_COUNTER).total,
+        "bytes_written": reg.counter(BYTES_WRITTEN_COUNTER).total,
+    }
+
+
+def work_since(snapshot: dict, registry: Registry | None = None) -> dict:
+    """Work performed since ``snapshot`` (:func:`work_snapshot`)."""
+    now = work_snapshot(registry)
+    return {key: now[key] - snapshot.get(key, 0.0) for key in now}
+
+
+# ----------------------------------------------------------------------
+# aggregation helpers
+# ----------------------------------------------------------------------
+def _span_fields(span) -> tuple[str, float, dict]:
+    """(name, duration, attrs) from a SpanRecord or an exported dict."""
+    if isinstance(span, dict):
+        return (span.get("name", ""), float(span.get("duration", 0.0)),
+                span.get("attrs", {}) or {})
+    return span.name, span.duration, span.attrs
+
+
+def span_work(spans=None, registry: Registry | None = None) -> dict:
+    """Aggregate inclusive work per span *name*.
+
+    Accepts live :class:`SpanRecord` objects or the ``"spans"`` list of
+    an exported trace; defaults to the global registry.  Only spans that
+    carried work attribution appear.  Attribution is inclusive (a parent
+    sees its children's work), so rows are per-name views, not a
+    partition — do not sum across nesting levels.
+    """
+    if spans is None:
+        reg = registry if registry is not None else get_registry()
+        spans = reg.spans
+    rows: dict[str, dict] = {}
+    for span in spans:
+        name, duration, attrs = _span_fields(span)
+        if "flops" not in attrs and "bytes_read" not in attrs:
+            continue
+        row = rows.get(name)
+        if row is None:
+            row = rows[name] = {
+                "count": 0, "seconds": 0.0, "flops": 0.0,
+                "bytes_read": 0.0, "bytes_written": 0.0,
+            }
+        row["count"] += 1
+        row["seconds"] += duration
+        row["flops"] += attrs.get("flops", 0.0)
+        row["bytes_read"] += attrs.get("bytes_read", 0.0)
+        row["bytes_written"] += attrs.get("bytes_written", 0.0)
+    for row in rows.values():
+        moved = row["bytes_read"] + row["bytes_written"]
+        row["bytes"] = moved
+        row["arithmetic_intensity"] = (
+            row["flops"] / moved if moved > 0 else 0.0
+        )
+        seconds = row["seconds"]
+        row["flops_per_sec"] = row["flops"] / seconds if seconds > 0 else 0.0
+        row["bytes_per_sec"] = moved / seconds if seconds > 0 else 0.0
+    return rows
+
+
+def peak_work_rates(spans=None, registry: Registry | None = None,
+                    span_names=WORK_RATE_SPANS) -> dict:
+    """Peak achieved FLOP/s and bytes/s over individual work spans.
+
+    Scans each span in ``span_names`` separately (not the per-name
+    aggregate), so the reported peak is the best *single interval*,
+    which is what a roofline plots.
+    """
+    if spans is None:
+        reg = registry if registry is not None else get_registry()
+        spans = reg.spans
+    names = set(span_names)
+    peak_flops = 0.0
+    peak_bytes = 0.0
+    for span in spans:
+        name, duration, attrs = _span_fields(span)
+        if name not in names or duration <= 0:
+            continue
+        flops = attrs.get("flops", 0.0)
+        moved = attrs.get("bytes_read", 0.0) + attrs.get("bytes_written", 0.0)
+        peak_flops = max(peak_flops, flops / duration)
+        peak_bytes = max(peak_bytes, moved / duration)
+    return {"peak_flops_per_sec": peak_flops,
+            "peak_bytes_per_sec": peak_bytes}
+
+
+def _op_rows(registry: Registry) -> dict:
+    """Per-op totals reconstructed from the ``profile.op.*`` counters."""
+    ops: dict[str, dict] = {}
+    suffix_flops = ".flops"
+    suffix_bytes = ".bytes"
+    for name, counter in registry.counters.items():
+        if not name.startswith(OP_COUNTER_PREFIX):
+            continue
+        rest = name[len(OP_COUNTER_PREFIX):]
+        if rest.endswith(suffix_flops):
+            op, key = rest[: -len(suffix_flops)], "flops"
+        elif rest.endswith(suffix_bytes):
+            op, key = rest[: -len(suffix_bytes)], "bytes"
+        else:
+            continue
+        row = ops.setdefault(op, {"calls": 0, "flops": 0.0, "bytes": 0.0})
+        row[key] = counter.total
+        row["calls"] = max(row["calls"], counter.count)
+    for row in ops.values():
+        row["arithmetic_intensity"] = (
+            row["flops"] / row["bytes"] if row["bytes"] > 0 else 0.0
+        )
+    return ops
+
+
+def _backend_rows(registry: Registry) -> list[dict]:
+    """Measured-cost rows from ``aggregation.backend`` events (the
+    hybrid executor emits one per level per call, carrying the work
+    and seconds measured around the backend invocation)."""
+    from .analysis import backend_report  # local import: analysis is a peer
+    return backend_report(registry.events)["rows"]
+
+
+def profile_report(registry: Registry | None = None, *,
+                   peak_flops_per_sec: float | None = None,
+                   peak_bytes_per_sec: float | None = None) -> dict:
+    """Roofline-style work report over the current registry.
+
+    ``peak_flops_per_sec`` / ``peak_bytes_per_sec`` are optional
+    *hardware* peaks; when given, each span row is classified as
+    compute- or memory-bound against the machine balance and annotated
+    with its percentage of the attainable roof.
+    """
+    reg = registry if registry is not None else get_registry()
+    flops = reg.counter(FLOPS_COUNTER).total
+    bytes_read = reg.counter(BYTES_READ_COUNTER).total
+    bytes_written = reg.counter(BYTES_WRITTEN_COUNTER).total
+    moved = bytes_read + bytes_written
+    report = {
+        "schema": "repro.profile/1",
+        "totals": {
+            "flops": flops,
+            "bytes_read": bytes_read,
+            "bytes_written": bytes_written,
+            "bytes": moved,
+            "arithmetic_intensity": flops / moved if moved > 0 else 0.0,
+        },
+        "ops": dict(sorted(_op_rows(reg).items(),
+                           key=lambda kv: -kv[1]["flops"])),
+        "spans": span_work(registry=reg),
+        "backends": _backend_rows(reg),
+        "roofline": peak_work_rates(registry=reg),
+    }
+    if peak_flops_per_sec is not None and peak_bytes_per_sec is not None:
+        machine_balance = peak_flops_per_sec / peak_bytes_per_sec
+        report["roofline"]["hardware"] = {
+            "peak_flops_per_sec": peak_flops_per_sec,
+            "peak_bytes_per_sec": peak_bytes_per_sec,
+            "machine_balance": machine_balance,
+        }
+        for row in report["spans"].values():
+            intensity = row["arithmetic_intensity"]
+            row["bound"] = (
+                "compute" if intensity >= machine_balance else "memory"
+            )
+            roof = min(peak_flops_per_sec, intensity * peak_bytes_per_sec)
+            row["pct_of_roof"] = (
+                100.0 * row["flops_per_sec"] / roof if roof > 0 else 0.0
+            )
+    return report
+
+
+# ----------------------------------------------------------------------
+# rendering / export
+# ----------------------------------------------------------------------
+def _fmt_quantity(value: float, unit: str) -> str:
+    for scale, prefix in ((1e12, "T"), (1e9, "G"), (1e6, "M"), (1e3, "K")):
+        if abs(value) >= scale:
+            return f"{value / scale:.2f} {prefix}{unit}"
+    return f"{value:.0f} {unit}"
+
+
+def render_profile_report(report: dict | None = None) -> str:
+    """Human-readable rendering of :func:`profile_report`."""
+    if report is None:
+        report = profile_report()
+    lines = ["work profile:"]
+    totals = report["totals"]
+    lines.append(
+        "  totals: {} | {} read, {} written | intensity {:.3f} FLOP/B".format(
+            _fmt_quantity(totals["flops"], "FLOP"),
+            _fmt_quantity(totals["bytes_read"], "B"),
+            _fmt_quantity(totals["bytes_written"], "B"),
+            totals["arithmetic_intensity"],
+        )
+    )
+    roof = report.get("roofline", {})
+    if roof:
+        lines.append(
+            "  achieved peaks: {}/s | {}/s".format(
+                _fmt_quantity(roof.get("peak_flops_per_sec", 0.0), "FLOP"),
+                _fmt_quantity(roof.get("peak_bytes_per_sec", 0.0), "B"),
+            )
+        )
+        hw = roof.get("hardware")
+        if hw:
+            lines.append(
+                "  hardware roof: {}/s, {}/s "
+                "(machine balance {:.2f} FLOP/B)".format(
+                    _fmt_quantity(hw["peak_flops_per_sec"], "FLOP"),
+                    _fmt_quantity(hw["peak_bytes_per_sec"], "B"),
+                    hw["machine_balance"],
+                )
+            )
+    ops = report.get("ops", {})
+    if ops:
+        lines.append("  ops (by FLOPs):")
+        lines.append("    {:<24} {:>8} {:>12} {:>12} {:>10}".format(
+            "op", "calls", "flops", "bytes", "intensity"))
+        for op, row in ops.items():
+            lines.append(
+                "    {:<24} {:>8d} {:>12} {:>12} {:>10.3f}".format(
+                    op, row["calls"],
+                    _fmt_quantity(row["flops"], ""),
+                    _fmt_quantity(row["bytes"], ""),
+                    row["arithmetic_intensity"],
+                )
+            )
+    spans = report.get("spans", {})
+    if spans:
+        lines.append("  spans (inclusive work by name):")
+        lines.append(
+            "    {:<28} {:>6} {:>10} {:>10} {:>10} {:>9} {:>11}{}".format(
+                "span", "count", "seconds", "flops", "bytes",
+                "intensity", "flops/s",
+                "  bound" if any("bound" in r for r in spans.values()) else "",
+            )
+        )
+        ordered = sorted(spans.items(), key=lambda kv: -kv[1]["flops"])
+        for name, row in ordered:
+            extra = ""
+            if "bound" in row:
+                extra = "  {} ({:.0f}% roof)".format(
+                    row["bound"], row["pct_of_roof"])
+            lines.append(
+                "    {:<28} {:>6d} {:>9.4f}s {:>10} {:>10} "
+                "{:>9.3f} {:>11}{}".format(
+                    name, row["count"], row["seconds"],
+                    _fmt_quantity(row["flops"], ""),
+                    _fmt_quantity(row["bytes"], ""),
+                    row["arithmetic_intensity"],
+                    _fmt_quantity(row["flops_per_sec"], ""),
+                    extra,
+                )
+            )
+    backends = report.get("backends", [])
+    if backends:
+        from .analysis import render_backend_report
+        lines.append(render_backend_report(backends))
+    return "\n".join(lines)
+
+
+def export_profile(path: str, registry: Registry | None = None, **kwargs) -> dict:
+    """Write :func:`profile_report` as JSON to ``path``; returns it."""
+    report = profile_report(registry, **kwargs)
+    with open(path, "w") as fh:
+        json.dump(report, fh, indent=2, sort_keys=False)
+        fh.write("\n")
+    return report

@@ -147,6 +147,15 @@ class Registry:
             duration = self.now() - record.start
         record.duration = float(duration)
         record.closed = True
+        # Work-profiled spans (see repro.obs.profile) close with a derived
+        # arithmetic-intensity figure so every exported span carries the
+        # roofline coordinate alongside its raw FLOP/byte counts.
+        attrs = record.attrs
+        if "flops" in attrs:
+            moved = attrs.get("bytes_read", 0.0) + attrs.get("bytes_written", 0.0)
+            attrs["arithmetic_intensity"] = (
+                attrs["flops"] / moved if moved > 0 else 0.0
+            )
         # Tolerate out-of-order exits defensively: pop up to the record —
         # but only if the record is actually on the stack, otherwise a
         # stale end would silently discard every open span.

@@ -30,7 +30,12 @@ class EpochLog:
         """Append one epoch's snapshot; returns the stored row."""
         row = {"epoch": int(epoch)}
         for key, value in scalars.items():
-            row[key] = float(value) if isinstance(value, (int, float)) else value
+            # bool is a subclass of int — preserve flags as-is instead of
+            # silently storing True as 1.0.
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                row[key] = value
+            else:
+                row[key] = float(value)
         self.rows.append(row)
         return row
 

@@ -10,6 +10,7 @@ import math
 
 import numpy as np
 
+from ..obs.profile import record_op
 from .ops import dropout as _dropout
 from .tensor import Tensor
 
@@ -107,6 +108,11 @@ class Linear(Module):
         out = x @ self.weight
         if self.bias is not None:
             out = out + self.bias
+            # broadcast add: one FLOP per output element (the matmul
+            # accounts for itself inside Tensor.__matmul__)
+            record_op("linear.bias", flops=float(out.data.size),
+                      bytes_read=out.data.nbytes + self.bias.data.nbytes,
+                      bytes_written=out.data.nbytes)
         return out
 
     def __repr__(self) -> str:

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..obs.profile import record_op
 from .tensor import Tensor, _as_tensor
 
 __all__ = [
@@ -58,6 +59,8 @@ def concat(tensors: list[Tensor], axis: int = -1) -> Tensor:
     """Concatenate tensors along ``axis`` (PinSage Update: CONCAT(h, nbr))."""
     tensors = [_as_tensor(t) for t in tensors]
     out_data = np.concatenate([t.data for t in tensors], axis=axis)
+    record_op("concat", bytes_read=out_data.nbytes,
+              bytes_written=out_data.nbytes)
     sizes = [t.data.shape[axis] for t in tensors]
     splits = np.cumsum(sizes)[:-1]
 
@@ -85,6 +88,9 @@ def softmax(x: Tensor, axis: int = -1) -> Tensor:
     shifted = x.data - x.data.max(axis=axis, keepdims=True)
     e = np.exp(shifted)
     out_data = e / e.sum(axis=axis, keepdims=True)
+    # max + shift + exp + sum + divide: ~5 FLOPs per element
+    record_op("softmax", flops=5.0 * out_data.size,
+              bytes_read=x.data.nbytes, bytes_written=out_data.nbytes)
 
     def backward(g):
         dot = (g * out_data).sum(axis=axis, keepdims=True)
@@ -100,6 +106,8 @@ def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
     log_norm = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
     out_data = shifted - log_norm
     soft = np.exp(out_data)
+    record_op("log_softmax", flops=5.0 * out_data.size,
+              bytes_read=x.data.nbytes, bytes_written=out_data.nbytes)
 
     def backward(g):
         return (g - soft * g.sum(axis=axis, keepdims=True),)
@@ -137,6 +145,10 @@ def dropout(x: Tensor, p: float, rng: np.random.Generator, training: bool = True
         raise ValueError(f"dropout probability must be in [0, 1), got {p}")
     x = _as_tensor(x)
     mask = (rng.random(x.shape) >= p) / (1.0 - p)
+    # compare + rescale: ~2 FLOPs per element
+    record_op("dropout", flops=2.0 * x.data.size,
+              bytes_read=x.data.nbytes + mask.nbytes,
+              bytes_written=x.data.nbytes)
 
     def backward(g):
         return (g * mask,)

@@ -26,6 +26,7 @@ import numpy as np
 import scipy.sparse as _sp
 
 from ..obs import counter as _obs_counter
+from ..obs.profile import record_op
 from .tensor import Tensor, _as_tensor
 
 __all__ = [
@@ -106,6 +107,10 @@ def scatter_add(value: Tensor, index: np.ndarray, dim_size: int | None = None) -
     _record_materialization(value.data.nbytes)
     out_data = np.zeros((n,) + value.shape[1:], dtype=value.data.dtype)
     np.add.at(out_data, index, value.data)
+    # one add per scattered element
+    record_op("scatter_add", flops=float(value.data.size),
+              bytes_read=value.data.nbytes + index.nbytes,
+              bytes_written=out_data.nbytes)
 
     def backward(g):
         return (g[index],)
@@ -124,6 +129,10 @@ def scatter_mean(value: Tensor, index: np.ndarray, dim_size: int | None = None) 
     out_data = np.zeros((n,) + value.shape[1:], dtype=value.data.dtype)
     np.add.at(out_data, index, value.data)
     out_data /= safe_counts.reshape((-1,) + (1,) * (value.ndim - 1))
+    # add + normalize: ~2 FLOPs per scattered element
+    record_op("scatter_mean", flops=2.0 * value.data.size,
+              bytes_read=value.data.nbytes + index.nbytes,
+              bytes_written=out_data.nbytes)
 
     def backward(g):
         scale = 1.0 / safe_counts[index]
@@ -144,6 +153,10 @@ def _scatter_extremum(value: Tensor, index: np.ndarray, dim_size: int | None, ki
     # Destinations with no sources get 0 (the conventional empty reduction).
     present = np.bincount(index, minlength=n) > 0
     out_data[~present] = 0.0
+    # one comparison per scattered element
+    record_op("scatter_" + kind, flops=float(value.data.size),
+              bytes_read=value.data.nbytes + index.nbytes,
+              bytes_written=out_data.nbytes)
 
     def backward(g):
         # Route gradient only to the rows that achieved the extremum,
@@ -185,6 +198,10 @@ def scatter_softmax(value: Tensor, index: np.ndarray, dim_size: int | None = Non
     denom = np.zeros((n,) + value.shape[1:], dtype=value.data.dtype)
     np.add.at(denom, index, e)
     out_data = e / denom[index]
+    # group max + shift + exp + sum + divide: ~5 FLOPs per element
+    record_op("scatter_softmax", flops=5.0 * value.data.size,
+              bytes_read=value.data.nbytes + index.nbytes,
+              bytes_written=out_data.nbytes)
 
     def backward(g):
         dot = np.zeros((n,) + value.shape[1:], dtype=value.data.dtype)
@@ -277,6 +294,16 @@ def segment_reduce_csr(
             safe = np.maximum(lengths, 1).astype(value.data.dtype)
             out_flat = out_flat / safe[:, None]
         out_data = out_flat.reshape(out_shape)
+        # SpMM convention: 2 FLOPs (multiply+add) per reduced element;
+        # reads stream one source row per edge plus the CSR structure.
+        dim = flat.shape[1]
+        record_op(
+            "segment_reduce." + reducer,
+            flops=2.0 * total * dim + (out_flat.size if reducer == "mean" else 0),
+            bytes_read=(total * dim * value.data.itemsize
+                        + offsets.nbytes + indices.nbytes),
+            bytes_written=out_data.nbytes,
+        )
 
         def backward(g):
             g_flat = g.reshape(n, -1)
@@ -296,6 +323,14 @@ def segment_reduce_csr(
     ufunc = np.maximum if reducer == "max" else np.minimum
     ufunc.at(out_data, dst_of_edge, rows)
     out_data[lengths == 0] = 0.0
+    # one comparison per reduced element
+    record_op(
+        "segment_reduce." + reducer,
+        flops=float(rows.size),
+        bytes_read=rows.nbytes + offsets.nbytes
+        + (0 if src_index is None else src_index.nbytes),
+        bytes_written=out_data.nbytes,
+    )
 
     def backward(g):
         winner = (rows == out_data[dst_of_edge]).astype(value.data.dtype)

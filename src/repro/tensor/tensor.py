@@ -23,6 +23,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..obs.profile import record_op
+
 __all__ = ["Tensor", "no_grad", "is_grad_enabled"]
 
 _GRAD_ENABLED = True
@@ -299,10 +301,27 @@ class Tensor:
         other = _as_tensor(other)
         out_data = self.data @ other.data
         a, b = self, other
+        # (n,k)@(k,m): 2nkm FLOPs (multiply+add); the same count again
+        # per backward operand (dL/dA = g@B^T, dL/dB = A^T@g).
+        flops = 2.0 * out_data.size * self.data.shape[-1]
+        record_op(
+            "matmul", flops=flops,
+            bytes_read=self.data.nbytes + other.data.nbytes,
+            bytes_written=out_data.nbytes,
+        )
 
         def backward(g):
-            ga = g @ b.data.T if a.requires_grad else None
-            gb = a.data.T @ g if b.requires_grad else None
+            ga = gb = None
+            if a.requires_grad:
+                ga = g @ b.data.T
+                record_op("matmul.backward", flops=flops,
+                          bytes_read=g.nbytes + b.data.nbytes,
+                          bytes_written=ga.nbytes)
+            if b.requires_grad:
+                gb = a.data.T @ g
+                record_op("matmul.backward", flops=flops,
+                          bytes_read=g.nbytes + a.data.nbytes,
+                          bytes_written=gb.nbytes)
             return ga, gb
 
         return Tensor._make(out_data, (self, other), backward)

@@ -58,18 +58,43 @@ class TestReport:
         report, _trace = smoke_outputs
         bench.validate_report(report)   # must not raise
 
+    def test_work_profile_totals_present(self, smoke_outputs):
+        report, _trace = smoke_outputs
+        assert report["calibration_seconds"] > 0
+        for row in report["configs"]:
+            assert row["total_flops"] > 0
+            assert row["total_bytes"] > 0
+            assert row["peak_flops_per_sec"] > 0
+
+
+def _report(schema=bench.SCHEMA, **overrides):
+    row = {"name": "x", "model": "gcn", "dataset": "reddit",
+           "kind": "single", "epochs": 3, "scale": "small",
+           "median_epoch_seconds": 0.1, "p90_epoch_seconds": 0.2,
+           "peak_materialized_bytes": 10, "time_basis": "wall"}
+    if schema == bench.SCHEMA:
+        row.update(total_flops=1e6, total_bytes=1e7,
+                   peak_flops_per_sec=1e8)
+    row.update(overrides)
+    return {"schema": schema,
+            "configs": [dict(row, name=f"c{i}") for i in range(4)]}
+
 
 class TestValidate:
     def _good(self):
-        row = {"name": "x", "model": "gcn", "dataset": "reddit",
-               "kind": "single", "epochs": 3,
-               "median_epoch_seconds": 0.1, "p90_epoch_seconds": 0.2,
-               "peak_materialized_bytes": 10, "time_basis": "wall"}
-        return {"schema": bench.SCHEMA,
-                "configs": [dict(row, name=f"c{i}") for i in range(4)]}
+        return _report()
 
     def test_good_report_passes(self):
         bench.validate_report(self._good())
+
+    def test_legacy_schema_accepted_without_work_keys(self):
+        bench.validate_report(_report(schema="repro.bench/1"))
+
+    def test_current_schema_requires_work_keys(self):
+        report = self._good()
+        del report["configs"][0]["total_flops"]
+        with pytest.raises(ValueError, match="total_flops"):
+            bench.validate_report(report)
 
     def test_bad_schema_rejected(self):
         report = self._good()
@@ -115,7 +140,7 @@ class TestChromeTrace:
         events = trace["traceEvents"]
         assert events
         for e in events:
-            assert e["ph"] in ("X", "i", "M")
+            assert e["ph"] in ("X", "i", "M", "C")
             assert "pid" in e and "tid" in e and "name" in e
 
     def test_one_lane_pair_per_config(self, smoke_outputs):
@@ -128,6 +153,91 @@ class TestChromeTrace:
         assert pids <= expected
         # At least the measured lane of every config is populated.
         assert {i * 10 for i in range(len(report["configs"]))} <= pids
+
+
+class TestCompare:
+    def test_identical_reports_pass(self):
+        assert bench.compare_reports(_report(), _report()) == []
+
+    def test_regression_beyond_tolerance_detected(self):
+        fresh = _report(median_epoch_seconds=0.2, p90_epoch_seconds=0.3)
+        regressions = bench.compare_reports(fresh, _report(), tolerance=0.25)
+        assert len(regressions) == 4
+        assert "regressed 2.00x" in regressions[0]
+
+    def test_within_tolerance_passes(self):
+        fresh = _report(median_epoch_seconds=0.12, p90_epoch_seconds=0.3)
+        assert bench.compare_reports(fresh, _report(), tolerance=0.25) == []
+
+    def test_unknown_config_skipped(self, capsys):
+        fresh = _report()
+        fresh["configs"][0]["name"] = "brand-new"
+        baseline = _report(median_epoch_seconds=0.001,
+                           p90_epoch_seconds=0.002)
+        regressions = bench.compare_reports(fresh, baseline, tolerance=0.25)
+        # the renamed row is skipped, the other three regress
+        assert len(regressions) == 3
+        assert "brand-new: not in baseline, skipped" in capsys.readouterr().out
+
+    def test_scale_or_epochs_mismatch_skipped(self, capsys):
+        fresh = _report(scale="large", median_epoch_seconds=10.0,
+                        p90_epoch_seconds=11.0)
+        assert bench.compare_reports(fresh, _report()) == []
+        assert "scale/epochs differ" in capsys.readouterr().out
+
+    def test_calibration_normalizes_wall_medians(self):
+        # Fresh host is 2x slower overall (calibration 2x) and its wall
+        # medians are 2x the baseline's: normalized ratio is 1.0, no
+        # regression.
+        fresh = _report(median_epoch_seconds=0.2, p90_epoch_seconds=0.3)
+        fresh["calibration_seconds"] = 0.02
+        baseline = _report()
+        baseline["calibration_seconds"] = 0.01
+        assert bench.compare_reports(fresh, baseline, tolerance=0.25) == []
+
+    def test_calibration_does_not_mask_real_regression(self):
+        # Same-speed hosts, genuinely 2x slower code: still caught.
+        fresh = _report(median_epoch_seconds=0.2, p90_epoch_seconds=0.3)
+        fresh["calibration_seconds"] = 0.01
+        baseline = _report()
+        baseline["calibration_seconds"] = 0.01
+        regressions = bench.compare_reports(fresh, baseline, tolerance=0.25)
+        assert len(regressions) == 4
+        assert "calibration-normalized" in regressions[0]
+
+    def test_simulated_rows_compared_raw(self):
+        # Simulated medians are host-independent: calibration must NOT
+        # excuse a regression there.
+        fresh = _report(time_basis="simulated", median_epoch_seconds=0.2,
+                        p90_epoch_seconds=0.3)
+        fresh["calibration_seconds"] = 0.02
+        baseline = _report(time_basis="simulated")
+        baseline["calibration_seconds"] = 0.01
+        regressions = bench.compare_reports(fresh, baseline, tolerance=0.25)
+        assert len(regressions) == 4
+
+    def test_bad_tolerance_rejected(self):
+        with pytest.raises(ValueError, match="tolerance"):
+            bench.compare_reports(_report(), _report(), tolerance=0.0)
+
+    def test_cli_gate_fails_on_regression(self, tmp_path, capsys):
+        """--check-against exits 1 when the baseline is far faster."""
+        baseline = _report(median_epoch_seconds=1e-9, p90_epoch_seconds=1e-8)
+        # align names/epochs/scale with the smoke matrix so rows match
+        baseline["configs"] = [
+            dict(baseline["configs"][0], name=cfg["name"],
+                 scale="tiny", epochs=3)
+            for cfg in bench.MATRIX
+        ]
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps(baseline))
+        rc = bench.main([
+            "--smoke",
+            "--output", str(tmp_path / "fresh.json"),
+            "--check-against", str(path),
+        ])
+        assert rc == 1
+        assert "regressed" in capsys.readouterr().out
 
 
 class TestCommittedBaseline:

@@ -174,6 +174,19 @@ class TestEpochLog:
     def test_empty_latest_is_none(self):
         assert EpochLog("e").latest() is None
 
+    def test_bool_values_preserved(self):
+        """Regression: bool is a subclass of int, so True used to be
+        coerced to 1.0 by the float() normalization."""
+        log = EpochLog("t")
+        row = log.log(0, improved=True, stale=False, loss=1)
+        assert row["improved"] is True
+        assert row["stale"] is False
+        assert isinstance(row["loss"], float) and row["loss"] == 1.0
+        assert log.series("improved") == [True]
+        # round-trips through JSON as actual booleans
+        d = json.loads(json.dumps(log.to_dict()))
+        assert d["rows"][0]["improved"] is True
+
     def test_to_dict_round_trip(self):
         log = EpochLog("t")
         log.log(3, loss=0.25)
@@ -280,7 +293,7 @@ class TestChromeTrace:
         events = trace["traceEvents"]
         assert events and trace["displayTimeUnit"] == "ms"
         for e in events:
-            assert e["ph"] in ("X", "i", "M")
+            assert e["ph"] in ("X", "i", "M", "C")
             assert "pid" in e and "tid" in e and "name" in e
             if e["ph"] == "X":
                 assert e["ts"] >= 0 and e["dur"] >= 0
@@ -319,6 +332,42 @@ class TestChromeTrace:
         x = [e for e in obs.to_chrome_trace()["traceEvents"]
              if e["ph"] == "X"][0]
         assert x["dur"] == pytest.approx(0.5e6)
+
+    def test_non_integer_worker_labels_get_distinct_tids(self):
+        """Regression: non-int worker attrs used to collapse to tid 0."""
+        obs.record_span("a", 0.1, worker="ps-0")
+        obs.record_span("b", 0.1, worker="trainer-1")
+        obs.record_span("c", 0.1, worker=2)
+        events = obs.to_chrome_trace()["traceEvents"]
+        by_name = {e["name"]: e for e in events if e["ph"] == "X"}
+        # distinct labels -> distinct tids, well clear of int ranks
+        assert by_name["a"]["tid"] != by_name["b"]["tid"]
+        assert by_name["a"]["tid"] >= 10_000
+        assert by_name["b"]["tid"] >= 10_000
+        # integer workers keep their rank as tid
+        assert by_name["c"]["tid"] == 2
+        # the coercion is documented in the trace itself
+        coercions = [e for e in events
+                     if e["name"] == "trace.worker_label_coerced"]
+        assert {e["args"]["worker"] for e in coercions} == {"ps-0", "trainer-1"}
+        thread_names = [e for e in events
+                        if e["ph"] == "M" and e["name"] == "thread_name"]
+        assert {e["args"]["name"] for e in thread_names} == {
+            "worker ps-0", "worker trainer-1"
+        }
+
+    def test_worker_label_tids_stable_across_exports(self):
+        obs.record_span("a", 0.1, worker="beta")
+        obs.record_span("b", 0.1, worker="alpha")
+        first = {e["name"]: e["tid"]
+                 for e in obs.to_chrome_trace()["traceEvents"]
+                 if e["ph"] == "X"}
+        second = {e["name"]: e["tid"]
+                  for e in obs.to_chrome_trace()["traceEvents"]
+                  if e["ph"] == "X"}
+        assert first == second
+        # sorted-label assignment: alpha < beta regardless of span order
+        assert first["b"] < first["a"]
 
 
 # ----------------------------------------------------------------------

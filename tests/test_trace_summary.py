@@ -1,0 +1,82 @@
+"""Tests for tools/trace_summary.py over a real engine-run trace."""
+
+import json
+import os
+import sys
+
+import pytest
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "tools")
+)
+
+import trace_summary  # noqa: E402
+
+from repro import obs  # noqa: E402
+from repro.core import FlexGraphEngine  # noqa: E402
+from repro.datasets import load_dataset  # noqa: E402
+from repro.models import gcn  # noqa: E402
+from repro.tensor import Adam, Tensor  # noqa: E402
+
+
+@pytest.fixture(scope="module")
+def trace_path(tmp_path_factory):
+    """Export one real engine-run trace shared by every test."""
+    obs.reset()
+    ds = load_dataset("reddit", scale="tiny")
+    model = gcn(ds.feat_dim, 8, ds.num_classes, seed=0)
+    engine = FlexGraphEngine(model, ds.graph, strategy="ha", seed=0)
+    engine.train_epoch(Tensor(ds.features), ds.labels,
+                       Adam(model.parameters(), 0.01), ds.train_mask)
+    path = tmp_path_factory.mktemp("trace") / "trace.json"
+    obs.export_json(str(path))
+    obs.reset()
+    return str(path)
+
+
+class TestSummaryView:
+    def test_exit_code_and_header(self, trace_path, capsys):
+        assert trace_summary.main([trace_path]) == 0
+        out = capsys.readouterr().out
+        assert trace_path in out
+        assert "spans," in out and "events)" in out
+
+    def test_summary_names_engine_spans_and_counters(self, trace_path, capsys):
+        trace_summary.main([trace_path])
+        out = capsys.readouterr().out
+        for name in ("engine.train_epoch", "stage.neighbor_selection",
+                     "stage.aggregation", "stage.update", "stage.backward"):
+            assert name in out, f"summary is missing span {name}"
+        # profiler counters ride along in the same trace
+        assert "profile.flops" in out
+        assert "profile.bytes_read" in out
+
+    def test_spans_flag_lists_individual_spans(self, trace_path, capsys):
+        trace_summary.main([trace_path, "--spans"])
+        out = capsys.readouterr().out
+        assert "stage.aggregation" in out
+        assert "ms" in out
+        # work attribution shows up in the per-span attr dump
+        assert "flops=" in out
+
+    def test_events_flag_lists_backend_events(self, trace_path, capsys):
+        trace_summary.main([trace_path, "--events"])
+        out = capsys.readouterr().out
+        assert "aggregation.backend" in out
+        assert "backend=" in out
+
+    def test_limit_truncates_listing(self, trace_path, capsys):
+        trace_summary.main([trace_path, "--spans", "--limit", "2"])
+        out = capsys.readouterr().out
+        assert "more (raise --limit)" in out
+
+    def test_unknown_schema_warns_but_renders(self, tmp_path, capsys):
+        path = tmp_path / "weird.json"
+        path.write_text(json.dumps({
+            "schema": "someone.else/9",
+            "spans": [], "events": [], "counters": {}, "gauges": {},
+        }))
+        assert trace_summary.main([str(path)]) == 0
+        captured = capsys.readouterr()
+        assert "unknown trace schema" in captured.err
+        assert "(0 spans, 0 events)" in captured.out

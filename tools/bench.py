@@ -3,31 +3,44 @@
 
 Runs a small, fixed model/dataset matrix (single-machine and simulated
 distributed configs) and records, per configuration, the median and p90
-epoch seconds plus the peak concurrently materialized bytes — the three
-numbers every perf-oriented PR must not regress.  The output schema
-(``repro.bench/1``) is::
+epoch seconds, the peak concurrently materialized bytes, and the work
+profile totals (FLOPs, bytes moved, peak achieved FLOP/s) — the numbers
+every perf-oriented PR must not regress.  The output schema
+(``repro.bench/2``) is::
 
     {
-      "schema": "repro.bench/1",
+      "schema": "repro.bench/2",
       "mode": "smoke" | "full",
+      "calibration_seconds": 0.0021,   # fixed numpy workload, this host
       "configs": [
         {"name", "model", "dataset", "scale", "kind", "workers"?,
          "pipeline"?, "strategy", "epochs",
          "median_epoch_seconds", "p90_epoch_seconds",
-         "peak_materialized_bytes", "time_basis": "wall" | "simulated"},
+         "peak_materialized_bytes", "time_basis": "wall" | "simulated",
+         "total_flops", "total_bytes", "peak_flops_per_sec"},
         ...
       ]
     }
 
+Version 2 is a superset of version 1 (``validate_report`` accepts both;
+the work-profile keys and ``calibration_seconds`` are new).
+
 Usage::
 
     python tools/bench.py                      # full matrix -> repo root
-    python tools/bench.py --smoke              # tiny/fast (CI gate)
+    python tools/bench.py --smoke              # tiny/fast variant
+    python tools/bench.py --check-against BENCH_epoch_time.json
     python tools/bench.py --output path.json --chrome-trace trace.json
 
-``--chrome-trace`` merges every configuration's spans into one Chrome
-Trace Event Format file (one process-lane pair per config), loadable in
-chrome://tracing or https://ui.perfetto.dev.
+``--check-against`` turns the run into a regression gate: the fresh
+report is compared config-by-config against the given baseline and the
+exit code is nonzero when any config's median epoch time regressed by
+more than ``--tolerance`` (default 25%).  Medians are normalized by the
+two reports' ``calibration_seconds`` when both carry one, so a slower
+CI host does not read as a regression.  ``--chrome-trace`` merges every
+configuration's spans into one Chrome Trace Event Format file (one
+process-lane pair per config), loadable in chrome://tracing or
+https://ui.perfetto.dev.
 """
 
 from __future__ import annotations
@@ -37,6 +50,7 @@ import json
 import os
 import statistics
 import sys
+import time
 
 sys.path.insert(
     0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
@@ -44,11 +58,15 @@ sys.path.insert(
 
 from repro import obs  # noqa: E402
 
-SCHEMA = "repro.bench/1"
+SCHEMA = "repro.bench/2"
+#: schema versions validate_report accepts; /1 lacks the work-profile keys
+ACCEPTED_SCHEMAS = ("repro.bench/1", "repro.bench/2")
 REPO_ROOT = os.path.abspath(
     os.path.join(os.path.dirname(os.path.abspath(__file__)), "..")
 )
 DEFAULT_OUTPUT = os.path.join(REPO_ROOT, "BENCH_epoch_time.json")
+#: default regression tolerance of the --check-against gate
+DEFAULT_TOLERANCE = 0.25
 
 #: the fixed matrix: strategy spread (HA vs SA exercises the hybrid
 #: executor and the materialization counter), plus distributed runs with
@@ -125,6 +143,31 @@ def _percentile(values: list[float], q: float) -> float:
     return ordered[low] + (ordered[high] - ordered[low]) * (rank - low)
 
 
+def calibration_seconds(reps: int = 5) -> float:
+    """Best-of-``reps`` seconds of a fixed numpy workload on this host.
+
+    Used to normalize epoch times between machines: a baseline recorded
+    on a fast workstation should not fail the gate on a slower CI
+    runner.  The workload mixes dense matmul and an indexed scatter —
+    the two kernels the benchmark configs actually spend time in.
+    """
+    import numpy as np
+
+    rng = np.random.default_rng(0)
+    a = rng.standard_normal((192, 192))
+    idx = rng.integers(0, 192, size=4096)
+    vals = rng.standard_normal((4096, 16))
+    best = float("inf")
+    for _ in range(reps):
+        start = time.perf_counter()
+        b = a @ a
+        out = np.zeros((192, 16))
+        np.add.at(out, idx, vals)
+        b.sum()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
 def run_matrix(scale: str, epochs: int, seed: int,
                chrome_trace: str | None = None) -> dict:
     """Run every config and return the bench report dict."""
@@ -136,6 +179,8 @@ def run_matrix(scale: str, epochs: int, seed: int,
         runner = _run_single if config["kind"] == "single" else _run_distributed
         seconds = runner(config, ds, model, epochs, seed)
         peak = obs.counter("scatter.materialized_bytes").peak
+        work = obs.work_snapshot()
+        rates = obs.peak_work_rates()
         row = {
             "name": config["name"],
             "model": config["model"],
@@ -148,6 +193,9 @@ def run_matrix(scale: str, epochs: int, seed: int,
             "p90_epoch_seconds": _percentile(seconds, 90),
             "peak_materialized_bytes": peak,
             "time_basis": "wall" if config["kind"] == "single" else "simulated",
+            "total_flops": work["flops"],
+            "total_bytes": work["bytes_read"] + work["bytes_written"],
+            "peak_flops_per_sec": rates["peak_flops_per_sec"],
         }
         if config["kind"] == "distributed":
             row["workers"] = config["workers"]
@@ -155,7 +203,10 @@ def run_matrix(scale: str, epochs: int, seed: int,
         configs.append(row)
         print(f"  {row['name']:<22} median {row['median_epoch_seconds']:.4f}s  "
               f"p90 {row['p90_epoch_seconds']:.4f}s  "
-              f"peak {row['peak_materialized_bytes'] / 1e6:.2f} MB "
+              f"peak {row['peak_materialized_bytes'] / 1e6:.2f} MB  "
+              f"{row['total_flops'] / 1e6:.1f} MFLOP  "
+              f"{row['total_bytes'] / 1e6:.1f} MB moved  "
+              f"peak {row['peak_flops_per_sec'] / 1e6:.1f} MFLOP/s "
               f"({row['time_basis']})")
         if chrome_trace:
             # Each config gets its own pid lane pair in the merged trace.
@@ -165,6 +216,7 @@ def run_matrix(scale: str, epochs: int, seed: int,
     report = {"schema": SCHEMA,
               "mode": "smoke" if scale == "tiny" else "full",
               "scale": scale,
+              "calibration_seconds": calibration_seconds(),
               "configs": configs}
     if chrome_trace:
         with open(chrome_trace, "w") as fh:
@@ -177,14 +229,17 @@ def run_matrix(scale: str, epochs: int, seed: int,
 
 def validate_report(report: dict) -> None:
     """Raise ValueError when the report violates the bench schema."""
-    if report.get("schema") != SCHEMA:
-        raise ValueError(f"bad schema: {report.get('schema')!r}")
+    schema = report.get("schema")
+    if schema not in ACCEPTED_SCHEMAS:
+        raise ValueError(f"bad schema: {schema!r}")
     configs = report.get("configs")
     if not isinstance(configs, list) or len(configs) < 4:
         raise ValueError("bench report must contain >= 4 configurations")
-    required = ("name", "model", "dataset", "kind", "epochs",
+    required = ["name", "model", "dataset", "kind", "epochs",
                 "median_epoch_seconds", "p90_epoch_seconds",
-                "peak_materialized_bytes", "time_basis")
+                "peak_materialized_bytes", "time_basis"]
+    if schema == SCHEMA:
+        required += ["total_flops", "total_bytes", "peak_flops_per_sec"]
     for row in configs:
         for key in required:
             if key not in row:
@@ -195,12 +250,62 @@ def validate_report(report: dict) -> None:
             raise ValueError(f"config {row['name']!r} has p90 < median")
 
 
+def compare_reports(fresh: dict, baseline: dict,
+                    tolerance: float = DEFAULT_TOLERANCE) -> list[str]:
+    """Regression check of ``fresh`` against ``baseline``.
+
+    Returns a list of human-readable regression descriptions (empty ==
+    gate passes).  A config regresses when its (calibration-normalized)
+    median epoch time exceeds the baseline's by more than ``tolerance``.
+    Configs are matched by name; a config present in only one report, or
+    measured at a different scale/epoch count, is skipped — such rows
+    are not comparable, and the skip is reported on stdout rather than
+    failed silently.
+    """
+    if tolerance <= 0:
+        raise ValueError("tolerance must be positive")
+    baseline_rows = {row["name"]: row for row in baseline.get("configs", [])}
+    # Host-speed normalization: divide each median by its report's
+    # calibration time when both reports carry one.
+    fresh_cal = fresh.get("calibration_seconds")
+    base_cal = baseline.get("calibration_seconds")
+    normalize = bool(fresh_cal and base_cal)
+    regressions: list[str] = []
+    for row in fresh.get("configs", []):
+        base = baseline_rows.get(row["name"])
+        if base is None:
+            print(f"  [compare] {row['name']}: not in baseline, skipped")
+            continue
+        if (row.get("scale") != base.get("scale")
+                or row["epochs"] != base["epochs"]):
+            print(f"  [compare] {row['name']}: scale/epochs differ from "
+                  f"baseline, skipped")
+            continue
+        fresh_median = row["median_epoch_seconds"]
+        base_median = base["median_epoch_seconds"]
+        if normalize and row["time_basis"] == "wall":
+            fresh_median /= fresh_cal
+            base_median /= base_cal
+        ratio = fresh_median / base_median
+        if ratio > 1.0 + tolerance:
+            regressions.append(
+                f"{row['name']}: median epoch time regressed {ratio:.2f}x "
+                f"(baseline {base['median_epoch_seconds']:.4f}s, "
+                f"fresh {row['median_epoch_seconds']:.4f}s, "
+                f"tolerance {1.0 + tolerance:.2f}x"
+                f"{', calibration-normalized' if normalize and row['time_basis'] == 'wall' else ''})"
+            )
+        else:
+            print(f"  [compare] {row['name']}: {ratio:.2f}x vs baseline, ok")
+    return regressions
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         description="fixed-matrix perf baseline -> BENCH_epoch_time.json"
     )
     parser.add_argument("--smoke", action="store_true",
-                        help="tiny datasets, few epochs (CI gate)")
+                        help="tiny datasets, few epochs")
     parser.add_argument("--epochs", type=int, default=None,
                         help="epochs per config (default: 5, smoke: 3)")
     parser.add_argument("--seed", type=int, default=0)
@@ -208,6 +313,12 @@ def main(argv: list[str] | None = None) -> int:
                         help=f"output JSON path (default {DEFAULT_OUTPUT})")
     parser.add_argument("--chrome-trace", metavar="PATH",
                         help="also write a merged Chrome trace of every config")
+    parser.add_argument("--check-against", metavar="BASELINE",
+                        help="compare against a committed baseline report "
+                             "and exit 1 on median epoch-time regression")
+    parser.add_argument("--tolerance", type=float, default=DEFAULT_TOLERANCE,
+                        help="allowed fractional median regression for "
+                             f"--check-against (default {DEFAULT_TOLERANCE})")
     args = parser.parse_args(argv)
 
     scale = "tiny" if args.smoke else "small"
@@ -221,6 +332,21 @@ def main(argv: list[str] | None = None) -> int:
         json.dump(report, fh, indent=1)
         fh.write("\n")
     print(f"bench report written to {args.output}")
+
+    if args.check_against:
+        with open(args.check_against) as fh:
+            baseline = json.load(fh)
+        validate_report(baseline)
+        regressions = compare_reports(report, baseline,
+                                      tolerance=args.tolerance)
+        if regressions:
+            print("bench regression gate FAILED:")
+            for line in regressions:
+                print(f"  {line}")
+            return 1
+        print(f"bench regression gate passed "
+              f"(vs {args.check_against}, tolerance "
+              f"{1.0 + args.tolerance:.2f}x)")
     return 0
 
 
