@@ -25,6 +25,9 @@ Packages
 ``repro.obs``
     Unified observability layer: spans, counters/gauges (total + peak),
     events, JSON trace export and summary tables.
+``repro.serve``
+    Online inference serving: sessions over pinned checkpoints/graphs,
+    micro-batching, versioned embedding caches, load-shedding server.
 
 Quickstart
 ----------
@@ -50,6 +53,7 @@ from . import (
     graph,
     models,
     obs,
+    serve,
     storage,
     tasks,
     tensor,
@@ -57,5 +61,5 @@ from . import (
 
 __all__ = [
     "tensor", "graph", "core", "models", "baselines", "distributed",
-    "datasets", "storage", "tasks", "obs", "__version__",
+    "datasets", "storage", "tasks", "obs", "serve", "__version__",
 ]

@@ -11,6 +11,8 @@ Usage (installed as the ``flexgraph`` console script, or via
     flexgraph bench --model gcn --engines dgl flexgraph
     flexgraph distributed --model gcn --dataset twitter --workers 8 --balance
     flexgraph linkpred --model gcn --dataset reddit
+    flexgraph train --model gcn --checkpoint model.npz
+    flexgraph serve --model gcn --checkpoint model.npz --requests 500
     flexgraph train --model gcn --trace out.json   # repro.obs JSON trace
     flexgraph train --model gcn --chrome-trace t.json --metrics prom.txt
 
@@ -82,6 +84,27 @@ def build_parser() -> argparse.ArgumentParser:
     linkpred.add_argument("--hidden-dim", type=int, default=32)
     linkpred.add_argument("--epochs", type=int, default=20)
     linkpred.add_argument("--test-fraction", type=float, default=0.1)
+
+    serve = sub.add_parser("serve", help="online inference server + demo workload")
+    _dataset_args(serve)
+    _model_args(serve)
+    serve.add_argument("--checkpoint",
+                       help="load model state from this .npz (metadata is "
+                            "verified against the dataset graph); default "
+                            "trains --train-epochs first")
+    serve.add_argument("--train-epochs", type=int, default=3,
+                       help="warm-up training epochs when no --checkpoint")
+    serve.add_argument("--requests", type=int, default=200,
+                       help="demo workload request count")
+    serve.add_argument("--zipf", type=float, default=1.1,
+                       help="Zipf exponent of seed popularity (>1)")
+    serve.add_argument("--workers", type=int, default=2)
+    serve.add_argument("--batch-size", type=int, default=32,
+                       help="micro-batch max coalesced seeds")
+    serve.add_argument("--max-delay-ms", type=float, default=2.0,
+                       help="micro-batch max delay window")
+    serve.add_argument("--queue-depth", type=int, default=256,
+                       help="admission bound (requests beyond it are shed)")
     return parser
 
 
@@ -165,10 +188,14 @@ def _cmd_train(args) -> int:
     test = engine.evaluate(feats, ds.labels, ds.test_mask)
     print(f"\n{model.name} on {ds.name}: val acc {val:.3f}, test acc {test:.3f}")
     if args.checkpoint:
-        from .storage import save_checkpoint
+        from .storage import checkpoint_metadata, save_checkpoint
 
-        save_checkpoint(model.state_dict(), args.checkpoint,
-                        {"model": args.model, "dataset": args.dataset})
+        meta = checkpoint_metadata(
+            model, ds.graph,
+            extra={"model": args.model, "dataset": args.dataset,
+                   "scale": args.scale},
+        )
+        save_checkpoint(model.state_dict(), args.checkpoint, meta)
         print(f"checkpoint written to {args.checkpoint}")
     return 0
 
@@ -276,6 +303,61 @@ def _cmd_linkpred(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    from .datasets import load_dataset
+    from .serve import GNNServer, InferenceSession, ServerOverloaded
+
+    ds = load_dataset(args.dataset, scale=args.scale)
+    model = _build_model(args, ds)
+    if args.checkpoint is None:
+        from .core import FlexGraphEngine
+        from .tensor import Adam, Tensor
+
+        print(f"no --checkpoint: training {model.name} for "
+              f"{args.train_epochs} epochs first")
+        engine = FlexGraphEngine(model, ds.graph, seed=args.seed)
+        optimizer = Adam(model.parameters(), lr=0.01)
+        engine.fit(Tensor(ds.features), ds.labels, optimizer,
+                   args.train_epochs, mask=ds.train_mask)
+    session = InferenceSession(
+        model, ds.graph, ds.features,
+        checkpoint=args.checkpoint, seed=args.seed,
+    )
+
+    # Zipfian seed popularity: a small hot set dominates, which is what
+    # makes the embedding cache earn its keep.
+    rng = np.random.default_rng(args.seed)
+    ranks = np.arange(1, ds.graph.num_vertices + 1, dtype=np.float64)
+    popularity = ranks ** -args.zipf
+    popularity /= popularity.sum()
+    seeds = rng.choice(ds.graph.num_vertices, size=args.requests, p=popularity)
+
+    server = GNNServer(
+        session, num_workers=args.workers, max_batch_size=args.batch_size,
+        max_delay=args.max_delay_ms / 1e3, max_queue_depth=args.queue_depth,
+    )
+    with server:
+        for i in range(0, args.requests, 4):
+            chunk = seeds[i : i + 4]
+            try:
+                server.predict(chunk)
+            except ServerOverloaded:
+                pass
+    summary = server.slo_summary()
+    lat = summary["latency_ms"]
+    cache = summary["session"]["embed_cache"]
+    print(f"\n{model.name} on {ds.name}: served "
+          f"{summary['completed']}/{summary['requests']} requests "
+          f"({summary['shed']} shed)")
+    print(f"  latency      : p50 {lat['p50']:.2f}ms  p90 {lat['p90']:.2f}ms  "
+          f"p99 {lat['p99']:.2f}ms")
+    print(f"  batches      : {summary['batches']['count']} "
+          f"(mean {summary['batches']['mean_ms']:.2f}ms)")
+    print(f"  embed cache  : {cache['entries']} entries, "
+          f"hit rate {cache['hit_rate']:.1%}")
+    return 0
+
+
 _COMMANDS = {
     "info": _cmd_info,
     "metrics": _cmd_metrics,
@@ -284,6 +366,7 @@ _COMMANDS = {
     "distributed": _cmd_distributed,
     "linkpred": _cmd_linkpred,
     "bench": _cmd_bench,
+    "serve": _cmd_serve,
 }
 
 

@@ -42,7 +42,13 @@ from .hdg import (
 )
 from .hybrid import ExecutionStrategy, hierarchical_aggregate
 from .nau import GNNLayer, NAUModel, SelectionScope
-from .sampling import MiniBatchEpochStats, MiniBatchTrainer, sample_fanout
+from .sampling import (
+    MiniBatchEpochStats,
+    MiniBatchTrainer,
+    build_block,
+    build_seed_blocks,
+    sample_fanout,
+)
 from .schema import NeighborRecord, SchemaTree
 from .validate import HDGInvariantError, hdg_summary, validate_hdg
 from .selection import (
@@ -68,6 +74,7 @@ __all__ = [
     "get_aggregator",
     "FlexGraphEngine", "StageTimes", "EpochStats",
     "MiniBatchTrainer", "MiniBatchEpochStats", "sample_fanout",
+    "build_block", "build_seed_blocks",
     "validate_hdg", "hdg_summary", "HDGInvariantError",
     "MetapathHDGMaintainer", "instances_through_edges",
     "TypeProjection",

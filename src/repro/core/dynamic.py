@@ -111,6 +111,10 @@ class MetapathHDGMaintainer:
             self._keys.append(_row_keys(rows, self._n))
         #: instances recomputed by the last apply_edge_changes call
         self.last_delta = 0
+        #: roots whose instance set the last apply_edge_changes touched —
+        #: exactly the vertices whose served layer-1 embeddings went stale
+        #: (consumed by repro.serve's cache invalidation)
+        self.last_touched_roots: np.ndarray = np.empty(0, dtype=np.int64)
 
     @property
     def _instances(self) -> list[np.ndarray]:
@@ -177,6 +181,7 @@ class MetapathHDGMaintainer:
         if added.size:
             new_graph = new_graph.with_edges_added(added)
         delta = 0
+        touched: list[np.ndarray] = []
         for i, mp in enumerate(self.metapaths):
             rows, keys = self._rows[i], self._keys[i]
             if removed.size:
@@ -194,6 +199,7 @@ class MetapathHDGMaintainer:
                     if gone_keys.size:
                         pos, found = _positions_of(keys, gone_keys)
                         if found.any():
+                            touched.append(rows[pos[found], 0])
                             mask = np.ones(keys.size, dtype=bool)
                             mask[pos[found]] = False
                             rows, keys = rows[mask], keys[mask]
@@ -210,9 +216,14 @@ class MetapathHDGMaintainer:
                         rows = np.insert(rows, insert_at, new_rows, axis=0)
                         keys = np.insert(keys, insert_at, new_keys)
                         delta += new_rows.shape[0]
+                        touched.append(new_rows[:, 0])
             self._rows[i], self._keys[i] = rows, keys
         self.graph = new_graph
         self.last_delta = delta
+        self.last_touched_roots = (
+            np.unique(np.concatenate(touched)) if touched
+            else np.empty(0, dtype=np.int64)
+        )
         return self.build_hdg() if build else None
 
 

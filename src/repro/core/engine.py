@@ -279,34 +279,45 @@ class FlexGraphEngine:
                     break
         return history
 
-    def predict(self, feats: Tensor) -> np.ndarray:
-        """Argmax class predictions for every vertex (no gradients)."""
+    def _inference_forward(self, feats: Tensor) -> Tensor:
+        """Full forward in eval mode with gradients off; restores the
+        model's training flag afterwards (shared by :meth:`predict`,
+        :meth:`embed` and :meth:`evaluate`)."""
         was_training = self.model.training
         self.model.eval()
-        with no_grad():
-            logits = self.forward(feats)
-        self.model.train(was_training)
-        return logits.numpy().argmax(axis=1)
+        try:
+            with no_grad():
+                return self.forward(feats)
+        finally:
+            self.model.train(was_training)
 
-    def embed(self, feats: Tensor) -> np.ndarray:
-        """Final-layer representations for every vertex (no gradients) —
-        the low-dimensional features §2.1's downstream tasks consume."""
-        was_training = self.model.training
-        self.model.eval()
-        with no_grad():
-            out = self.forward(feats)
-        self.model.train(was_training)
-        return out.numpy().copy()
+    def predict(self, feats: Tensor,
+                vertices: np.ndarray | None = None) -> np.ndarray:
+        """Argmax class predictions (no gradients).
+
+        ``vertices`` restricts the returned predictions to a seed subset
+        (the forward still covers the whole graph; seed-restricted
+        *compute* lives in :mod:`repro.serve`).
+        """
+        logits = self._inference_forward(feats).numpy()
+        if vertices is not None:
+            logits = logits[np.asarray(vertices, dtype=np.int64)]
+        return logits.argmax(axis=1)
+
+    def embed(self, feats: Tensor,
+              vertices: np.ndarray | None = None) -> np.ndarray:
+        """Final-layer representations (no gradients) — the
+        low-dimensional features §2.1's downstream tasks consume.
+        ``vertices`` restricts the returned rows to a seed subset."""
+        out = self._inference_forward(feats).numpy()
+        if vertices is not None:
+            return out[np.asarray(vertices, dtype=np.int64)].copy()
+        return out.copy()
 
     def evaluate(self, feats: Tensor, labels: np.ndarray,
                  mask: np.ndarray | None = None) -> float:
         """Accuracy of the current model on ``mask`` (no gradients)."""
-        was_training = self.model.training
-        self.model.eval()
-        with no_grad():
-            logits = self.forward(feats)
-        self.model.train(was_training)
-        return accuracy(logits, labels, mask)
+        return accuracy(self._inference_forward(feats), labels, mask)
 
     # ------------------------------------------------------------------
     # Fault tolerance (Figure 12's fault-tolerance module)

@@ -31,7 +31,13 @@ from .hdg import HDG
 from .hybrid import ExecutionStrategy
 from .nau import NAUModel, SelectionScope
 
-__all__ = ["sample_fanout", "MiniBatchTrainer", "MiniBatchEpochStats"]
+__all__ = [
+    "sample_fanout",
+    "build_block",
+    "build_seed_blocks",
+    "MiniBatchTrainer",
+    "MiniBatchEpochStats",
+]
 
 
 def sample_fanout(hdg: HDG, fanout: int, rng: np.random.Generator) -> HDG:
@@ -77,6 +83,49 @@ def sample_fanout(hdg: HDG, fanout: int, rng: np.random.Generator) -> HDG:
         instance_offsets=None, leaf_weights=weights,
         num_input_vertices=hdg.num_input_vertices,
     )
+
+
+def build_block(hdg: HDG, vertices: np.ndarray, fanout: int | None = None,
+                rng: np.random.Generator | None = None) -> HDG:
+    """One layer's seed-restricted block: the sub-HDG rooted at
+    ``vertices``, optionally fan-out sampled.
+
+    Requires an HDG whose roots cover all input vertices in id order
+    (so vertex ids double as root orders) — the layout every model-level
+    NeighborSelection in this repo produces.  ``fanout=None`` keeps the
+    full neighborhoods (exact inference); a positive ``fanout`` applies
+    :func:`sample_fanout` (flat HDGs only) and needs ``rng``.
+    """
+    block = hdg.restrict_to_roots(np.asarray(vertices, dtype=np.int64))
+    if fanout is not None:
+        if rng is None:
+            raise ValueError("fan-out sampling needs an rng")
+        block = sample_fanout(block, fanout, rng)
+    return block
+
+
+def build_seed_blocks(
+    hdg: HDG,
+    seeds: np.ndarray,
+    fanouts: list[int | None],
+    rng: np.random.Generator | None = None,
+) -> list[tuple[HDG, np.ndarray]]:
+    """Per-layer ``(block HDG, output vertices)``, input layer first.
+
+    Built top-down: the last layer needs the seeds; each earlier layer
+    needs everything the next layer's block references.  Shared by
+    :class:`MiniBatchTrainer` (sampled training) and
+    :class:`repro.serve.InferenceSession` (exact or sampled serving);
+    ``fanouts`` entries may be ``None`` for exact full-neighborhood
+    blocks.
+    """
+    need = np.unique(np.asarray(seeds, dtype=np.int64))
+    reversed_blocks: list[tuple[HDG, np.ndarray]] = []
+    for fanout in reversed(list(fanouts)):
+        block = build_block(hdg, need, fanout, rng)
+        reversed_blocks.append((block, need))
+        need = np.unique(np.concatenate([need, block.leaf_vertices]))
+    return list(reversed(reversed_blocks))
 
 
 @dataclass
@@ -145,19 +194,8 @@ class MiniBatchTrainer:
         return self._model_hdg
 
     def _build_blocks(self, hdg: HDG, seeds: np.ndarray) -> list[tuple[HDG, np.ndarray]]:
-        """Per-layer (block HDG, output vertices), input layer first.
-
-        Built top-down: the last layer needs the seeds; each earlier
-        layer needs everything the next layer's sampled block references.
-        """
-        need = np.unique(seeds)
-        reversed_blocks: list[tuple[HDG, np.ndarray]] = []
-        for fanout in reversed(self.fanouts):
-            sub = hdg.restrict_to_roots(need)  # roots indexed by vertex id
-            block = sample_fanout(sub, fanout, self._rng)
-            reversed_blocks.append((block, need))
-            need = np.unique(np.concatenate([need, block.leaf_vertices]))
-        return list(reversed(reversed_blocks))
+        """Per-layer (block HDG, output vertices) via the shared builder."""
+        return build_seed_blocks(hdg, seeds, self.fanouts, self._rng)
 
     # ------------------------------------------------------------------
     def train_epoch(

@@ -65,7 +65,14 @@ class CheckpointManager:
         self.interval = interval
         self.keep = keep
         os.makedirs(directory, exist_ok=True)
-        self._epochs: list[int] = []
+        # Resume retention state from disk so a restarted manager (e.g.
+        # after a coordinator crash) finds the snapshots already written.
+        self._epochs: list[int] = sorted(
+            int(name[len("ckpt_"):-len(".npz")])
+            for name in os.listdir(directory)
+            if name.startswith("ckpt_") and name.endswith(".npz")
+            and name[len("ckpt_"):-len(".npz")].isdigit()
+        )
 
     def _path(self, epoch: int) -> str:
         return os.path.join(self.directory, f"ckpt_{epoch:06d}.npz")

@@ -250,6 +250,24 @@ class Graph:
             self.vertex_types, self.type_names,
         )
 
+    def fingerprint(self) -> str:
+        """Stable hex digest of the graph's structure.
+
+        Covers vertex count, the *sorted* edge multiset and vertex types
+        — independent of the order edges were supplied in — so a
+        checkpoint stamped with a fingerprint can later verify it is
+        being served against the same graph (``repro.serve``).
+        """
+        import hashlib
+
+        src, dst = self.edges()
+        edge_keys = np.sort(src * np.int64(self.num_vertices) + dst)
+        h = hashlib.sha256()
+        h.update(np.int64(self.num_vertices).tobytes())
+        h.update(edge_keys.tobytes())
+        h.update(self.vertex_types.tobytes())
+        return h.hexdigest()[:16]
+
     # ------------------------------------------------------------------
     # Accounting
     # ------------------------------------------------------------------

@@ -1,0 +1,261 @@
+"""Versioned serving caches: per-layer embeddings and HDG blocks.
+
+Online inference revisits the same hot seeds over and over (Zipfian
+popularity), so the dominant cost saving at serve time is *not*
+recomputing layer outputs that are already known.  Two caches cooperate:
+
+* :class:`EmbeddingCache` — an LRU, byte-budgeted store of per-layer
+  output rows, keyed ``(layer, vertex)``.  Entries are tagged with the
+  :class:`GraphVersion` current when they were computed; graph updates
+  evict *exactly* the affected vertices (per layer, hop-expanded via
+  :func:`expand_affected`) so the untouched working set survives an
+  update with its hit rate intact.
+* :class:`HDGBlockCache` — an LRU cache of seed-restricted block HDGs.
+  Block keys embed the graph version, so a version bump makes every
+  stale block unreachable without any per-entry bookkeeping; the session
+  clears it outright on update to reclaim the bytes.
+
+Both caches report into :mod:`repro.obs` (``serve.cache.*`` counters),
+so hit/miss/eviction totals show up in traces and the loadgen report
+for free.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+
+import numpy as np
+
+from .. import obs
+from ..core.hdg import HDG
+
+__all__ = [
+    "GraphVersion",
+    "EmbeddingCache",
+    "HDGBlockCache",
+    "expand_affected",
+]
+
+
+class GraphVersion:
+    """Monotonic counter identifying the pinned graph's current state.
+
+    Bumped once per applied edge-change batch; cache entries carry the
+    version they were computed under so exporters (and debugging) can
+    tell which graph state produced a row.
+    """
+
+    def __init__(self) -> None:
+        self._value = 0
+        self._lock = threading.Lock()
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+    def bump(self) -> int:
+        with self._lock:
+            self._value += 1
+            return self._value
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"GraphVersion({self._value})"
+
+
+def expand_affected(hdg: HDG, vertices: np.ndarray) -> np.ndarray:
+    """Roots whose neighborhood (in ``hdg``) references any of
+    ``vertices`` — one hop of staleness propagation.
+
+    If a vertex's layer-``l`` embedding went stale, every root that
+    aggregates over it has a stale layer-``l+1`` embedding.  The session
+    applies this map once per cached layer, so invalidation work is
+    proportional to the blast radius, not the cache size.
+    """
+    vertices = np.asarray(vertices, dtype=np.int64)
+    if vertices.size == 0 or hdg.leaf_vertices.size == 0:
+        return np.empty(0, dtype=np.int64)
+    mask = np.isin(hdg.leaf_vertices, vertices)
+    if not mask.any():
+        return np.empty(0, dtype=np.int64)
+    owners = hdg.root_of_leaf_edges()[mask]
+    return np.unique(hdg.roots[np.unique(owners)])
+
+
+class EmbeddingCache:
+    """LRU, byte-budgeted, versioned store of per-layer embedding rows.
+
+    Parameters
+    ----------
+    max_bytes:
+        Byte budget across all layers; least-recently-used rows are
+        evicted once exceeded.  ``0`` disables caching (every lookup
+        misses, stores are dropped).
+    """
+
+    def __init__(self, max_bytes: int = 64 * 1024 * 1024):
+        self.max_bytes = int(max_bytes)
+        self._entries: OrderedDict[tuple[int, int], tuple[int, np.ndarray]] = (
+            OrderedDict()
+        )
+        self.current_bytes = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.invalidations = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    # ------------------------------------------------------------------
+    def lookup(self, layer: int, vertices: np.ndarray) -> tuple[np.ndarray, list]:
+        """``(hit_mask, rows)``: per-vertex hit flags and the hit rows
+        (aligned with ``vertices[hit_mask]``)."""
+        vertices = np.asarray(vertices, dtype=np.int64)
+        hit_mask = np.zeros(vertices.size, dtype=bool)
+        rows: list[np.ndarray] = []
+        for i, v in enumerate(vertices.tolist()):
+            entry = self._entries.get((layer, v))
+            if entry is not None:
+                self._entries.move_to_end((layer, v))
+                hit_mask[i] = True
+                rows.append(entry[1])
+        hits = int(hit_mask.sum())
+        misses = vertices.size - hits
+        self.hits += hits
+        self.misses += misses
+        obs.counter("serve.cache.embed.hit").add(hits)
+        obs.counter("serve.cache.embed.miss").add(misses)
+        return hit_mask, rows
+
+    def store(self, layer: int, vertices: np.ndarray, rows: np.ndarray,
+              version: int) -> None:
+        """Insert one row per vertex, tagged with ``version``; evict LRU
+        entries beyond the byte budget."""
+        if self.max_bytes <= 0:
+            return
+        vertices = np.asarray(vertices, dtype=np.int64)
+        for i, v in enumerate(vertices.tolist()):
+            key = (layer, v)
+            old = self._entries.pop(key, None)
+            if old is not None:
+                self.current_bytes -= old[1].nbytes
+            row = np.ascontiguousarray(rows[i])
+            self._entries[key] = (version, row)
+            self.current_bytes += row.nbytes
+        while self.current_bytes > self.max_bytes and self._entries:
+            _, (_, row) = self._entries.popitem(last=False)
+            self.current_bytes -= row.nbytes
+            self.evictions += 1
+            obs.counter("serve.cache.embed.evictions").add(1)
+
+    def invalidate(self, vertices: np.ndarray, layer: int) -> int:
+        """Evict the given vertices' rows at one layer; returns count."""
+        evicted = 0
+        for v in np.asarray(vertices, dtype=np.int64).tolist():
+            entry = self._entries.pop((layer, v), None)
+            if entry is not None:
+                self.current_bytes -= entry[1].nbytes
+                evicted += 1
+        self.invalidations += evicted
+        if evicted:
+            obs.counter("serve.cache.embed.invalidations").add(evicted)
+        return evicted
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self.current_bytes = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def stats(self) -> dict:
+        return {
+            "entries": len(self._entries),
+            "bytes": self.current_bytes,
+            "max_bytes": self.max_bytes,
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": self.hit_rate,
+            "evictions": self.evictions,
+            "invalidations": self.invalidations,
+        }
+
+
+class HDGBlockCache:
+    """LRU cache of seed-restricted block HDGs.
+
+    Keys are ``(layer, version, fanout, digest-of-roots)``; embedding
+    the graph version means stale blocks are simply never looked up
+    again after an update.
+    """
+
+    def __init__(self, max_bytes: int = 16 * 1024 * 1024):
+        self.max_bytes = int(max_bytes)
+        self._entries: OrderedDict[tuple, tuple[int, HDG]] = OrderedDict()
+        self.current_bytes = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @staticmethod
+    def _key(layer: int, version: int, fanout: int | None,
+             roots: np.ndarray) -> tuple:
+        roots = np.ascontiguousarray(roots, dtype=np.int64)
+        return (layer, version, fanout, hash(roots.tobytes()))
+
+    def get(self, layer: int, version: int, fanout: int | None,
+            roots: np.ndarray) -> HDG | None:
+        key = self._key(layer, version, fanout, roots)
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            obs.counter("serve.cache.block.miss").add(1)
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        obs.counter("serve.cache.block.hit").add(1)
+        return entry[1]
+
+    def put(self, layer: int, version: int, fanout: int | None,
+            roots: np.ndarray, block: HDG) -> None:
+        if self.max_bytes <= 0:
+            return
+        key = self._key(layer, version, fanout, roots)
+        old = self._entries.pop(key, None)
+        if old is not None:
+            self.current_bytes -= old[0]
+        nbytes = int(block.nbytes)
+        self._entries[key] = (nbytes, block)
+        self.current_bytes += nbytes
+        while self.current_bytes > self.max_bytes and self._entries:
+            _, (stale_bytes, _) = self._entries.popitem(last=False)
+            self.current_bytes -= stale_bytes
+            self.evictions += 1
+            obs.counter("serve.cache.block.evictions").add(1)
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self.current_bytes = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def stats(self) -> dict:
+        return {
+            "entries": len(self._entries),
+            "bytes": self.current_bytes,
+            "max_bytes": self.max_bytes,
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": self.hit_rate,
+            "evictions": self.evictions,
+        }

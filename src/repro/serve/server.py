@@ -1,0 +1,219 @@
+"""``GNNServer`` — worker pool, admission control, SLO accounting.
+
+The server owns a :class:`~repro.serve.batcher.MicroBatcher` and a pool
+of worker threads.  Each worker pulls a coalesced batch, runs ONE
+blocked forward through the session over the union of the batch's seeds,
+and scatters the per-request slices back to futures (predict requests
+additionally argmax).  Because both ``predict`` and ``embed`` consume
+the final-layer rows, mixed-kind batches coalesce into a single forward.
+
+Operational behavior:
+
+* **Load shedding** — the batcher's queue is bounded; beyond it,
+  :meth:`submit` raises :class:`~repro.serve.batcher.ServerOverloaded`
+  and the shed is counted (``serve.requests_shed``).  Shedding keeps the
+  p99 of *admitted* requests bounded under overload instead of letting
+  queueing delay grow without limit.
+* **Graceful drain** — :meth:`stop` (default ``drain=True``) closes
+  admission, lets workers drain every queued request, then joins the
+  pool; no accepted request is dropped.
+* **SLO accounting** — every request records a ``serve.request`` span
+  (latency histogram for free via the obs registry), batches run under
+  ``serve.batch`` spans, queue depth is a gauge, and
+  :meth:`slo_summary` rolls it all up with the session's cache stats.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import Future
+
+import numpy as np
+
+from .. import obs
+from ..obs.registry import get_registry
+from .batcher import InferenceRequest, MicroBatcher, ServerOverloaded
+from .session import InferenceSession
+
+__all__ = ["GNNServer", "ServerOverloaded"]
+
+#: obs metric names the server maintains.
+REQUESTS_COUNTER = "serve.requests"
+COMPLETED_COUNTER = "serve.requests_completed"
+SHED_COUNTER = "serve.requests_shed"
+ERRORS_COUNTER = "serve.requests_errored"
+QUEUE_DEPTH_GAUGE = "serve.queue_depth"
+REQUEST_SPAN = "serve.request"
+BATCH_SPAN = "serve.batch"
+
+
+class GNNServer:
+    """In-process online inference server over an :class:`InferenceSession`.
+
+    Parameters
+    ----------
+    session:
+        The pinned model/graph/features to serve.
+    num_workers:
+        Worker threads pulling batches.  Forwards serialize on the
+        session's internal lock (numpy is GIL-bound anyway); extra
+        workers overlap result scatter/bookkeeping with the next batch.
+    max_batch_size, max_delay, max_queue_depth:
+        Batching policy and admission bound (see
+        :class:`~repro.serve.batcher.MicroBatcher`).
+    """
+
+    def __init__(self, session: InferenceSession, num_workers: int = 2,
+                 max_batch_size: int = 64, max_delay: float = 0.002,
+                 max_queue_depth: int = 256):
+        if num_workers < 1:
+            raise ValueError("num_workers must be >= 1")
+        self.session = session
+        self.batcher = MicroBatcher(max_batch_size, max_delay, max_queue_depth)
+        self.num_workers = int(num_workers)
+        self._threads: list[threading.Thread] = []
+        self._started = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "GNNServer":
+        if self._started:
+            raise RuntimeError("server already started")
+        self._started = True
+        for i in range(self.num_workers):
+            t = threading.Thread(
+                target=self._worker_loop, name=f"gnn-serve-{i}", daemon=True
+            )
+            t.start()
+            self._threads.append(t)
+        return self
+
+    def stop(self, drain: bool = True, timeout: float = 30.0) -> None:
+        """Shut down: close admission, optionally drain, join workers.
+
+        With ``drain=True`` every already-accepted request completes;
+        with ``drain=False`` still-queued requests fail with
+        :class:`ServerOverloaded`.
+        """
+        if not drain:
+            # Fail queued requests before workers can pick them up.
+            with self.batcher._cond:
+                self.batcher._closed = True
+                while self.batcher._queue:
+                    request = self.batcher._queue.popleft()
+                    request.future.set_exception(
+                        ServerOverloaded("server stopped before execution")
+                    )
+                self.batcher._cond.notify_all()
+        else:
+            self.batcher.close()
+        for t in self._threads:
+            t.join(timeout=timeout)
+        self._threads.clear()
+
+    def __enter__(self) -> "GNNServer":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+    # Client API
+    # ------------------------------------------------------------------
+    def submit(self, kind: str, seeds: np.ndarray) -> Future:
+        """Async request; the returned future resolves to the response
+        array.  Raises :class:`ServerOverloaded` when shed."""
+        if not self._started:
+            raise RuntimeError("server not started")
+        obs.counter(REQUESTS_COUNTER).add(1)
+        try:
+            request = self.batcher.submit(kind, seeds)
+        except ServerOverloaded:
+            obs.counter(SHED_COUNTER).add(1)
+            raise
+        obs.gauge(QUEUE_DEPTH_GAUGE).set(len(self.batcher))
+        return request.future
+
+    def predict(self, seeds: np.ndarray, timeout: float | None = 30.0) -> np.ndarray:
+        """Synchronous argmax class predictions for ``seeds``."""
+        return self.submit("predict", seeds).result(timeout=timeout)
+
+    def embed(self, seeds: np.ndarray, timeout: float | None = 30.0) -> np.ndarray:
+        """Synchronous final-layer rows for ``seeds``."""
+        return self.submit("embed", seeds).result(timeout=timeout)
+
+    # ------------------------------------------------------------------
+    # Workers
+    # ------------------------------------------------------------------
+    def _worker_loop(self) -> None:
+        registry = get_registry()
+        while True:
+            batch = self.batcher.next_batch()
+            if batch is None:
+                return
+            obs.gauge(QUEUE_DEPTH_GAUGE).set(len(self.batcher))
+            self._execute(batch, registry)
+
+    def _execute(self, batch: list[InferenceRequest], registry) -> None:
+        all_seeds = np.concatenate([r.seeds for r in batch])
+        try:
+            with obs.span(BATCH_SPAN, requests=len(batch), seeds=int(all_seeds.size)):
+                uniq, inverse = np.unique(all_seeds, return_inverse=True)
+                rows = self.session.embed(uniq)
+        except Exception as exc:  # propagate the failure to every caller
+            obs.counter(ERRORS_COUNTER).add(len(batch))
+            for request in batch:
+                if not request.future.done():
+                    request.future.set_exception(exc)
+            return
+        offset = 0
+        for request in batch:
+            span_len = request.seeds.size
+            idx = inverse[offset : offset + span_len]
+            offset += span_len
+            result = rows[idx]
+            if request.kind == "predict":
+                result = result.argmax(axis=1)
+            else:
+                result = result.copy()
+            latency = max(time.perf_counter() - request.enqueue_time, 0.0)
+            request.future.set_result(result)
+            obs.counter(COMPLETED_COUNTER).add(1)
+            registry.record_span(
+                REQUEST_SPAN, latency,
+                simulated=False, kind=request.kind, seeds=int(span_len),
+            )
+
+    # ------------------------------------------------------------------
+    # SLO accounting
+    # ------------------------------------------------------------------
+    def slo_summary(self) -> dict:
+        """Roll-up of request/batch latency, shedding and cache health."""
+        reg = get_registry()
+        request_hist = reg.histogram("span." + REQUEST_SPAN)
+        batch_hist = reg.histogram("span." + BATCH_SPAN)
+        requests = reg.counter(REQUESTS_COUNTER).total
+        shed = reg.counter(SHED_COUNTER).total
+        return {
+            "requests": int(requests),
+            "completed": int(reg.counter(COMPLETED_COUNTER).total),
+            "shed": int(shed),
+            "shed_rate": shed / requests if requests else 0.0,
+            "errors": int(reg.counter(ERRORS_COUNTER).total),
+            "queue_depth_peak": reg.gauge(QUEUE_DEPTH_GAUGE).to_dict()["peak"],
+            "latency_ms": {
+                "count": request_hist.count,
+                "mean": request_hist.mean * 1e3,
+                "p50": request_hist.p50 * 1e3,
+                "p90": request_hist.p90 * 1e3,
+                "p99": request_hist.p99 * 1e3,
+                "max": (request_hist.max if request_hist.count else 0.0) * 1e3,
+            },
+            "batches": {
+                "count": batch_hist.count,
+                "mean_ms": batch_hist.mean * 1e3,
+            },
+            "session": self.session.stats(),
+        }

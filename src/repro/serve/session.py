@@ -1,0 +1,330 @@
+"""Inference sessions: checkpoint + pinned graph -> seed-restricted
+``predict``/``embed``.
+
+A session is the serve-time counterpart of
+:class:`~repro.core.engine.FlexGraphEngine`: instead of a full-graph
+forward per call it computes, per request, only the seed-restricted
+blocks (the same block construction sampled mini-batch training uses —
+:func:`repro.core.sampling.build_block`), and it fills every layer's
+outputs through the versioned :class:`~repro.serve.cache.EmbeddingCache`
+so hot vertices are never recomputed.
+
+Exactness: with ``fanouts=None`` (the default) blocks keep full
+neighborhoods, so responses are numerically identical to a full-graph
+``engine.predict``/``embed`` over the same pinned HDG.  INFA models can
+opt into per-request fan-out sampling (``fanouts=[k, ...]``) to bound
+tail latency at the cost of exactness — cached rows then memoize the
+first sample drawn for a vertex.
+
+Dynamic graphs: :meth:`InferenceSession.apply_edge_changes` evolves the
+pinned graph, bumps the :class:`~repro.serve.cache.GraphVersion`, and
+evicts exactly the affected vertices per layer (hop-expanded).  With a
+:class:`~repro.core.dynamic.MetapathHDGMaintainer` attached, the
+touched-root sets the maintainer already computes drive the eviction;
+for the DNFA adjacency fast path the changed edges' endpoints do.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+
+from ..core.dynamic import MetapathHDGMaintainer
+from ..core.hdg import HDG
+from ..core.hybrid import ExecutionStrategy
+from ..core.nau import NAUModel, SelectionScope
+from ..core.sampling import build_block
+from ..graph.graph import Graph
+from ..storage.store import load_checkpoint
+from ..tensor.tensor import Tensor, no_grad
+from .cache import EmbeddingCache, GraphVersion, HDGBlockCache, expand_affected
+
+__all__ = ["InferenceSession", "CheckpointMismatch"]
+
+
+class CheckpointMismatch(ValueError):
+    """The checkpoint's metadata contradicts the session's model/graph."""
+
+
+class InferenceSession:
+    """Online inference over a pinned (model, graph, features) triple.
+
+    Parameters
+    ----------
+    model:
+        The NAU model to serve (its parameters are overwritten when a
+        ``checkpoint`` is given).  Kept in eval mode for the session's
+        lifetime.
+    graph:
+        The pinned input graph.
+    features:
+        ``(num_vertices, feat_dim)`` input features.
+    checkpoint:
+        Optional path to a ``save_checkpoint`` artifact; metadata written
+        by :func:`repro.storage.checkpoint_metadata` is verified (model
+        class, layer dims, graph fingerprint) before the state is loaded.
+    hdg:
+        Optional pre-built model-level HDG to pin (e.g. the exact HDG a
+        training engine used); default builds one via the model's
+        NeighborSelection.
+    maintainer:
+        Optional :class:`MetapathHDGMaintainer` owning the HDG over an
+        evolving graph (INHA serving); ``graph``/``hdg`` then default to
+        the maintainer's.
+    fanouts:
+        Per-layer fan-out budgets for sampled (approximate) serving;
+        ``None`` entries (or ``fanouts=None``) keep exact neighborhoods.
+    """
+
+    def __init__(
+        self,
+        model: NAUModel,
+        graph: Graph | None = None,
+        features: np.ndarray | None = None,
+        *,
+        checkpoint: str | None = None,
+        hdg: HDG | None = None,
+        maintainer: MetapathHDGMaintainer | None = None,
+        fanouts: list[int | None] | None = None,
+        strategy: ExecutionStrategy | str = ExecutionStrategy.HA,
+        seed: int = 0,
+        embed_cache_bytes: int = 64 * 1024 * 1024,
+        block_cache_bytes: int = 16 * 1024 * 1024,
+    ):
+        if graph is None:
+            if maintainer is None:
+                raise ValueError("need a graph (or a maintainer that owns one)")
+            graph = maintainer.graph
+        if features is None:
+            raise ValueError("serving needs pinned vertex features")
+        self.model = model
+        self.graph = graph
+        self.maintainer = maintainer
+        self.strategy = ExecutionStrategy.parse(strategy)
+        self._features = np.asarray(features)
+        if self._features.shape[0] != graph.num_vertices:
+            raise ValueError("features must cover every vertex of the graph")
+        if fanouts is not None and len(fanouts) != model.num_layers:
+            raise ValueError(
+                f"need one fanout per layer ({model.num_layers}), got {len(fanouts)}"
+            )
+        self.fanouts = list(fanouts) if fanouts is not None else [None] * model.num_layers
+        self._rng = np.random.default_rng(seed)
+        self._lock = threading.RLock()
+
+        if checkpoint is not None:
+            self.load_checkpoint(checkpoint)
+        self.model.eval()
+
+        if hdg is None:
+            hdg = (maintainer.build_hdg() if maintainer is not None
+                   else model.neighbor_selection(graph, self._rng))
+        self._check_hdg(hdg)
+        self.hdg = hdg
+
+        self.version = GraphVersion()
+        self.embed_cache = EmbeddingCache(embed_cache_bytes)
+        self.block_cache = HDGBlockCache(block_cache_bytes)
+
+    # ------------------------------------------------------------------
+    # Checkpoint loading (with round-trip verification)
+    # ------------------------------------------------------------------
+    def load_checkpoint(self, path: str) -> dict:
+        """Load model parameters from ``path`` after verifying metadata.
+
+        Raises :class:`CheckpointMismatch` when the stored model class,
+        layer dims or graph fingerprint contradict this session's model
+        and pinned graph.  Returns the checkpoint metadata.
+        """
+        state, meta = load_checkpoint(path)
+        stored_class = meta.get("model_class")
+        if stored_class is not None and stored_class != type(self.model).__name__:
+            raise CheckpointMismatch(
+                f"{path}: checkpoint was saved from model class "
+                f"{stored_class!r}, session model is "
+                f"{type(self.model).__name__!r}"
+            )
+        stored_dims = meta.get("layer_dims")
+        own_dims = [int(layer.output_dim) for layer in self.model.layers]
+        if stored_dims is not None and list(stored_dims) != own_dims:
+            raise CheckpointMismatch(
+                f"{path}: checkpoint layer dims {stored_dims} do not match "
+                f"the session model's {own_dims}"
+            )
+        stored_fp = meta.get("graph_fingerprint")
+        if stored_fp is not None:
+            own_fp = self.graph.fingerprint()
+            if stored_fp != own_fp:
+                raise CheckpointMismatch(
+                    f"{path}: checkpoint graph fingerprint {stored_fp} does "
+                    f"not match the pinned graph's {own_fp} — the model was "
+                    f"trained on a different graph; rebuild the session with "
+                    f"the training graph or re-train"
+                )
+        self.model.load_state_dict(state)
+        return meta
+
+    def _check_hdg(self, hdg: HDG) -> None:
+        if not np.array_equal(
+            hdg.roots, np.arange(self.graph.num_vertices, dtype=np.int64)
+        ):
+            raise ValueError(
+                "serving expects HDG roots to cover all vertices in id order "
+                "(every model-level NeighborSelection in repro produces this)"
+            )
+
+    # ------------------------------------------------------------------
+    # Request path
+    # ------------------------------------------------------------------
+    @property
+    def num_layers(self) -> int:
+        return self.model.num_layers
+
+    def embed(self, seeds: np.ndarray) -> np.ndarray:
+        """Final-layer rows for ``seeds`` (logits for classifier heads)."""
+        seeds = np.atleast_1d(np.asarray(seeds, dtype=np.int64))
+        if seeds.size == 0:
+            return np.empty((0, self.model.layers[-1].output_dim))
+        if seeds.min() < 0 or seeds.max() >= self.graph.num_vertices:
+            raise ValueError("seed vertex id out of range")
+        with self._lock:
+            uniq, inverse = np.unique(seeds, return_inverse=True)
+            rows = self._rows(self.num_layers, uniq)
+            return rows[inverse].copy()
+
+    def predict(self, seeds: np.ndarray) -> np.ndarray:
+        """Argmax class predictions for ``seeds``."""
+        return self.embed(seeds).argmax(axis=1)
+
+    def _rows(self, level: int, vertices: np.ndarray) -> np.ndarray:
+        """Level-``level`` output rows for ``vertices`` (level 0 = input
+        features), served from cache where possible."""
+        if level == 0:
+            return self._features[vertices]
+        hit_mask, hit_rows = self.embed_cache.lookup(level, vertices)
+        missing = vertices[~hit_mask]
+        computed: np.ndarray | None = None
+        if missing.size:
+            block = self._block(level, missing)
+            prev_need = (
+                np.unique(np.concatenate([missing, block.leaf_vertices]))
+                if block.leaf_vertices.size else missing
+            )
+            prev_rows = self._rows(level - 1, prev_need)
+            full = np.zeros(
+                (self.graph.num_vertices, prev_rows.shape[1]),
+                dtype=prev_rows.dtype,
+            )
+            full[prev_need] = prev_rows
+            h = Tensor(full)
+            layer = self.model.layers[level - 1]
+            with no_grad():
+                nbr = layer.aggregation(h, block, self.strategy)
+                out = layer.update(h[missing], nbr)
+            computed = out.numpy()
+            self.embed_cache.store(level, missing, computed, self.version.value)
+        dim = (computed.shape[1] if computed is not None else hit_rows[0].shape[0])
+        dtype = computed.dtype if computed is not None else hit_rows[0].dtype
+        result = np.empty((vertices.size, dim), dtype=dtype)
+        if hit_rows:
+            result[hit_mask] = np.stack(hit_rows)
+        if computed is not None:
+            result[~hit_mask] = computed
+        return result
+
+    def _block(self, level: int, roots: np.ndarray) -> HDG:
+        fanout = self.fanouts[level - 1]
+        version = self.version.value
+        # Sampled blocks are draw-dependent; caching one draw per root
+        # set is the INFA memoization the docstring describes.
+        cached = self.block_cache.get(level, version, fanout, roots)
+        if cached is not None:
+            return cached
+        block = build_block(self.hdg, roots, fanout, self._rng)
+        self.block_cache.put(level, version, fanout, roots, block)
+        return block
+
+    # ------------------------------------------------------------------
+    # Dynamic graph updates + targeted invalidation
+    # ------------------------------------------------------------------
+    def apply_edge_changes(
+        self,
+        added: np.ndarray | None = None,
+        removed: np.ndarray | None = None,
+    ) -> int:
+        """Evolve the pinned graph and invalidate exactly what went stale.
+
+        Returns the number of embedding-cache rows evicted.  With a
+        maintainer attached, the HDG is repaired incrementally and the
+        maintainer's touched-root set seeds the eviction; on the DNFA
+        adjacency fast path the changed edges' destination endpoints do.
+        Models with stochastic or opaque NeighborSelection fall back to
+        a full flush (their rebuilt HDGs are not comparable entry-wise).
+        """
+        added_arr = (
+            np.empty((0, 2), dtype=np.int64) if added is None
+            else np.asarray(added, dtype=np.int64).reshape(-1, 2)
+        )
+        removed_arr = (
+            np.empty((0, 2), dtype=np.int64) if removed is None
+            else np.asarray(removed, dtype=np.int64).reshape(-1, 2)
+        )
+        with self._lock:
+            if self.maintainer is not None:
+                self.hdg = self.maintainer.apply_edge_changes(
+                    added_arr, removed_arr
+                )
+                self.graph = self.maintainer.graph
+                touched = self.maintainer.last_touched_roots
+            else:
+                graph = self.graph
+                if removed_arr.size:
+                    graph = graph.with_edges_removed(removed_arr)
+                if added_arr.size:
+                    graph = graph.with_edges_added(added_arr)
+                self.graph = graph
+                if (
+                    type(self.model).neighbor_selection
+                    is NAUModel.neighbor_selection
+                    and self.model.selection_scope is SelectionScope.STATIC
+                ):
+                    # Adjacency fast path: the HDG *is* the graph's CSC,
+                    # so only the changed edges' destinations went stale.
+                    touched = np.unique(
+                        np.concatenate([added_arr[:, 1], removed_arr[:, 1]])
+                    )
+                else:
+                    touched = None  # opaque selection: full flush
+                self.hdg = self.model.neighbor_selection(graph, self._rng)
+            self._check_hdg(self.hdg)
+            self.version.bump()
+            self.block_cache.clear()
+            if touched is None:
+                evicted = len(self.embed_cache)
+                self.embed_cache.clear()
+                return evicted
+            return self._invalidate(touched)
+
+    def _invalidate(self, touched: np.ndarray) -> int:
+        """Evict per-layer entries for ``touched`` roots, hop-expanding
+        the affected set one layer at a time over the *new* HDG."""
+        affected = np.unique(np.asarray(touched, dtype=np.int64))
+        evicted = 0
+        for level in range(1, self.num_layers + 1):
+            if affected.size == 0:
+                break
+            evicted += self.embed_cache.invalidate(affected, level)
+            if level < self.num_layers:
+                affected = np.union1d(
+                    affected, expand_affected(self.hdg, affected)
+                )
+        return evicted
+
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        return {
+            "graph_version": self.version.value,
+            "embed_cache": self.embed_cache.stats(),
+            "block_cache": self.block_cache.stats(),
+        }

@@ -3,6 +3,7 @@ checkpoint persistence; per-worker partition shards)."""
 
 from .store import (
     PartitionedStore,
+    checkpoint_metadata,
     load_checkpoint,
     load_dataset_from,
     load_graph,
@@ -14,6 +15,6 @@ from .store import (
 __all__ = [
     "save_graph", "load_graph",
     "save_dataset", "load_dataset_from",
-    "save_checkpoint", "load_checkpoint",
+    "save_checkpoint", "load_checkpoint", "checkpoint_metadata",
     "PartitionedStore",
 ]

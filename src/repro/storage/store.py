@@ -32,6 +32,7 @@ __all__ = [
     "load_dataset_from",
     "save_checkpoint",
     "load_checkpoint",
+    "checkpoint_metadata",
     "PartitionedStore",
 ]
 
@@ -131,6 +132,29 @@ def load_checkpoint(path: str) -> tuple[dict[str, np.ndarray], dict]:
         }
         metadata = json.loads(str(data["metadata"]))
     return state, metadata
+
+
+def checkpoint_metadata(model, graph: Graph | None = None,
+                        extra: dict | None = None) -> dict:
+    """Round-trippable checkpoint metadata for a NAU model.
+
+    Records what a loader needs to *verify* compatibility before serving
+    the state: the model class name, per-layer output dims, and — when a
+    graph is given — its structural fingerprint, so an
+    :class:`repro.serve.InferenceSession` can refuse a checkpoint whose
+    graph no longer matches the one it is pinned to.
+    """
+    meta = {
+        "model_class": type(model).__name__,
+        "model_name": getattr(model, "name", type(model).__name__),
+        "layer_dims": [int(layer.output_dim) for layer in model.layers],
+    }
+    if graph is not None:
+        meta["graph_fingerprint"] = graph.fingerprint()
+        meta["num_vertices"] = int(graph.num_vertices)
+    if extra:
+        meta.update(extra)
+    return meta
 
 
 def _check_version(version: int, path: str) -> None:

@@ -50,6 +50,35 @@ class TestCheckpointManager:
     def test_load_latest_empty(self, tmp_path):
         assert CheckpointManager(str(tmp_path)).load_latest() is None
 
+    def test_interleaved_saves_prune_in_order(self, tmp_path):
+        """keep-pruning and latest_epoch stay consistent when saves land
+        only on interval epochs across a long run."""
+        mgr = CheckpointManager(str(tmp_path), interval=3, keep=2)
+        saved = []
+        for epoch in range(10):
+            if mgr.maybe_save(epoch, {"w": np.full(2, float(epoch))}):
+                saved.append(epoch)
+                assert mgr.latest_epoch == epoch
+                state, meta = mgr.load_latest()
+                assert meta["epoch"] == epoch
+                np.testing.assert_array_equal(state["w"], [epoch, epoch])
+        assert saved == [2, 5, 8]
+        files = sorted(f for f in os.listdir(tmp_path) if f.startswith("ckpt_"))
+        # Only the newest `keep` snapshots survive, oldest pruned first.
+        assert len(files) == 2
+        assert all(f"{epoch:06d}" in name
+                   for epoch, name in zip([5, 8], files))
+
+    def test_latest_survives_manager_restart(self, tmp_path):
+        mgr = CheckpointManager(str(tmp_path), interval=1, keep=3)
+        for epoch in range(4):
+            mgr.maybe_save(epoch, {"w": np.full(2, float(epoch))})
+        # A new manager over the same directory resumes from disk state.
+        fresh = CheckpointManager(str(tmp_path), interval=1, keep=3)
+        state, meta = fresh.load_latest()
+        assert meta["epoch"] == 3
+        np.testing.assert_array_equal(state["w"], [3.0, 3.0])
+
     def test_invalid_params(self, tmp_path):
         with pytest.raises(ValueError):
             CheckpointManager(str(tmp_path), interval=0)

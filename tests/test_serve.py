@@ -1,0 +1,474 @@
+"""Tests for repro.serve: sessions, micro-batching, versioned caches,
+load shedding, and serving/training numerical parity."""
+
+import numpy as np
+import pytest
+
+from repro.core import FlexGraphEngine, MetapathHDGMaintainer
+from repro.core.sampling import build_block, build_seed_blocks
+from repro.datasets import load_dataset
+from repro.models import gcn, magnn, pinsage
+from repro.models.magnn import default_metapaths
+from repro.serve import (
+    CheckpointMismatch,
+    EmbeddingCache,
+    GNNServer,
+    GraphVersion,
+    HDGBlockCache,
+    InferenceSession,
+    MicroBatcher,
+    ServerOverloaded,
+    expand_affected,
+)
+from repro.storage import checkpoint_metadata, save_checkpoint
+from repro.tensor import Adam, Tensor
+
+
+@pytest.fixture(scope="module")
+def reddit():
+    return load_dataset("reddit", scale="tiny")
+
+
+@pytest.fixture(scope="module")
+def imdb():
+    return load_dataset("imdb", scale="tiny")
+
+
+def trained(factory, ds, epochs=2, seed=0, **kwargs):
+    model = factory(ds.feat_dim, 8, ds.num_classes, seed=seed, **kwargs)
+    engine = FlexGraphEngine(model, ds.graph, seed=seed)
+    optimizer = Adam(model.parameters(), lr=0.01)
+    engine.fit(Tensor(ds.features), ds.labels, optimizer, epochs,
+               mask=ds.train_mask)
+    return model, engine
+
+
+# ---------------------------------------------------------------------------
+# Shared block construction (generalized out of MiniBatchTrainer)
+# ---------------------------------------------------------------------------
+class TestSeedBlocks:
+    def test_build_block_restricts_to_seeds(self, reddit):
+        model = gcn(reddit.feat_dim, 8, reddit.num_classes, seed=0)
+        hdg = model.neighbor_selection(reddit.graph, np.random.default_rng(0))
+        seeds = np.array([3, 1, 7])
+        block = build_block(hdg, seeds)
+        np.testing.assert_array_equal(block.roots, hdg.roots[seeds])
+        # Full neighborhoods: per-root leaf lists match the model HDG's.
+        for order, seed in enumerate(seeds):
+            lo, hi = block.leaf_offsets[order], block.leaf_offsets[order + 1]
+            slo, shi = hdg.leaf_offsets[seed], hdg.leaf_offsets[seed + 1]
+            np.testing.assert_array_equal(
+                np.sort(block.leaf_vertices[lo:hi]),
+                np.sort(hdg.leaf_vertices[slo:shi]),
+            )
+
+    def test_build_block_fanout_bounds_leaves(self, reddit):
+        model = gcn(reddit.feat_dim, 8, reddit.num_classes, seed=0)
+        hdg = model.neighbor_selection(reddit.graph, np.random.default_rng(0))
+        seeds = np.arange(10)
+        block = build_block(hdg, seeds, fanout=2,
+                            rng=np.random.default_rng(1))
+        assert np.diff(block.leaf_offsets).max() <= 2
+
+    def test_build_seed_blocks_layering(self, reddit):
+        model = gcn(reddit.feat_dim, 8, reddit.num_classes, seed=0)
+        hdg = model.neighbor_selection(reddit.graph, np.random.default_rng(0))
+        seeds = np.array([5, 11])
+        blocks = build_seed_blocks(hdg, seeds, [None, None])
+        assert len(blocks) == 2
+        # Input-layer-first: the last block's outputs are the seeds, and
+        # each earlier block's outputs cover the next block's inputs.
+        _, out_last = blocks[-1]
+        np.testing.assert_array_equal(np.sort(out_last), np.sort(seeds))
+        inner_block, inner_out = blocks[0]
+        need = np.union1d(seeds, blocks[-1][0].leaf_vertices)
+        np.testing.assert_array_equal(np.sort(inner_out), np.sort(need))
+
+
+# ---------------------------------------------------------------------------
+# Session / server parity with full-graph inference
+# ---------------------------------------------------------------------------
+class TestServingParity:
+    @pytest.mark.parametrize("factory,dsname", [
+        (gcn, "reddit"), (magnn, "imdb"),
+    ])
+    def test_session_matches_engine(self, factory, dsname, request):
+        ds = request.getfixturevalue(dsname)
+        kwargs = {"max_instances_per_root": 30} if factory is magnn else {}
+        model, engine = trained(factory, ds, **kwargs)
+        feats = Tensor(ds.features)
+        full_embed = engine.embed(feats)
+        full_pred = engine.predict(feats)
+
+        session = InferenceSession(model, ds.graph, ds.features, seed=0)
+        seeds = np.arange(ds.graph.num_vertices)
+        np.testing.assert_allclose(session.embed(seeds), full_embed, atol=1e-6)
+        np.testing.assert_array_equal(session.predict(seeds), full_pred)
+        # Second pass is served from the warm cache and stays exact.
+        assert session.embed_cache.hits > 0 or ds.graph.num_vertices == 0
+        np.testing.assert_allclose(session.embed(seeds), full_embed, atol=1e-6)
+
+    def test_pinsage_parity_with_pinned_hdg(self, reddit):
+        # PER_EPOCH stochastic selection: pin the engine's drawn HDG so
+        # serving answers over the same neighborhoods.
+        model, engine = trained(pinsage, reddit)
+        feats = Tensor(reddit.features)
+        full = engine.embed(feats)
+        session = InferenceSession(model, reddit.graph, reddit.features,
+                                   hdg=engine._model_hdg, seed=0)
+        seeds = np.arange(reddit.graph.num_vertices)
+        np.testing.assert_allclose(session.embed(seeds), full, atol=1e-6)
+
+    def test_subset_and_duplicate_seeds(self, reddit):
+        model, engine = trained(gcn, reddit)
+        full = engine.embed(Tensor(reddit.features))
+        session = InferenceSession(model, reddit.graph, reddit.features)
+        seeds = np.array([9, 3, 9, 0, 3])
+        np.testing.assert_allclose(session.embed(seeds), full[seeds], atol=1e-6)
+        np.testing.assert_array_equal(
+            session.predict(seeds), full[seeds].argmax(axis=1)
+        )
+
+    def test_engine_vertices_argument(self, reddit):
+        model, engine = trained(gcn, reddit)
+        feats = Tensor(reddit.features)
+        subset = np.array([1, 4, 6])
+        np.testing.assert_allclose(
+            engine.embed(feats, vertices=subset),
+            engine.embed(feats)[subset],
+        )
+        np.testing.assert_array_equal(
+            engine.predict(feats, vertices=subset),
+            engine.predict(feats)[subset],
+        )
+
+    def test_server_matches_engine(self, reddit):
+        model, engine = trained(gcn, reddit)
+        full = engine.embed(Tensor(reddit.features))
+        session = InferenceSession(model, reddit.graph, reddit.features)
+        seeds = np.arange(reddit.graph.num_vertices)
+        with GNNServer(session, num_workers=2, max_batch_size=16,
+                       max_delay=0.001) as server:
+            futures = [server.submit("embed", np.array([s])) for s in seeds]
+            got = np.vstack([f.result(timeout=30) for f in futures])
+            np.testing.assert_allclose(got, full, atol=1e-6)
+            np.testing.assert_array_equal(
+                server.predict(seeds), full.argmax(axis=1)
+            )
+
+
+# ---------------------------------------------------------------------------
+# Checkpoint metadata verification
+# ---------------------------------------------------------------------------
+class TestCheckpointVerification:
+    def test_roundtrip_and_load(self, reddit, tmp_path):
+        model, _ = trained(gcn, reddit)
+        path = str(tmp_path / "ok.npz")
+        save_checkpoint(model.state_dict(), path,
+                        checkpoint_metadata(model, reddit.graph))
+        fresh = gcn(reddit.feat_dim, 8, reddit.num_classes, seed=99)
+        session = InferenceSession(fresh, reddit.graph, reddit.features,
+                                   checkpoint=path)
+        np.testing.assert_allclose(
+            fresh.layers[0].linear.weight.data,
+            model.layers[0].linear.weight.data,
+        )
+        assert session.predict(np.array([0])).shape == (1,)
+
+    def test_model_class_mismatch(self, reddit, tmp_path):
+        model, _ = trained(gcn, reddit)
+        path = str(tmp_path / "cls.npz")
+        save_checkpoint(model.state_dict(), path,
+                        checkpoint_metadata(model, reddit.graph))
+        other = pinsage(reddit.feat_dim, 8, reddit.num_classes, seed=0)
+        with pytest.raises(CheckpointMismatch, match="model class"):
+            InferenceSession(other, reddit.graph, reddit.features,
+                             checkpoint=path)
+
+    def test_layer_dims_mismatch(self, reddit, tmp_path):
+        model, _ = trained(gcn, reddit)
+        path = str(tmp_path / "dims.npz")
+        save_checkpoint(model.state_dict(), path,
+                        checkpoint_metadata(model, reddit.graph))
+        wider = gcn(reddit.feat_dim, 16, reddit.num_classes, seed=0)
+        with pytest.raises(CheckpointMismatch, match="layer dims"):
+            InferenceSession(wider, reddit.graph, reddit.features,
+                             checkpoint=path)
+
+    def test_graph_fingerprint_mismatch(self, reddit, tmp_path):
+        model, _ = trained(gcn, reddit)
+        path = str(tmp_path / "fp.npz")
+        save_checkpoint(model.state_dict(), path,
+                        checkpoint_metadata(model, reddit.graph))
+        src, dst = reddit.graph.edges()
+        mutated = reddit.graph.with_edges_removed(
+            np.array([[src[0], dst[0]]])
+        )
+        fresh = gcn(reddit.feat_dim, 8, reddit.num_classes, seed=0)
+        with pytest.raises(CheckpointMismatch, match="fingerprint"):
+            InferenceSession(fresh, mutated, reddit.features, checkpoint=path)
+
+    def test_fingerprint_is_edge_order_independent(self, reddit):
+        from repro.graph import Graph
+
+        edges = [[0, 1], [1, 2], [2, 3], [3, 0]]
+        a = Graph.from_edges(4, edges)
+        b = Graph.from_edges(4, edges[::-1])
+        assert a.fingerprint() == b.fingerprint()
+        c = Graph.from_edges(4, edges[:-1])
+        assert a.fingerprint() != c.fingerprint()
+
+    def test_future_format_version_refused(self, reddit, tmp_path):
+        # Version compatibility rides on storage's _check_version: a
+        # checkpoint from a future format must be refused, not misread.
+        import json
+
+        path = str(tmp_path / "future.npz")
+        np.savez(path, format_version=np.int64(99),
+                 metadata=np.array(json.dumps({}), dtype=object))
+        fresh = gcn(reddit.feat_dim, 8, reddit.num_classes, seed=0)
+        with pytest.raises(ValueError, match="format version"):
+            InferenceSession(fresh, reddit.graph, reddit.features,
+                             checkpoint=path)
+
+
+# ---------------------------------------------------------------------------
+# Micro-batching + load shedding
+# ---------------------------------------------------------------------------
+class TestMicroBatcher:
+    def test_coalesces_pending_requests(self):
+        batcher = MicroBatcher(max_batch_size=8, max_delay=0.0)
+        for seed in (1, 2, 3):
+            batcher.submit("embed", np.array([seed]))
+        batch = batcher.next_batch()
+        assert [int(r.seeds[0]) for r in batch] == [1, 2, 3]
+
+    def test_batch_size_bound(self):
+        batcher = MicroBatcher(max_batch_size=2, max_delay=0.0)
+        for seed in range(5):
+            batcher.submit("embed", np.array([seed]))
+        assert len(batcher.next_batch()) == 2
+        assert len(batcher.next_batch()) == 2
+        assert len(batcher.next_batch()) == 1
+
+    def test_queue_bound_sheds(self):
+        batcher = MicroBatcher(max_batch_size=4, max_delay=0.0,
+                               max_queue_depth=2)
+        batcher.submit("embed", np.array([0]))
+        batcher.submit("embed", np.array([1]))
+        with pytest.raises(ServerOverloaded):
+            batcher.submit("embed", np.array([2]))
+
+    def test_close_drains_then_none(self):
+        batcher = MicroBatcher(max_batch_size=4, max_delay=0.0)
+        batcher.submit("embed", np.array([0]))
+        batcher.close()
+        assert batcher.next_batch() is not None
+        assert batcher.next_batch() is None
+        with pytest.raises(RuntimeError):
+            batcher.submit("embed", np.array([1]))
+
+    def test_rejects_bad_requests(self):
+        batcher = MicroBatcher()
+        with pytest.raises(ValueError):
+            batcher.submit("rank", np.array([0]))
+        with pytest.raises(ValueError):
+            batcher.submit("embed", np.array([], dtype=np.int64))
+
+
+class TestServerOperations:
+    def test_overload_sheds_and_recovers(self, reddit):
+        model, _ = trained(gcn, reddit)
+        session = InferenceSession(model, reddit.graph, reddit.features)
+        server = GNNServer(session, num_workers=1, max_batch_size=4,
+                           max_delay=0.05, max_queue_depth=4)
+        with server:
+            futures, shed = [], 0
+            for seed in range(64):
+                try:
+                    futures.append(
+                        server.submit("predict",
+                                      np.array([seed % reddit.graph.num_vertices]))
+                    )
+                except ServerOverloaded:
+                    shed += 1
+            for future in futures:
+                assert future.result(timeout=30).shape == (1,)
+        assert shed > 0
+        summary = server.slo_summary()
+        assert summary["shed"] >= shed
+        assert summary["completed"] >= len(futures)
+
+    def test_drain_completes_accepted_requests(self, reddit):
+        model, _ = trained(gcn, reddit)
+        session = InferenceSession(model, reddit.graph, reddit.features)
+        server = GNNServer(session, num_workers=2, max_batch_size=8,
+                           max_delay=0.05)
+        server.start()
+        futures = [server.submit("embed", np.array([s]))
+                   for s in range(10)]
+        server.stop(drain=True)
+        for future in futures:
+            assert future.result(timeout=1).shape[0] == 1
+
+    def test_request_errors_propagate_to_futures(self, reddit):
+        model, _ = trained(gcn, reddit)
+        session = InferenceSession(model, reddit.graph, reddit.features)
+        with GNNServer(session, num_workers=1, max_delay=0.0) as server:
+            future = server.submit(
+                "embed", np.array([reddit.graph.num_vertices + 5])
+            )
+            with pytest.raises(ValueError):
+                future.result(timeout=30)
+
+    def test_slo_summary_shape(self, reddit):
+        model, _ = trained(gcn, reddit)
+        session = InferenceSession(model, reddit.graph, reddit.features)
+        with GNNServer(session, num_workers=1) as server:
+            server.predict(np.array([0, 1]))
+        summary = server.slo_summary()
+        for key in ("requests", "completed", "shed", "shed_rate",
+                    "latency_ms", "batches", "session"):
+            assert key in summary
+        assert summary["latency_ms"]["p99"] >= 0.0
+
+
+# ---------------------------------------------------------------------------
+# Versioned caches + targeted invalidation
+# ---------------------------------------------------------------------------
+class TestEmbeddingCache:
+    def test_lru_byte_budget_eviction(self):
+        row = np.ones(4)
+        cache = EmbeddingCache(max_bytes=3 * row.nbytes)
+        cache.store(1, np.array([0, 1, 2]), np.tile(row, (3, 1)), version=0)
+        # Touch vertex 0 so vertex 1 is the LRU entry.
+        cache.lookup(1, np.array([0]))
+        cache.store(1, np.array([3]), row[None], version=0)
+        hit_mask, _ = cache.lookup(1, np.array([0, 1, 2, 3]))
+        np.testing.assert_array_equal(hit_mask, [True, False, True, True])
+        assert cache.evictions == 1
+
+    def test_invalidate_counts_per_layer(self):
+        cache = EmbeddingCache(max_bytes=1 << 20)
+        rows = np.ones((3, 2))
+        cache.store(1, np.array([0, 1, 2]), rows, version=0)
+        cache.store(2, np.array([0, 1, 2]), rows, version=0)
+        assert cache.invalidate(np.array([1, 2]), layer=1) == 2
+        assert len(cache) == 4
+        hit_mask, _ = cache.lookup(2, np.array([1]))
+        assert hit_mask.all()
+
+    def test_zero_budget_disables(self):
+        cache = EmbeddingCache(max_bytes=0)
+        cache.store(1, np.array([0]), np.ones((1, 2)), version=0)
+        hit_mask, _ = cache.lookup(1, np.array([0]))
+        assert not hit_mask.any()
+
+    def test_block_cache_keys_on_version(self, reddit):
+        model = gcn(reddit.feat_dim, 8, reddit.num_classes, seed=0)
+        hdg = model.neighbor_selection(reddit.graph, np.random.default_rng(0))
+        cache = HDGBlockCache(max_bytes=1 << 20)
+        roots = np.array([0, 1])
+        block = build_block(hdg, roots)
+        cache.put(1, 0, None, roots, block)
+        assert cache.get(1, 0, None, roots) is block
+        assert cache.get(1, 1, None, roots) is None
+
+    def test_graph_version_bumps(self):
+        version = GraphVersion()
+        assert version.value == 0
+        assert version.bump() == 1
+        assert version.value == 1
+
+
+class TestInvalidation:
+    def test_expand_affected_covers_dependents(self, reddit):
+        model = gcn(reddit.feat_dim, 8, reddit.num_classes, seed=0)
+        hdg = model.neighbor_selection(reddit.graph, np.random.default_rng(0))
+        target = np.array([0])
+        expanded = expand_affected(hdg, target)
+        indptr, indices = reddit.graph.csc
+        for root in range(reddit.graph.num_vertices):
+            nbrs = indices[indptr[root]:indptr[root + 1]]
+            if 0 in nbrs:
+                assert root in expanded
+
+    def test_gcn_update_serves_fresh_values(self, reddit):
+        """After apply_edge_changes, affected roots match a fresh engine
+        on the new graph while unaffected cached entries survive."""
+        model, _ = trained(gcn, reddit)
+        session = InferenceSession(model, reddit.graph, reddit.features)
+        all_v = np.arange(reddit.graph.num_vertices)
+        session.embed(all_v)  # warm every layer
+        warm_entries = len(session.embed_cache)
+
+        src, dst = reddit.graph.edges()
+        removed = np.array([[src[0], dst[0]]])
+        added = np.array([[0, 1]])
+        evicted = session.apply_edge_changes(added=added, removed=removed)
+        assert 0 < evicted < warm_entries  # targeted, not a flush
+        assert session.version.value == 1
+        assert len(session.embed_cache) == warm_entries - evicted
+
+        new_graph = (reddit.graph.with_edges_removed(removed)
+                     .with_edges_added(added))
+        fresh = FlexGraphEngine(model, new_graph, seed=0)
+        expected = fresh.embed(Tensor(reddit.features))
+        np.testing.assert_allclose(session.embed(all_v), expected, atol=1e-6)
+
+    def test_gcn_unaffected_entries_survive_with_hits(self, reddit):
+        model, _ = trained(gcn, reddit)
+        session = InferenceSession(model, reddit.graph, reddit.features)
+        all_v = np.arange(reddit.graph.num_vertices)
+        session.embed(all_v)
+        src, dst = reddit.graph.edges()
+        removed = np.array([[src[0], dst[0]]])
+        session.apply_edge_changes(removed=removed)
+        # Final-layer entries that survived the eviction answer straight
+        # from cache: querying them counts hits, no misses.
+        surviving = [v for v in range(reddit.graph.num_vertices)
+                     if (session.num_layers, v) in session.embed_cache._entries]
+        assert surviving  # the change's blast radius is not the whole graph
+        hits0, misses0 = session.embed_cache.hits, session.embed_cache.misses
+        session.embed(np.array(surviving[:5]))
+        assert session.embed_cache.hits == hits0 + min(5, len(surviving))
+        assert session.embed_cache.misses == misses0
+
+    def test_magnn_maintainer_update_parity(self, imdb):
+        model, _ = trained(magnn, imdb, max_instances_per_root=30)
+        metapaths = default_metapaths(imdb.graph.num_types)
+        maintainer = MetapathHDGMaintainer(imdb.graph, metapaths)
+        session = InferenceSession(model, features=imdb.features,
+                                   maintainer=maintainer)
+        all_v = np.arange(imdb.graph.num_vertices)
+        session.embed(all_v)
+        warm_entries = len(session.embed_cache)
+
+        src, dst = imdb.graph.edges()
+        removed = np.array([[src[0], dst[0]]])
+        evicted = session.apply_edge_changes(removed=removed)
+        assert 0 < evicted < warm_entries
+        assert maintainer.last_touched_roots.size > 0
+
+        # Fresh recompute with identical (maintainer) HDG semantics on
+        # the updated graph.
+        cold = InferenceSession(
+            model, features=imdb.features,
+            maintainer=MetapathHDGMaintainer(maintainer.graph, metapaths),
+        )
+        np.testing.assert_allclose(
+            session.embed(all_v), cold.embed(all_v), atol=1e-6
+        )
+
+    def test_opaque_selection_full_flush(self, reddit):
+        model, engine = trained(pinsage, reddit)
+        engine.embed(Tensor(reddit.features))
+        session = InferenceSession(model, reddit.graph, reddit.features,
+                                   hdg=engine._model_hdg, seed=0)
+        session.embed(np.arange(reddit.graph.num_vertices))
+        assert len(session.embed_cache) > 0
+        src, dst = reddit.graph.edges()
+        session.apply_edge_changes(removed=np.array([[src[0], dst[0]]]))
+        # Stochastic selection: rebuilt HDGs are not comparable, so the
+        # whole cache goes.
+        assert len(session.embed_cache) == 0

@@ -102,6 +102,30 @@ class TestCheckpointRoundtrip:
         assert meta == {}
         np.testing.assert_array_equal(state["w"], np.ones(3))
 
+    def test_checkpoint_metadata_roundtrip(self, tmp_path, ds):
+        from repro.storage import checkpoint_metadata
+
+        model = gcn(ds.feat_dim, 8, ds.num_classes, seed=0)
+        meta = checkpoint_metadata(model, ds.graph, extra={"epoch": 3})
+        assert meta["model_class"] == type(model).__name__
+        assert meta["layer_dims"] == [8, ds.num_classes]
+        assert meta["num_vertices"] == ds.graph.num_vertices
+        assert meta["graph_fingerprint"] == ds.graph.fingerprint()
+        path = str(tmp_path / "meta.npz")
+        save_checkpoint(model.state_dict(), path, meta)
+        _, loaded = load_checkpoint(path)
+        assert loaded == meta
+        assert loaded["epoch"] == 3
+
+    def test_checkpoint_version_check(self, tmp_path):
+        import json
+
+        path = str(tmp_path / "future.npz")
+        np.savez(path, format_version=np.int64(42),
+                 metadata=np.array(json.dumps({}), dtype=object))
+        with pytest.raises(ValueError, match="format version"):
+            load_checkpoint(path)
+
 
 class TestPartitionedStore:
     def test_write_and_read_shards(self, tmp_path, ds):
@@ -119,6 +143,22 @@ class TestPartitionedStore:
             np.testing.assert_array_equal(labels[owned], worker)
             np.testing.assert_array_equal(shard["features"], ds.features[owned])
         assert total == ds.graph.num_vertices
+
+    def test_manifest_roundtrips_fields(self, tmp_path, ds):
+        store = PartitionedStore(str(tmp_path / "shards"))
+        labels = hash_partition(ds.graph.num_vertices, 3)
+        store.write_shards(ds, labels, 3)
+        manifest = store.read_manifest()
+        assert manifest["k"] == 3
+        assert manifest["num_vertices"] == ds.graph.num_vertices
+        # A second store over the same directory reads the same manifest
+        # and every shard it names.
+        reopened = PartitionedStore(str(tmp_path / "shards"))
+        assert reopened.read_manifest() == manifest
+        for worker in range(3):
+            shard = reopened.read_shard(worker)
+            owned = shard["owned_vertices"]
+            np.testing.assert_array_equal(shard["labels"], ds.labels[owned])
 
     def test_partition_labels_roundtrip(self, tmp_path, ds):
         store = PartitionedStore(str(tmp_path / "shards"))
