@@ -55,14 +55,22 @@ class Aggregator(Module):
     supports_fused = True
     supports_dense = True
 
-    def sparse(self, values: Tensor, index: np.ndarray, dim_size: int,
-               weights: np.ndarray | None = None) -> Tensor:
-        """Scatter-op reduction (per-edge messages materialized)."""
+    def sparse(self, values: Tensor, index: np.ndarray | None, dim_size: int,
+               weights: np.ndarray | None = None, *,
+               plan=None, plan_key=None) -> Tensor:
+        """Scatter-op reduction (per-edge messages materialized).
+
+        ``plan``/``plan_key`` forward a precomputed
+        :class:`~repro.tensor.plans.ReductionPlan` (or its cache key) to
+        the underlying kernels; ``index`` may be ``None`` when ``plan``
+        is given.
+        """
         raise NotImplementedError
 
     def fused(self, values: Tensor, offsets: np.ndarray,
               sources: np.ndarray | None = None,
-              weights: np.ndarray | None = None) -> Tensor:
+              weights: np.ndarray | None = None, *,
+              plan=None, plan_key=None) -> Tensor:
         """Segment (CSC) reduction without per-edge materialization."""
         raise NotImplementedError
 
@@ -85,18 +93,26 @@ class SumAggregator(Aggregator):
 
     name = "sum"
 
-    def sparse(self, values, index, dim_size, weights=None):
-        return scatter_add(_apply_weights(values, weights), index, dim_size)
+    def sparse(self, values, index, dim_size, weights=None, *,
+               plan=None, plan_key=None):
+        return scatter_add(_apply_weights(values, weights), index, dim_size,
+                           plan=plan, plan_key=plan_key)
 
-    def fused(self, values, offsets, sources=None, weights=None):
+    def fused(self, values, offsets, sources=None, weights=None, *,
+              plan=None, plan_key=None):
         if weights is not None:
             # Weights are per-edge: scale gathered rows inside the segment
             # reduce by pre-scaling (cheap: one elementwise multiply).
+            # The gathered layout has its own (identity) plan under the
+            # same key base, so an explicit ``plan`` does not apply here.
             if sources is not None:
                 gathered = values[sources] * Tensor(np.asarray(weights).reshape(-1, 1))
-                return segment_reduce_csr(gathered, offsets, None, "sum")
-            return segment_reduce_csr(_apply_weights(values, weights), offsets, None, "sum")
-        return segment_reduce_csr(values, offsets, sources, "sum")
+                return segment_reduce_csr(gathered, offsets, None, "sum",
+                                          plan_key=plan_key)
+            return segment_reduce_csr(_apply_weights(values, weights),
+                                      offsets, None, "sum", plan_key=plan_key)
+        return segment_reduce_csr(values, offsets, sources, "sum",
+                                  plan=plan, plan_key=plan_key)
 
     def dense(self, values):
         return values.sum(axis=1)
@@ -107,16 +123,22 @@ class MeanAggregator(Aggregator):
 
     name = "mean"
 
-    def sparse(self, values, index, dim_size, weights=None):
-        return scatter_mean(_apply_weights(values, weights), index, dim_size)
+    def sparse(self, values, index, dim_size, weights=None, *,
+               plan=None, plan_key=None):
+        return scatter_mean(_apply_weights(values, weights), index, dim_size,
+                            plan=plan, plan_key=plan_key)
 
-    def fused(self, values, offsets, sources=None, weights=None):
+    def fused(self, values, offsets, sources=None, weights=None, *,
+              plan=None, plan_key=None):
         if weights is not None:
             if sources is not None:
                 gathered = values[sources] * Tensor(np.asarray(weights).reshape(-1, 1))
-                return segment_reduce_csr(gathered, offsets, None, "mean")
-            return segment_reduce_csr(_apply_weights(values, weights), offsets, None, "mean")
-        return segment_reduce_csr(values, offsets, sources, "mean")
+                return segment_reduce_csr(gathered, offsets, None, "mean",
+                                          plan_key=plan_key)
+            return segment_reduce_csr(_apply_weights(values, weights),
+                                      offsets, None, "mean", plan_key=plan_key)
+        return segment_reduce_csr(values, offsets, sources, "mean",
+                                  plan=plan, plan_key=plan_key)
 
     def dense(self, values):
         return values.mean(axis=1)
@@ -127,11 +149,15 @@ class MaxAggregator(Aggregator):
 
     name = "max"
 
-    def sparse(self, values, index, dim_size, weights=None):
-        return scatter_max(values, index, dim_size)
+    def sparse(self, values, index, dim_size, weights=None, *,
+               plan=None, plan_key=None):
+        return scatter_max(values, index, dim_size, plan=plan,
+                           plan_key=plan_key)
 
-    def fused(self, values, offsets, sources=None, weights=None):
-        return segment_reduce_csr(values, offsets, sources, "max")
+    def fused(self, values, offsets, sources=None, weights=None, *,
+              plan=None, plan_key=None):
+        return segment_reduce_csr(values, offsets, sources, "max",
+                                  plan=plan, plan_key=plan_key)
 
     def dense(self, values):
         return values.max(axis=1)
@@ -142,11 +168,15 @@ class MinAggregator(Aggregator):
 
     name = "min"
 
-    def sparse(self, values, index, dim_size, weights=None):
-        return scatter_min(values, index, dim_size)
+    def sparse(self, values, index, dim_size, weights=None, *,
+               plan=None, plan_key=None):
+        return scatter_min(values, index, dim_size, plan=plan,
+                           plan_key=plan_key)
 
-    def fused(self, values, offsets, sources=None, weights=None):
-        return segment_reduce_csr(values, offsets, sources, "min")
+    def fused(self, values, offsets, sources=None, weights=None, *,
+              plan=None, plan_key=None):
+        return segment_reduce_csr(values, offsets, sources, "min",
+                                  plan=plan, plan_key=plan_key)
 
     def dense(self, values):
         return -((-values).max(axis=1))
@@ -158,18 +188,23 @@ class WeightedSumAggregator(Aggregator):
     name = "weighted_sum"
     supports_dense = False
 
-    def sparse(self, values, index, dim_size, weights=None):
+    def sparse(self, values, index, dim_size, weights=None, *,
+               plan=None, plan_key=None):
         if weights is None:
             raise ValueError("weighted_sum requires per-edge weights")
-        return scatter_add(_apply_weights(values, weights), index, dim_size)
+        return scatter_add(_apply_weights(values, weights), index, dim_size,
+                           plan=plan, plan_key=plan_key)
 
-    def fused(self, values, offsets, sources=None, weights=None):
+    def fused(self, values, offsets, sources=None, weights=None, *,
+              plan=None, plan_key=None):
         if weights is None:
             raise ValueError("weighted_sum requires per-edge weights")
         if sources is not None:
             gathered = values[sources] * Tensor(np.asarray(weights).reshape(-1, 1))
-            return segment_reduce_csr(gathered, offsets, None, "sum")
-        return segment_reduce_csr(_apply_weights(values, weights), offsets, None, "sum")
+            return segment_reduce_csr(gathered, offsets, None, "sum",
+                                      plan_key=plan_key)
+        return segment_reduce_csr(_apply_weights(values, weights),
+                                  offsets, None, "sum", plan_key=plan_key)
 
     def dense(self, values):  # pragma: no cover - guarded by supports_dense
         raise TypeError("weighted_sum has no dense form")
@@ -191,21 +226,28 @@ class AttentionAggregator(Aggregator):
         self.dim = dim
         self.score_vector = Parameter(rng.standard_normal(dim) / np.sqrt(dim))
 
-    def _attend(self, values: Tensor, index: np.ndarray, dim_size: int) -> Tensor:
+    def _attend(self, values: Tensor, index, dim_size: int,
+                plan=None, plan_key=None) -> Tensor:
         scores = values @ self.score_vector.reshape(self.dim, 1)
-        alpha = scatter_softmax(scores, index, dim_size)
-        return scatter_add(values * alpha, index, dim_size)
+        # Both kernels share one plan: same index, same destination space.
+        alpha = scatter_softmax(scores, index, dim_size, plan=plan,
+                                plan_key=plan_key)
+        return scatter_add(values * alpha, index, dim_size, plan=plan,
+                           plan_key=plan_key)
 
-    def sparse(self, values, index, dim_size, weights=None):
-        return self._attend(values, index, dim_size)
+    def sparse(self, values, index, dim_size, weights=None, *,
+               plan=None, plan_key=None):
+        return self._attend(values, index, dim_size, plan=plan,
+                            plan_key=plan_key)
 
-    def fused(self, values, offsets, sources=None, weights=None):
+    def fused(self, values, offsets, sources=None, weights=None, *,
+              plan=None, plan_key=None):
         # Fall back to the sparse path on an index derived from offsets —
         # attention inherently scores each member row.
         counts = np.diff(offsets)
         index = np.repeat(np.arange(counts.size, dtype=np.int64), counts)
         rows = values if sources is None else values[sources]
-        return self._attend(rows, index, counts.size)
+        return self._attend(rows, index, counts.size, plan_key=plan_key)
 
     def dense(self, values):
         from ..tensor.ops import softmax
@@ -245,16 +287,32 @@ class LSTMAggregator(Aggregator):
         self.cell = LSTMCell(dim, self.hidden_dim, rng=rng or np.random.default_rng(0))
         self._scatter_rows = scatter_rows
 
-    def sparse(self, values: Tensor, index: np.ndarray, dim_size: int,
-               weights: np.ndarray | None = None) -> Tensor:
+    def sparse(self, values: Tensor, index: np.ndarray | None, dim_size: int,
+               weights: np.ndarray | None = None, *,
+               plan=None, plan_key=None) -> Tensor:
         from ..tensor.ops import zeros
+        from ..tensor.plans import (
+            ReductionPlan,
+            get_plan_cache,
+            index_plan_key,
+        )
 
-        index = np.asarray(index, dtype=np.int64)
-        order = np.argsort(index, kind="stable")
-        sorted_index = index[order]
-        counts = np.bincount(sorted_index, minlength=dim_size)
-        starts = np.zeros(dim_size, dtype=np.int64)
-        np.cumsum(counts[:-1], out=starts[1:] if dim_size > 1 else starts[:0])
+        # The plan already holds exactly what the sequential sweep needs:
+        # the stable-sort permutation and per-group counts/starts.
+        if plan is None:
+            if index is None:
+                raise ValueError("lstm aggregation needs an index when no plan is given")
+            index = np.asarray(index, dtype=np.int64)
+            if plan_key is not None:
+                plan = get_plan_cache().get_or_build(
+                    index_plan_key(plan_key, index.size, dim_size),
+                    lambda: ReductionPlan.from_index(index, dim_size),
+                )
+            else:
+                plan = ReductionPlan.from_index(index, dim_size)
+        order = plan.gather
+        counts = plan.counts
+        starts = plan.offsets[:-1]
         h = zeros(dim_size, self.hidden_dim)
         c = zeros(dim_size, self.hidden_dim)
         max_len = min(int(counts.max()) if counts.size else 0, self.max_seq_len)
@@ -270,11 +328,12 @@ class LSTMAggregator(Aggregator):
             c = c * keep_col + self._scatter_rows(c_new, active, dim_size)
         return h
 
-    def fused(self, values, offsets, sources=None, weights=None):
+    def fused(self, values, offsets, sources=None, weights=None, *,
+              plan=None, plan_key=None):
         counts = np.diff(offsets)
         index = np.repeat(np.arange(counts.size, dtype=np.int64), counts)
         rows = values if sources is None else values[np.asarray(sources, dtype=np.int64)]
-        return self.sparse(rows, index, counts.size)
+        return self.sparse(rows, index, counts.size, plan_key=plan_key)
 
     def dense(self, values):  # pragma: no cover - guarded by supports_dense
         raise TypeError("lstm aggregation has no dense form")

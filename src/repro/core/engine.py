@@ -16,6 +16,7 @@ from .. import obs
 from ..graph.graph import Graph
 from ..tensor.loss import accuracy, cross_entropy
 from ..tensor.optim import Optimizer
+from ..tensor.plans import get_plan_cache
 from ..tensor.scatter import MATERIALIZED_BYTES_COUNTER
 from ..tensor.tensor import Tensor, no_grad
 from .hdg import HDG
@@ -205,6 +206,8 @@ class FlexGraphEngine:
         mat = obs.counter(MATERIALIZED_BYTES_COUNTER)
         mat_mark = mat.current
         work_mark = obs.work_snapshot()
+        plan_cache = get_plan_cache()
+        plan_mark = (plan_cache.hits, plan_cache.misses)
         with obs.span("engine.train_epoch", epoch=epoch):
             logits = self.forward(feats, epoch)
             loss = cross_entropy(logits, labels, mask)
@@ -230,6 +233,8 @@ class FlexGraphEngine:
             ),
             flops=work["flops"],
             work_bytes=work["bytes_read"] + work["bytes_written"],
+            plan_hits=plan_cache.hits - plan_mark[0],
+            plan_misses=plan_cache.misses - plan_mark[1],
         )
         return EpochStats(
             epoch=epoch,

@@ -80,6 +80,7 @@ class HDG:
             if num_input_vertices is not None
             else (self.leaf_vertices.max() + 1 if self.leaf_vertices.size else 0)
         )
+        self._fingerprint: str | None = None
         self._validate()
 
     def _validate(self) -> None:
@@ -258,6 +259,37 @@ class HDG:
             )
         inst_root = self.instance_roots()
         return np.repeat(inst_root, np.diff(self.leaf_offsets))
+
+    # ------------------------------------------------------------------
+    # Identity
+    # ------------------------------------------------------------------
+    def fingerprint(self) -> str:
+        """Stable hex digest of the HDG's reduction *structure*.
+
+        Covers every array that shapes an aggregation (leaf CSC, instance
+        offsets, weights, leaf id space, schema width) but not the root
+        ids themselves — two HDGs with identical structure reduce
+        identically.  HDG arrays are never mutated after construction
+        (edits build a new HDG), so the digest is computed once and
+        memoized; :mod:`repro.tensor.plans` keys cached reduction plans
+        on it, which makes stale plans unreachable after a graph edit.
+        """
+        if self._fingerprint is None:
+            import hashlib
+
+            h = hashlib.sha256()
+            h.update(np.int64(self.num_input_vertices).tobytes())
+            h.update(np.int64(self.schema.num_leaves).tobytes())
+            h.update(self.leaf_vertices.tobytes())
+            h.update(self.leaf_offsets.tobytes())
+            if self.instance_offsets is not None:
+                h.update(b"inst")
+                h.update(self.instance_offsets.tobytes())
+            if self.leaf_weights is not None:
+                h.update(b"wts")
+                h.update(self.leaf_weights.tobytes())
+            self._fingerprint = h.hexdigest()[:16]
+        return self._fingerprint
 
     # ------------------------------------------------------------------
     # Memory accounting (Table 5 and the storage ablation)

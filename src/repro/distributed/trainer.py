@@ -27,6 +27,7 @@ from ..core.hybrid import ExecutionStrategy
 from ..core.nau import NAUModel, SelectionScope
 from ..tensor.loss import cross_entropy
 from ..tensor.optim import Optimizer
+from ..tensor.plans import get_plan_cache
 from ..tensor.ops import concat
 from ..tensor.tensor import Tensor
 from .comm import CommConfig, SimulatedComm
@@ -166,6 +167,8 @@ class DistributedTrainer:
         self.model.train()
         self._ensure_hdg(epoch)
         work_mark = obs.work_snapshot()
+        plan_cache = get_plan_cache()
+        plan_mark = (plan_cache.hits, plan_cache.misses)
         for worker in self.workers:
             worker.reset_epoch()
         # Selection is embarrassingly parallel across partitions (§5:
@@ -274,6 +277,8 @@ class DistributedTrainer:
             comm_mode=effective_mode,
             flops=work["flops"],
             work_bytes=work["bytes_read"] + work["bytes_written"],
+            plan_hits=plan_cache.hits - plan_mark[0],
+            plan_misses=plan_cache.misses - plan_mark[1],
         )
 
         return DistributedEpochStats(

@@ -45,12 +45,14 @@ class SAGELayer(GNNLayer):
             raise ValueError("SAGE-pool is a DNFA model (flat HDGs only)")
         pooled = self.pool(feats).relu()
         strategy = ExecutionStrategy.parse(strategy)
+        base = (hdg.fingerprint(), "sage.pool")
         if strategy is ExecutionStrategy.SA:
             from ..tensor.scatter import scatter_max
 
             dst, src = hdg.sub_graph(1)
-            return scatter_max(pooled[src], dst, hdg.num_roots)
-        return segment_reduce_csr(pooled, hdg.leaf_offsets, hdg.leaf_vertices, "max")
+            return scatter_max(pooled[src], dst, hdg.num_roots, plan_key=base)
+        return segment_reduce_csr(pooled, hdg.leaf_offsets, hdg.leaf_vertices,
+                                  "max", plan_key=base)
 
     def update(self, feats: Tensor, nbr_feats: Tensor) -> Tensor:
         out = self.linear(concat([feats, nbr_feats], axis=-1))

@@ -103,6 +103,37 @@ def disable_profiling() -> None:
     _ENABLED = False
 
 
+# record_op runs on every tensor op, so its counter handles are memoized
+# per (registry identity, registry generation): _COUNTER_CACHE holds the
+# three global counters, _OP_COUNTER_CACHE one (flops, bytes) tuple per
+# op name (the string concatenation happens once per op, not per call).
+# Registry.reset() recreates Counter objects, so the generation stamp —
+# bumped by _init_state — invalidates both caches.
+_COUNTER_CACHE: tuple | None = None
+_OP_COUNTER_CACHE: dict[str, tuple] = {}
+
+
+def _cached_counters(reg: Registry, op: str) -> tuple:
+    global _COUNTER_CACHE
+    cache = _COUNTER_CACHE
+    if (cache is None or cache[0] is not reg
+            or cache[1] != reg.generation):
+        cache = _COUNTER_CACHE = (
+            reg, reg.generation,
+            reg.counter(FLOPS_COUNTER),
+            reg.counter(BYTES_READ_COUNTER),
+            reg.counter(BYTES_WRITTEN_COUNTER),
+        )
+        _OP_COUNTER_CACHE.clear()
+    handles = _OP_COUNTER_CACHE.get(op)
+    if handles is None:
+        handles = _OP_COUNTER_CACHE[op] = (
+            reg.counter(OP_COUNTER_PREFIX + op + ".flops"),
+            reg.counter(OP_COUNTER_PREFIX + op + ".bytes"),
+        )
+    return cache[2], cache[3], cache[4], handles[0], handles[1]
+
+
 def record_op(op: str, *, flops: float = 0.0, bytes_read: float = 0.0,
               bytes_written: float = 0.0) -> None:
     """Account one executed op: global + per-op counters, and inclusive
@@ -113,13 +144,14 @@ def record_op(op: str, *, flops: float = 0.0, bytes_read: float = 0.0,
     flops = float(flops)
     bytes_read = float(bytes_read)
     bytes_written = float(bytes_written)
-    reg.counter(FLOPS_COUNTER).add(flops)
-    reg.counter(BYTES_READ_COUNTER).add(bytes_read)
-    reg.counter(BYTES_WRITTEN_COUNTER).add(bytes_written)
-    reg.counter(OP_COUNTER_PREFIX + op + ".flops").add(flops)
-    reg.counter(OP_COUNTER_PREFIX + op + ".bytes").add(
-        bytes_read + bytes_written
+    flops_c, read_c, written_c, op_flops_c, op_bytes_c = (
+        _cached_counters(reg, op)
     )
+    flops_c.add(flops)
+    read_c.add(bytes_read)
+    written_c.add(bytes_written)
+    op_flops_c.add(flops)
+    op_bytes_c.add(bytes_read + bytes_written)
     for record in reg._stack:
         attrs = record.attrs
         attrs["flops"] = attrs.get("flops", 0.0) + flops

@@ -93,6 +93,9 @@ class Registry:
         self._init_state()
 
     def _init_state(self) -> None:
+        # Bumped on every reset so memoized counter handles (see
+        # profile.record_op) know their cached Counter objects are stale.
+        self.generation = getattr(self, "generation", -1) + 1
         self.origin = time.perf_counter()
         self.spans: list[SpanRecord] = []
         self.events: list[EventRecord] = []

@@ -37,6 +37,7 @@ from ..core.nau import NAUModel, SelectionScope
 from ..core.sampling import build_block
 from ..graph.graph import Graph
 from ..storage.store import load_checkpoint
+from ..tensor.plans import get_plan_cache
 from ..tensor.tensor import Tensor, no_grad
 from .cache import EmbeddingCache, GraphVersion, HDGBlockCache, expand_affected
 
@@ -323,8 +324,13 @@ class InferenceSession:
 
     # ------------------------------------------------------------------
     def stats(self) -> dict:
+        # Reduction plans ride alongside cached blocks: each cached block
+        # HDG keeps its fingerprint, so plan-cache hits track block-cache
+        # hits once a block has been aggregated over twice.  The plan
+        # cache is process-global (training and serving share it).
         return {
             "graph_version": self.version.value,
             "embed_cache": self.embed_cache.stats(),
             "block_cache": self.block_cache.stats(),
+            "plan_cache": get_plan_cache().stats(),
         }

@@ -27,6 +27,14 @@ from .ops import (
     zeros,
 )
 from .optim import SGD, Adam, Optimizer
+from .plans import (
+    PlanCache,
+    ReductionPlan,
+    get_plan_cache,
+    index_plan_key,
+    segment_plan_key,
+    set_plan_cache,
+)
 from .schedulers import (
     CosineAnnealingLR,
     EarlyStopping,
@@ -54,6 +62,8 @@ __all__ = [
     "softmax", "log_softmax", "dropout", "scatter_rows",
     "scatter_add", "scatter_mean", "scatter_max", "scatter_min",
     "scatter_softmax", "segment_reduce_csr",
+    "ReductionPlan", "PlanCache", "get_plan_cache", "set_plan_cache",
+    "index_plan_key", "segment_plan_key",
     "materialized_bytes", "peak_materialized_bytes",
     "reset_materialized_bytes", "release_materialized_bytes",
     "Module", "Parameter", "Linear", "Embedding", "LSTMCell", "ReLU", "Dropout", "Sequential",

@@ -1,0 +1,381 @@
+"""Cached reduction plans — structure setup hoisted off the kernel hot path.
+
+Every scatter/segment reduction in :mod:`repro.tensor.scatter` needs the
+same handful of derived structures: a stable-sort permutation of the
+destination index, per-segment counts and offsets, a CSR reduction
+matrix for the sum/mean SpMM forward, and that matrix's CSC transpose
+for the backward.  HDG topology is fixed across epochs (and across
+serve requests hitting a cached block), so recomputing these per call
+is pure overhead — NeuGraph-style topology-aware scheduling amortizes
+it once.
+
+:class:`ReductionPlan` packages the precomputation for one reduction
+structure; :class:`PlanCache` is a byte-budgeted LRU keyed by content
+fingerprint (``HDG.fingerprint()`` / ``Graph.fingerprint()``), so a
+graph edit produces a new fingerprint and stale plans simply age out —
+the same versioning discipline as :class:`repro.serve.cache.HDGBlockCache`.
+
+Cache traffic lands in the ``plan.cache.*`` obs counters, so traces and
+epoch logs show when the plan layer is (or is not) amortizing.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Callable
+
+import numpy as np
+import scipy.sparse as _sp
+
+from ..obs import counter as _obs_counter
+from ..obs.profile import record_op
+
+__all__ = [
+    "ReductionPlan",
+    "PlanCache",
+    "get_plan_cache",
+    "set_plan_cache",
+    "index_plan_key",
+    "segment_plan_key",
+    "PLAN_HIT_COUNTER",
+    "PLAN_MISS_COUNTER",
+    "PLAN_BUILD_COUNTER",
+    "PLAN_EVICTION_COUNTER",
+]
+
+PLAN_HIT_COUNTER = "plan.cache.hit"
+PLAN_MISS_COUNTER = "plan.cache.miss"
+PLAN_BUILD_COUNTER = "plan.cache.build"
+PLAN_EVICTION_COUNTER = "plan.cache.evictions"
+
+
+def index_plan_key(base, length: int, dim_size: int) -> tuple:
+    """Cache key for a plan over a scatter ``index`` array.
+
+    ``base`` identifies the topology (e.g. ``(hdg.fingerprint(), level)``);
+    the structural tail guards against reusing a plan for a call with a
+    different shape under the same base.
+    """
+    return ("idx", base, int(length), int(dim_size))
+
+
+def segment_plan_key(base, num_segments: int, total: int, num_rows: int,
+                     identity: bool) -> tuple:
+    """Cache key for a plan over an ``(offsets, sources)`` CSR structure."""
+    return ("seg", base, int(num_segments), int(total), int(num_rows),
+            bool(identity))
+
+
+class ReductionPlan:
+    """Precomputed structure for one segmented reduction.
+
+    Two layouts share the class:
+
+    * ``kind == "index"`` — built from a per-row destination index (the
+      SA path).  ``gather`` is the stable-sort permutation bringing rows
+      into segment order; the CSR matrix has one column per input row.
+    * ``kind == "segments"`` — built from a CSR ``(offsets, sources)``
+      pair (the FA path).  Rows are already in segment order; ``gather``
+      is ``sources`` (or ``None`` for the elided-Dst identity layout).
+
+    Heavy artifacts (the SpMM matrix, its CSC transpose re-expressed as
+    CSR, safe divisor vectors) are built lazily per dtype and memoized,
+    with byte growth reported back to the owning :class:`PlanCache`.
+    """
+
+    __slots__ = (
+        "kind", "n", "num_rows", "total", "offsets", "counts",
+        "nonempty", "starts", "gather",
+        "_index", "_matrices", "_matrices_t", "_safe_counts",
+        "_inv_counts", "_source_plan", "_owner",
+    )
+
+    def __init__(self, kind: str, n: int, num_rows: int, total: int,
+                 offsets: np.ndarray, counts: np.ndarray,
+                 gather: np.ndarray | None,
+                 index: np.ndarray | None) -> None:
+        self.kind = kind
+        self.n = int(n)
+        self.num_rows = int(num_rows)
+        self.total = int(total)
+        self.offsets = offsets
+        self.counts = counts
+        self.nonempty = counts > 0
+        self.starts = offsets[:-1][self.nonempty]
+        self.gather = gather
+        self._index = index
+        self._matrices: dict[str, _sp.csr_matrix] = {}
+        self._matrices_t: dict[str, _sp.csr_matrix] = {}
+        self._safe_counts: dict[str, np.ndarray] = {}
+        self._inv_counts: dict[str, np.ndarray] = {}
+        self._source_plan: ReductionPlan | None = None
+        self._owner: PlanCache | None = None
+        record_op("plan.build",
+                  bytes_read=(0 if index is None else index.nbytes),
+                  bytes_written=self.nbytes)
+
+    # -- constructors ---------------------------------------------------
+    @classmethod
+    def from_index(cls, index: np.ndarray, dim_size: int) -> "ReductionPlan":
+        """Plan for ``scatter_*(value, index, dim_size)`` calls."""
+        index = np.asarray(index)
+        index = index.astype(np.int64, copy=False)
+        if index.ndim != 1:
+            raise ValueError(f"scatter index must be 1-D, got shape {index.shape}")
+        n = int(dim_size)
+        if index.size:
+            lo = int(index.min())
+            hi = int(index.max())
+            if lo < 0 or hi >= n:
+                raise ValueError(
+                    f"scatter index values must lie in [0, {n}), "
+                    f"got range [{lo}, {hi}]"
+                )
+        counts = np.bincount(index, minlength=n)
+        offsets = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(counts, out=offsets[1:])
+        order = np.argsort(index, kind="stable")
+        return cls("index", n, index.size, index.size, offsets, counts,
+                   order, index)
+
+    @classmethod
+    def from_segments(cls, offsets: np.ndarray,
+                      sources: np.ndarray | None,
+                      num_rows: int) -> "ReductionPlan":
+        """Plan for ``segment_reduce_csr(value, offsets, sources)`` calls."""
+        offsets = np.asarray(offsets, dtype=np.int64)
+        if offsets.ndim != 1 or offsets.size == 0:
+            raise ValueError("offsets must be a non-empty 1-D array")
+        if offsets[0] != 0:
+            raise ValueError(
+                f"offsets must start at 0, got offsets[0]={int(offsets[0])}"
+            )
+        counts = np.diff(offsets)
+        if np.any(counts < 0):
+            raise ValueError("offsets must be non-decreasing")
+        total = int(offsets[-1])
+        num_rows = int(num_rows)
+        if sources is None:
+            gather = None
+            if total != num_rows:
+                raise ValueError(
+                    f"offsets cover {total} rows but value has {num_rows}"
+                )
+        else:
+            gather = np.asarray(sources, dtype=np.int64)
+            if gather.shape[0] != total:
+                raise ValueError("sources length must equal offsets[-1]")
+            if gather.size and (int(gather.min()) < 0
+                                or int(gather.max()) >= num_rows):
+                raise ValueError(
+                    f"sources must lie in [0, {num_rows})"
+                )
+        return cls("segments", offsets.size - 1, num_rows, total,
+                   offsets, counts, gather, None)
+
+    # -- lazy artifacts -------------------------------------------------
+    @property
+    def index(self) -> np.ndarray:
+        """Per-row destination index (``dst_of_edge`` for segment plans)."""
+        if self._index is None:
+            self._index = np.repeat(
+                np.arange(self.n, dtype=np.int64), self.counts
+            )
+            self._grew(self._index.nbytes)
+        return self._index
+
+    def matrix(self, dtype) -> _sp.csr_matrix:
+        """``(n, num_rows)`` CSR reduction matrix: ``matrix @ value`` sums
+        each segment.  Memoized per dtype."""
+        key = np.dtype(dtype).str
+        m = self._matrices.get(key)
+        if m is None:
+            if self.gather is not None:
+                indices = self.gather
+            else:
+                indices = np.arange(self.total, dtype=np.int64)
+            m = _sp.csr_matrix(
+                (np.ones(self.total, dtype=dtype), indices, self.offsets),
+                shape=(self.n, self.num_rows),
+            )
+            self._matrices[key] = m
+            self._grew(m.data.nbytes + m.indices.nbytes + m.indptr.nbytes)
+        return m
+
+    def matrix_t(self, dtype) -> _sp.csr_matrix:
+        """CSC transpose of :meth:`matrix`, re-expressed as CSR so the
+        backward SpMM never converts on the hot path.  Memoized per dtype."""
+        key = np.dtype(dtype).str
+        m = self._matrices_t.get(key)
+        if m is None:
+            m = self.matrix(dtype).T.tocsr()
+            self._matrices_t[key] = m
+            self._grew(m.data.nbytes + m.indices.nbytes + m.indptr.nbytes)
+        return m
+
+    def safe_counts(self, dtype) -> np.ndarray:
+        """``max(counts, 1)`` in ``dtype`` — the mean divisor.  Computed in
+        the value dtype so float32 models stay float32 end-to-end."""
+        key = np.dtype(dtype).str
+        c = self._safe_counts.get(key)
+        if c is None:
+            c = np.maximum(self.counts, 1).astype(dtype)
+            self._safe_counts[key] = c
+            self._grew(c.nbytes)
+        return c
+
+    def inv_counts(self, dtype) -> np.ndarray:
+        """``1 / max(counts, 1)`` in ``dtype`` — the mean backward scale."""
+        key = np.dtype(dtype).str
+        c = self._inv_counts.get(key)
+        if c is None:
+            c = 1.0 / self.safe_counts(dtype)
+            self._inv_counts[key] = c
+            self._grew(c.nbytes)
+        return c
+
+    def source_plan(self) -> "ReductionPlan | None":
+        """For gathered segment plans: an index plan over ``sources`` that
+        scatters per-edge gradients back to source rows.  ``None`` when the
+        layout is the identity (edge grads map 1:1 to value rows)."""
+        if self.gather is None:
+            return None
+        if self._source_plan is None:
+            self._source_plan = ReductionPlan.from_index(
+                self.gather, self.num_rows
+            )
+            self._grew(self._source_plan.nbytes)
+        return self._source_plan
+
+    # -- accounting -----------------------------------------------------
+    @property
+    def nbytes(self) -> int:
+        """Current footprint, including lazily built artifacts."""
+        total = self.offsets.nbytes + self.counts.nbytes
+        total += self.nonempty.nbytes + self.starts.nbytes
+        if self.gather is not None:
+            total += self.gather.nbytes
+        if self._index is not None and self._index is not self.gather:
+            total += self._index.nbytes
+        for m in (*self._matrices.values(), *self._matrices_t.values()):
+            total += m.data.nbytes + m.indices.nbytes + m.indptr.nbytes
+        for c in (*self._safe_counts.values(), *self._inv_counts.values()):
+            total += c.nbytes
+        if self._source_plan is not None:
+            total += self._source_plan.nbytes
+        return int(total)
+
+    def _grew(self, nbytes: int) -> None:
+        if self._owner is not None:
+            self._owner._grew(int(nbytes))
+
+
+class PlanCache:
+    """LRU, byte-budgeted store of :class:`ReductionPlan` objects.
+
+    Keys embed a content fingerprint of the topology (see
+    :func:`index_plan_key`), so a graph edit changes the key and stale
+    plans are never looked up again — they age out of the LRU exactly
+    like stale blocks in :class:`repro.serve.cache.HDGBlockCache`.
+    ``max_bytes=0`` disables caching (every lookup misses, puts drop).
+    """
+
+    def __init__(self, max_bytes: int = 256 * 1024 * 1024):
+        self.max_bytes = int(max_bytes)
+        self._entries: OrderedDict[tuple, ReductionPlan] = OrderedDict()
+        self.current_bytes = 0
+        self.hits = 0
+        self.misses = 0
+        self.builds = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: tuple) -> ReductionPlan | None:
+        plan = self._entries.get(key)
+        if plan is None:
+            self.misses += 1
+            _obs_counter(PLAN_MISS_COUNTER).add(1)
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        _obs_counter(PLAN_HIT_COUNTER).add(1)
+        return plan
+
+    def put(self, key: tuple, plan: ReductionPlan) -> ReductionPlan:
+        if self.max_bytes <= 0:
+            return plan
+        old = self._entries.pop(key, None)
+        if old is not None:
+            self.current_bytes -= old.nbytes
+            old._owner = None
+        self._entries[key] = plan
+        plan._owner = self
+        self.current_bytes += plan.nbytes
+        self._evict()
+        return plan
+
+    def get_or_build(self, key: tuple,
+                     builder: Callable[[], ReductionPlan]) -> ReductionPlan:
+        """Return the cached plan for ``key``, building (and counting a
+        ``plan.cache.build``) on miss."""
+        plan = self.get(key)
+        if plan is None:
+            plan = builder()
+            self.builds += 1
+            _obs_counter(PLAN_BUILD_COUNTER).add(1)
+            self.put(key, plan)
+        return plan
+
+    def _grew(self, nbytes: int) -> None:
+        self.current_bytes += nbytes
+        self._evict()
+
+    def _evict(self) -> None:
+        while self.current_bytes > self.max_bytes and self._entries:
+            _, stale = self._entries.popitem(last=False)
+            self.current_bytes -= stale.nbytes
+            stale._owner = None
+            self.evictions += 1
+            _obs_counter(PLAN_EVICTION_COUNTER).add(1)
+
+    def clear(self) -> None:
+        for plan in self._entries.values():
+            plan._owner = None
+        self._entries.clear()
+        self.current_bytes = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def stats(self) -> dict:
+        return {
+            "entries": len(self._entries),
+            "bytes": self.current_bytes,
+            "max_bytes": self.max_bytes,
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": self.hit_rate,
+            "builds": self.builds,
+            "evictions": self.evictions,
+        }
+
+
+_PLAN_CACHE = PlanCache()
+
+
+def get_plan_cache() -> PlanCache:
+    """The process-global plan cache used by the kernel layer."""
+    return _PLAN_CACHE
+
+
+def set_plan_cache(cache: PlanCache) -> PlanCache:
+    """Swap the global plan cache (tests, custom budgets); returns the
+    previous cache so callers can restore it."""
+    global _PLAN_CACHE
+    previous = _PLAN_CACHE
+    _PLAN_CACHE = cache
+    return previous

@@ -12,6 +12,15 @@ aggregate neighbor features:
   materialization, modeling libgrape-lite's vertex-reduce.
 * **Dense ops** — plain reshape + reduce, used at the schema-tree level.
 
+All reductions run on a :class:`~repro.tensor.plans.ReductionPlan`: the
+stable-sort permutation, segment offsets, SpMM matrix and its transpose
+are precomputed once per topology and reused every call (pass ``plan=``
+directly, or ``plan_key=`` to fetch from the global
+:class:`~repro.tensor.plans.PlanCache`).  Without either, an ephemeral
+plan is built per call — still vectorized (sum/mean are one SpMM,
+max/min/softmax are sorted ``reduceat`` sweeps; no ``np.add.at`` /
+``np.maximum.at`` on any path), just not amortized.
+
 All reductions here are autograd-aware.  The ``scatter.materialized_bytes``
 observability counter tracks both the running *total* and the *peak*
 concurrently-live bytes of per-edge intermediates so memory-footprint
@@ -23,10 +32,15 @@ experiments can observe the SA-vs-FA difference quantitatively (see
 from __future__ import annotations
 
 import numpy as np
-import scipy.sparse as _sp
 
 from ..obs import counter as _obs_counter
 from ..obs.profile import record_op
+from .plans import (
+    ReductionPlan,
+    get_plan_cache,
+    index_plan_key,
+    segment_plan_key,
+)
 from .tensor import Tensor, _as_tensor
 
 __all__ = [
@@ -95,118 +109,201 @@ def _dim_size(index: np.ndarray, dim_size: int | None) -> int:
     return int(index.max()) + 1 if index.size else 0
 
 
-def scatter_add(value: Tensor, index: np.ndarray, dim_size: int | None = None) -> Tensor:
+def _resolve_index_plan(value: Tensor, index, dim_size: int | None,
+                        plan: ReductionPlan | None, plan_key,
+                        op: str) -> ReductionPlan:
+    """Pick the plan for a scatter call: explicit ``plan``, cached via
+    ``plan_key``, or an ephemeral one built from ``index``."""
+    if plan is not None:
+        if plan.kind != "index":
+            raise ValueError(
+                f"{op} requires an index-kind plan, got {plan.kind!r}"
+            )
+        if plan.num_rows != value.shape[0]:
+            raise ValueError(
+                f"plan covers {plan.num_rows} rows but value has "
+                f"{value.shape[0]}"
+            )
+        if dim_size is not None and int(dim_size) != plan.n:
+            raise ValueError(
+                f"dim_size {int(dim_size)} does not match plan dim {plan.n}"
+            )
+        return plan
+    if index is None:
+        raise ValueError(f"{op} needs an index when no plan is given")
+    index = _check_index(index, value.shape[0])
+    n = _dim_size(index, dim_size)
+    if plan_key is not None:
+        return get_plan_cache().get_or_build(
+            index_plan_key(plan_key, index.size, n),
+            lambda: ReductionPlan.from_index(index, n),
+        )
+    return ReductionPlan.from_index(index, n)
+
+
+def scatter_add(value: Tensor, index: np.ndarray | None = None,
+                dim_size: int | None = None, *,
+                plan: ReductionPlan | None = None,
+                plan_key=None) -> Tensor:
     """Sum rows of ``value`` into ``out[index[i]] += value[i]`` (Figure 8).
 
     The per-edge ``value`` tensor is counted as a materialized
-    intermediate — this is the memory-hungry sparse path.
+    intermediate — this is the memory-hungry sparse path.  The reduction
+    itself is one SpMM against the plan's CSR matrix.
     """
     value = _as_tensor(value)
-    index = _check_index(index, value.shape[0])
-    n = _dim_size(index, dim_size)
+    plan = _resolve_index_plan(value, index, dim_size, plan, plan_key,
+                               "scatter_add")
+    n = plan.n
     _record_materialization(value.data.nbytes)
-    out_data = np.zeros((n,) + value.shape[1:], dtype=value.data.dtype)
-    np.add.at(out_data, index, value.data)
+    if plan.total == 0:
+        out_data = np.zeros((n,) + value.shape[1:], dtype=value.data.dtype)
+    else:
+        flat = value.data.reshape(plan.num_rows, -1)
+        out_data = (plan.matrix(value.data.dtype) @ flat).reshape(
+            (n,) + value.shape[1:]
+        )
     # one add per scattered element
     record_op("scatter_add", flops=float(value.data.size),
-              bytes_read=value.data.nbytes + index.nbytes,
+              bytes_read=value.data.nbytes + plan.index.nbytes,
               bytes_written=out_data.nbytes)
 
     def backward(g):
-        return (g[index],)
+        return (g[plan.index],)
 
     return Tensor._make(out_data, (value,), backward)
 
 
-def scatter_mean(value: Tensor, index: np.ndarray, dim_size: int | None = None) -> Tensor:
+def scatter_mean(value: Tensor, index: np.ndarray | None = None,
+                 dim_size: int | None = None, *,
+                 plan: ReductionPlan | None = None,
+                 plan_key=None) -> Tensor:
     """Average rows of ``value`` per destination index."""
     value = _as_tensor(value)
-    index = _check_index(index, value.shape[0])
-    n = _dim_size(index, dim_size)
+    plan = _resolve_index_plan(value, index, dim_size, plan, plan_key,
+                               "scatter_mean")
+    n = plan.n
+    dtype = value.data.dtype
     _record_materialization(value.data.nbytes)
-    counts = np.bincount(index, minlength=n).astype(value.data.dtype)
-    safe_counts = np.maximum(counts, 1.0)
-    out_data = np.zeros((n,) + value.shape[1:], dtype=value.data.dtype)
-    np.add.at(out_data, index, value.data)
-    out_data /= safe_counts.reshape((-1,) + (1,) * (value.ndim - 1))
+    if plan.total == 0:
+        out_data = np.zeros((n,) + value.shape[1:], dtype=dtype)
+    else:
+        flat = value.data.reshape(plan.num_rows, -1)
+        out_flat = plan.matrix(dtype) @ flat
+        # Divisor stays in value.dtype so float32 models remain float32.
+        out_flat /= plan.safe_counts(dtype)[:, None]
+        out_data = out_flat.reshape((n,) + value.shape[1:])
     # add + normalize: ~2 FLOPs per scattered element
     record_op("scatter_mean", flops=2.0 * value.data.size,
-              bytes_read=value.data.nbytes + index.nbytes,
+              bytes_read=value.data.nbytes + plan.index.nbytes,
               bytes_written=out_data.nbytes)
 
     def backward(g):
-        scale = 1.0 / safe_counts[index]
-        return (g[index] * scale.reshape((-1,) + (1,) * (value.ndim - 1)),)
+        scale = plan.inv_counts(dtype)[plan.index]
+        return (g[plan.index] * scale.reshape((-1,) + (1,) * (value.ndim - 1)),)
 
     return Tensor._make(out_data, (value,), backward)
 
 
-def _scatter_extremum(value: Tensor, index: np.ndarray, dim_size: int | None, kind: str) -> Tensor:
+def _scatter_extremum(value: Tensor, index, dim_size: int | None, kind: str,
+                      plan: ReductionPlan | None,
+                      plan_key) -> Tensor:
     value = _as_tensor(value)
-    index = _check_index(index, value.shape[0])
-    n = _dim_size(index, dim_size)
+    plan = _resolve_index_plan(value, index, dim_size, plan, plan_key,
+                               "scatter_" + kind)
+    n = plan.n
+    dtype = value.data.dtype
     _record_materialization(value.data.nbytes)
-    fill = -np.inf if kind == "max" else np.inf
-    out_data = np.full((n,) + value.shape[1:], fill, dtype=value.data.dtype)
     ufunc = np.maximum if kind == "max" else np.minimum
-    ufunc.at(out_data, index, value.data)
-    # Destinations with no sources get 0 (the conventional empty reduction).
-    present = np.bincount(index, minlength=n) > 0
-    out_data[~present] = 0.0
+    # Destinations with no sources get 0 (the conventional empty reduction);
+    # nonempty segments are one sorted reduceat sweep.
+    out_data = np.zeros((n,) + value.shape[1:], dtype=dtype)
+    if plan.total:
+        out_data[plan.nonempty] = ufunc.reduceat(
+            value.data[plan.gather], plan.starts, axis=0
+        )
     # one comparison per scattered element
     record_op("scatter_" + kind, flops=float(value.data.size),
-              bytes_read=value.data.nbytes + index.nbytes,
+              bytes_read=value.data.nbytes + plan.index.nbytes,
               bytes_written=out_data.nbytes)
 
     def backward(g):
         # Route gradient only to the rows that achieved the extremum,
         # splitting ties equally.
-        winner = (value.data == out_data[index]).astype(value.data.dtype)
-        tie_counts = np.zeros((n,) + value.shape[1:], dtype=value.data.dtype)
-        np.add.at(tie_counts, index, winner)
-        tie_counts = np.maximum(tie_counts, 1.0)
-        return (winner * g[index] / tie_counts[index],)
+        idx = plan.index
+        winner = (value.data == out_data[idx]).astype(dtype)
+        ties = np.ones((n,) + value.shape[1:], dtype=dtype)
+        if plan.total:
+            ties[plan.nonempty] = np.maximum(
+                np.add.reduceat(winner[plan.gather], plan.starts, axis=0),
+                1.0,
+            )
+        return (winner * g[idx] / ties[idx],)
 
     return Tensor._make(out_data, (value,), backward)
 
 
-def scatter_max(value: Tensor, index: np.ndarray, dim_size: int | None = None) -> Tensor:
+def scatter_max(value: Tensor, index: np.ndarray | None = None,
+                dim_size: int | None = None, *,
+                plan: ReductionPlan | None = None,
+                plan_key=None) -> Tensor:
     """Per-destination elementwise max."""
-    return _scatter_extremum(value, index, dim_size, "max")
+    return _scatter_extremum(value, index, dim_size, "max", plan, plan_key)
 
 
-def scatter_min(value: Tensor, index: np.ndarray, dim_size: int | None = None) -> Tensor:
+def scatter_min(value: Tensor, index: np.ndarray | None = None,
+                dim_size: int | None = None, *,
+                plan: ReductionPlan | None = None,
+                plan_key=None) -> Tensor:
     """Per-destination elementwise min."""
-    return _scatter_extremum(value, index, dim_size, "min")
+    return _scatter_extremum(value, index, dim_size, "min", plan, plan_key)
 
 
-def scatter_softmax(value: Tensor, index: np.ndarray, dim_size: int | None = None) -> Tensor:
+def scatter_softmax(value: Tensor, index: np.ndarray | None = None,
+                    dim_size: int | None = None, *,
+                    plan: ReductionPlan | None = None,
+                    plan_key=None) -> Tensor:
     """Softmax over groups that share a destination index.
 
     Used by MAGNN's intra-metapath attention step (Figure 7 uses
     ``scatter_softmax`` as the level-2 UDF).
     """
     value = _as_tensor(value)
-    index = _check_index(index, value.shape[0])
-    n = _dim_size(index, dim_size)
+    plan = _resolve_index_plan(value, index, dim_size, plan, plan_key,
+                               "scatter_softmax")
+    dtype = value.data.dtype
     _record_materialization(value.data.nbytes)
-    # Stabilize per group: subtract group max.
-    group_max = np.full((n,) + value.shape[1:], -np.inf, dtype=value.data.dtype)
-    np.maximum.at(group_max, index, value.data)
-    shifted = value.data - group_max[index]
-    e = np.exp(shifted)
-    denom = np.zeros((n,) + value.shape[1:], dtype=value.data.dtype)
-    np.add.at(denom, index, e)
-    out_data = e / denom[index]
+    if plan.total == 0:
+        out_data = np.zeros_like(value.data)
+        reps = None
+    else:
+        order = plan.gather
+        reps = plan.counts[plan.nonempty]
+        sv = value.data[order]
+        # Stabilize per group: subtract group max (sorted-domain sweep).
+        shifted = sv - np.repeat(
+            np.maximum.reduceat(sv, plan.starts, axis=0), reps, axis=0
+        )
+        e = np.exp(shifted)
+        denom = np.add.reduceat(e, plan.starts, axis=0)
+        out_sorted = e / np.repeat(denom, reps, axis=0)
+        out_data = np.empty_like(value.data)
+        out_data[order] = out_sorted
     # group max + shift + exp + sum + divide: ~5 FLOPs per element
     record_op("scatter_softmax", flops=5.0 * value.data.size,
-              bytes_read=value.data.nbytes + index.nbytes,
+              bytes_read=value.data.nbytes + plan.index.nbytes,
               bytes_written=out_data.nbytes)
 
     def backward(g):
-        dot = np.zeros((n,) + value.shape[1:], dtype=value.data.dtype)
-        np.add.at(dot, index, g * out_data)
-        return (out_data * (g - dot[index]),)
+        if plan.total == 0:
+            return (np.zeros_like(value.data),)
+        gs = (g * out_data)[plan.gather]
+        dot = np.repeat(
+            np.add.reduceat(gs, plan.starts, axis=0), reps, axis=0
+        )
+        dot_rows = np.empty_like(value.data)
+        dot_rows[plan.gather] = dot
+        return (out_data * (g - dot_rows),)
 
     return Tensor._make(out_data, (value,), backward)
 
@@ -214,11 +311,46 @@ def scatter_softmax(value: Tensor, index: np.ndarray, dim_size: int | None = Non
 _SEGMENT_REDUCERS = frozenset({"sum", "mean", "max", "min"})
 
 
+def _resolve_segment_plan(value: Tensor, offsets, sources,
+                          plan: ReductionPlan | None,
+                          plan_key) -> ReductionPlan:
+    if plan is not None:
+        if plan.kind != "segments":
+            raise ValueError(
+                f"segment_reduce_csr requires a segments-kind plan, "
+                f"got {plan.kind!r}"
+            )
+        if plan.num_rows != value.shape[0]:
+            raise ValueError(
+                f"plan covers {plan.num_rows} rows but value has "
+                f"{value.shape[0]}"
+            )
+        return plan
+    if offsets is None:
+        raise ValueError(
+            "segment_reduce_csr needs offsets when no plan is given"
+        )
+    if plan_key is None:
+        return ReductionPlan.from_segments(offsets, sources, value.shape[0])
+    offsets = np.asarray(offsets, dtype=np.int64)
+    if offsets.ndim != 1 or offsets.size == 0:
+        raise ValueError("offsets must be a non-empty 1-D array")
+    key = segment_plan_key(plan_key, offsets.size - 1, int(offsets[-1]),
+                           value.shape[0], sources is None)
+    return get_plan_cache().get_or_build(
+        key,
+        lambda: ReductionPlan.from_segments(offsets, sources, value.shape[0]),
+    )
+
+
 def segment_reduce_csr(
     value: Tensor,
-    offsets: np.ndarray,
+    offsets: np.ndarray | None = None,
     sources: np.ndarray | None = None,
     reducer: str = "sum",
+    *,
+    plan: ReductionPlan | None = None,
+    plan_key=None,
 ) -> Tensor:
     """Feature-fusion reduction over CSC segments (no per-edge tensors).
 
@@ -234,43 +366,28 @@ def segment_reduce_csr(
     value:
         ``(num_sources, dim)`` feature tensor.
     offsets:
-        ``(num_segments + 1,)`` monotone offset array.
+        ``(num_segments + 1,)`` monotone offset array.  May be omitted
+        when ``plan`` is given.
     sources:
         Optional per-edge source-row indices.  ``None`` means segment ``i``
         reduces the contiguous slice ``value[offsets[i]:offsets[i+1]]``.
     reducer:
         One of ``sum``, ``mean``, ``max``, ``min``.
+    plan / plan_key:
+        Explicit :class:`~repro.tensor.plans.ReductionPlan`, or a cache
+        key base (e.g. ``(hdg.fingerprint(), level)``) to fetch/build one
+        in the global plan cache.
     """
     if reducer not in _SEGMENT_REDUCERS:
         raise ValueError(f"unknown reducer {reducer!r}; expected one of {sorted(_SEGMENT_REDUCERS)}")
     value = _as_tensor(value)
-    offsets = np.asarray(offsets, dtype=np.int64)
-    if offsets.ndim != 1 or offsets.size == 0:
-        raise ValueError("offsets must be a non-empty 1-D array")
-    if offsets[0] != 0:
-        # A nonzero first offset would silently build an invalid scipy
-        # CSR indptr (rows before offsets[0] are dropped from segment 0).
-        raise ValueError(f"offsets must start at 0, got offsets[0]={int(offsets[0])}")
-    if np.any(np.diff(offsets) < 0):
-        raise ValueError("offsets must be non-decreasing")
-    n = offsets.size - 1
-    lengths = np.diff(offsets)
-    total = int(offsets[-1])
-
-    if sources is None:
-        if total != value.shape[0]:
-            raise ValueError(
-                f"offsets cover {total} rows but value has {value.shape[0]}"
-            )
-        src_index = None
-    else:
-        src_index = np.asarray(sources, dtype=np.int64)
-        if src_index.shape[0] != total:
-            raise ValueError("sources length must equal offsets[-1]")
-
+    plan = _resolve_segment_plan(value, offsets, sources, plan, plan_key)
+    n = plan.n
+    total = plan.total
+    dtype = value.data.dtype
     out_shape = (n,) + value.shape[1:]
     if total == 0:
-        out_data = np.zeros(out_shape, dtype=value.data.dtype)
+        out_data = np.zeros(out_shape, dtype=dtype)
 
         def backward_empty(g):
             return (np.zeros_like(value.data),)
@@ -282,17 +399,11 @@ def segment_reduce_csr(
         # (offsets, sources) pair *is* the CSR of the reduction matrix, so
         # no per-edge tensor enters the tape — this is the analogue of the
         # SIMD vertex reduce the paper implements in libgrape-lite.
-        num_rows = value.shape[0]
-        indices = np.arange(total, dtype=np.int64) if src_index is None else src_index
-        matrix = _sp.csr_matrix(
-            (np.ones(total, dtype=value.data.dtype), indices, offsets),
-            shape=(n, num_rows),
-        )
-        flat = value.data.reshape(num_rows, -1)
+        matrix = plan.matrix(dtype)
+        flat = value.data.reshape(plan.num_rows, -1)
         out_flat = matrix @ flat
         if reducer == "mean":
-            safe = np.maximum(lengths, 1).astype(value.data.dtype)
-            out_flat = out_flat / safe[:, None]
+            out_flat = out_flat / plan.safe_counts(dtype)[:, None]
         out_data = out_flat.reshape(out_shape)
         # SpMM convention: 2 FLOPs (multiply+add) per reduced element;
         # reads stream one source row per edge plus the CSR structure.
@@ -301,47 +412,47 @@ def segment_reduce_csr(
             "segment_reduce." + reducer,
             flops=2.0 * total * dim + (out_flat.size if reducer == "mean" else 0),
             bytes_read=(total * dim * value.data.itemsize
-                        + offsets.nbytes + indices.nbytes),
+                        + plan.offsets.nbytes + total * 8),
             bytes_written=out_data.nbytes,
         )
+        # Transpose prebuilt at forward time (CSC of the forward matrix,
+        # stored as CSR) so backward never converts per call.
+        matrix_t = plan.matrix_t(dtype)
 
         def backward(g):
             g_flat = g.reshape(n, -1)
             if reducer == "mean":
-                safe = np.maximum(lengths, 1).astype(value.data.dtype)
-                g_flat = g_flat / safe[:, None]
-            full = (matrix.T @ g_flat).reshape(value.shape)
-            return (full,)
+                g_flat = g_flat / plan.safe_counts(dtype)[:, None]
+            return ((matrix_t @ g_flat).reshape(value.shape),)
 
         return Tensor._make(out_data, (value,), backward)
 
-    # max / min: elementwise extremum scatter over the segment index.
-    rows = value.data if src_index is None else value.data[src_index]
-    dst_of_edge = np.repeat(np.arange(n, dtype=np.int64), lengths)
-    fill = -np.inf if reducer == "max" else np.inf
-    out_data = np.full(out_shape, fill, dtype=value.data.dtype)
+    # max / min: sorted segmented extremum over the plan's segment starts.
+    rows = value.data if plan.gather is None else value.data[plan.gather]
     ufunc = np.maximum if reducer == "max" else np.minimum
-    ufunc.at(out_data, dst_of_edge, rows)
-    out_data[lengths == 0] = 0.0
+    out_data = np.zeros(out_shape, dtype=dtype)
+    out_data[plan.nonempty] = ufunc.reduceat(rows, plan.starts, axis=0)
     # one comparison per reduced element
     record_op(
         "segment_reduce." + reducer,
         flops=float(rows.size),
-        bytes_read=rows.nbytes + offsets.nbytes
-        + (0 if src_index is None else src_index.nbytes),
+        bytes_read=rows.nbytes + plan.offsets.nbytes
+        + (0 if plan.gather is None else plan.gather.nbytes),
         bytes_written=out_data.nbytes,
     )
 
     def backward(g):
-        winner = (rows == out_data[dst_of_edge]).astype(value.data.dtype)
-        ties = np.zeros(out_shape, dtype=value.data.dtype)
-        np.add.at(ties, dst_of_edge, winner)
-        ties = np.maximum(ties, 1.0)
-        edge_grad = winner * g[dst_of_edge] / ties[dst_of_edge]
-        if src_index is None:
+        dst = plan.index
+        winner = (rows == out_data[dst]).astype(dtype)
+        ties = np.ones(out_shape, dtype=dtype)
+        ties[plan.nonempty] = np.maximum(
+            np.add.reduceat(winner, plan.starts, axis=0), 1.0
+        )
+        edge_grad = winner * g[dst] / ties[dst]
+        if plan.gather is None:
             return (edge_grad,)
-        full = np.zeros_like(value.data)
-        np.add.at(full, src_index, edge_grad)
-        return (full,)
+        source_plan = plan.source_plan()
+        full = (source_plan.matrix(dtype) @ edge_grad.reshape(total, -1))
+        return (full.reshape(value.shape),)
 
     return Tensor._make(out_data, (value,), backward)

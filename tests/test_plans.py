@@ -1,0 +1,348 @@
+"""Reduction-plan layer: kernel parity vs naive references, plan-cache
+LRU/versioning, and steady-state (zero rebuild) behavior."""
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.core import FlexGraphEngine, hdg_from_graph
+from repro.graph import Graph
+from repro.tensor import Adam, Tensor
+from repro.tensor.plans import (
+    PlanCache,
+    ReductionPlan,
+    get_plan_cache,
+    index_plan_key,
+    segment_plan_key,
+    set_plan_cache,
+)
+from repro.tensor.scatter import (
+    scatter_add,
+    scatter_max,
+    scatter_mean,
+    scatter_min,
+    scatter_softmax,
+    segment_reduce_csr,
+)
+
+DTYPES = (np.float32, np.float64)
+
+
+@pytest.fixture
+def fresh_cache():
+    """Swap in an empty plan cache; restore the previous one after."""
+    previous = set_plan_cache(PlanCache())
+    yield get_plan_cache()
+    set_plan_cache(previous)
+
+
+def _case(dtype, seed=0):
+    rng = np.random.default_rng(seed)
+    # Out-of-order index with empty destinations (4 and 6) and repeats.
+    index = np.array([3, 0, 0, 2, 5, 5, 5, 1, 3, 0, 2, 5], dtype=np.int64)
+    n = 7
+    values = rng.standard_normal((index.size, 4)).astype(dtype)
+    grad = rng.standard_normal((n, 4)).astype(dtype)
+    return values, index, n, grad
+
+
+def _naive_add(values, index, n):
+    out = np.zeros((n,) + values.shape[1:], dtype=values.dtype)
+    np.add.at(out, index, values)
+    return out
+
+
+def _naive_extremum(values, index, n, kind):
+    fill = -np.inf if kind == "max" else np.inf
+    out = np.full((n,) + values.shape[1:], fill, dtype=values.dtype)
+    ufunc = np.maximum if kind == "max" else np.minimum
+    ufunc.at(out, index, values)
+    out[np.bincount(index, minlength=n) == 0] = 0.0
+    return out
+
+
+class TestKernelParity:
+    """Rewritten reducers match the old ufunc.at semantics exactly."""
+
+    @pytest.mark.parametrize("dtype", DTYPES)
+    def test_scatter_add(self, dtype):
+        values, index, n, grad = _case(dtype)
+        t = Tensor(values, requires_grad=True)
+        out = scatter_add(t, index, n)
+        assert out.data.dtype == dtype
+        np.testing.assert_allclose(out.data, _naive_add(values, index, n),
+                                   atol=1e-5)
+        out.backward(grad)
+        np.testing.assert_allclose(t.grad, grad[index], atol=1e-6)
+
+    @pytest.mark.parametrize("dtype", DTYPES)
+    def test_scatter_mean(self, dtype):
+        values, index, n, grad = _case(dtype)
+        t = Tensor(values, requires_grad=True)
+        out = scatter_mean(t, index, n)
+        assert out.data.dtype == dtype, "float32 must stay float32"
+        counts = np.maximum(np.bincount(index, minlength=n), 1)
+        ref = _naive_add(values, index, n) / counts[:, None].astype(dtype)
+        np.testing.assert_allclose(out.data, ref, atol=1e-5)
+        out.backward(grad)
+        np.testing.assert_allclose(
+            t.grad, grad[index] / counts[index][:, None], atol=1e-5
+        )
+
+    @pytest.mark.parametrize("dtype", DTYPES)
+    @pytest.mark.parametrize("kind", ["max", "min"])
+    def test_scatter_extrema(self, dtype, kind):
+        values, index, n, grad = _case(dtype)
+        fn = scatter_max if kind == "max" else scatter_min
+        t = Tensor(values, requires_grad=True)
+        out = fn(t, index, n)
+        ref = _naive_extremum(values, index, n, kind)
+        np.testing.assert_allclose(out.data, ref)
+        out.backward(grad)
+        winner = (values == ref[index]).astype(dtype)
+        ties = np.zeros((n,) + values.shape[1:])
+        np.add.at(ties, index, winner)
+        ties = np.maximum(ties, 1.0)
+        np.testing.assert_allclose(
+            t.grad, winner * grad[index] / ties[index], atol=1e-6
+        )
+
+    @pytest.mark.parametrize("dtype", DTYPES)
+    def test_scatter_softmax(self, dtype):
+        values, index, n, _ = _case(dtype)
+        t = Tensor(values, requires_grad=True)
+        out = scatter_softmax(t, index, n)
+        assert out.data.dtype == dtype
+        gmax = np.full((n,) + values.shape[1:], -np.inf, dtype=dtype)
+        np.maximum.at(gmax, index, values)
+        e = np.exp(values - gmax[index])
+        denom = np.zeros((n,) + values.shape[1:], dtype=dtype)
+        np.add.at(denom, index, e)
+        ref = e / denom[index]
+        np.testing.assert_allclose(out.data, ref, atol=1e-5)
+        g = np.random.default_rng(1).standard_normal(values.shape).astype(dtype)
+        out.backward(g)
+        dot = np.zeros((n,) + values.shape[1:], dtype=dtype)
+        np.add.at(dot, index, g * ref)
+        np.testing.assert_allclose(t.grad, ref * (g - dot[index]), atol=1e-4)
+
+    @pytest.mark.parametrize("dtype", DTYPES)
+    @pytest.mark.parametrize("reducer", ["sum", "mean", "max", "min"])
+    def test_segment_matches_scatter(self, dtype, reducer):
+        values, index, n, grad = _case(dtype)
+        order = np.argsort(index, kind="stable")
+        offsets = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(np.bincount(index, minlength=n), out=offsets[1:])
+        t1 = Tensor(values, requires_grad=True)
+        t2 = Tensor(values, requires_grad=True)
+        seg = segment_reduce_csr(t1, offsets, order, reducer)
+        scatter = {"sum": scatter_add, "mean": scatter_mean,
+                   "max": scatter_max, "min": scatter_min}[reducer]
+        sca = scatter(t2, index, n)
+        assert seg.data.dtype == dtype
+        np.testing.assert_allclose(seg.data, sca.data, atol=1e-5)
+        seg.backward(grad)
+        sca.backward(grad)
+        np.testing.assert_allclose(t1.grad, t2.grad, atol=1e-5)
+
+    @pytest.mark.parametrize("dtype", DTYPES)
+    def test_weighted_sum_planned(self, dtype, fresh_cache):
+        values, index, n, grad = _case(dtype)
+        weights = np.random.default_rng(2).uniform(0.5, 2.0, index.size)
+        plan = ReductionPlan.from_index(index, n)
+        t1 = Tensor(values, requires_grad=True)
+        t2 = Tensor(values, requires_grad=True)
+        w = Tensor(weights.reshape(-1, 1))
+        out1 = scatter_add(t1 * w, index, n)
+        out2 = scatter_add(t2 * w, None, None, plan=plan)
+        np.testing.assert_allclose(out1.data, out2.data, atol=1e-6)
+
+    def test_empty_and_single_segment(self):
+        empty = Tensor(np.zeros((0, 3)), requires_grad=True)
+        out = scatter_add(empty, np.zeros(0, dtype=np.int64), 4)
+        assert out.shape == (4, 3) and np.all(out.data == 0)
+        out = scatter_max(empty, np.zeros(0, dtype=np.int64), 4)
+        assert np.all(out.data == 0)
+        values = np.arange(12.0).reshape(4, 3)
+        single = scatter_mean(Tensor(values), np.zeros(4, dtype=np.int64), 1)
+        np.testing.assert_allclose(single.data, values.mean(0, keepdims=True))
+
+    def test_out_of_range_index_rejected(self):
+        values = Tensor(np.ones((3, 2)))
+        with pytest.raises(ValueError):
+            scatter_add(values, np.array([0, 1, 5]), 3)
+        with pytest.raises(ValueError):
+            scatter_add(values, np.array([0, -1, 2]), 3)
+
+    def test_plan_value_row_mismatch_rejected(self):
+        plan = ReductionPlan.from_index(np.array([0, 1, 0]), 2)
+        with pytest.raises(ValueError):
+            scatter_add(Tensor(np.ones((5, 2))), plan=plan)
+        with pytest.raises(ValueError):
+            segment_reduce_csr(Tensor(np.ones((5, 2))), plan=plan)
+
+
+class TestPlanObject:
+    def test_from_index_structures(self):
+        index = np.array([2, 0, 2, 2])
+        plan = ReductionPlan.from_index(index, 4)
+        np.testing.assert_array_equal(plan.counts, [1, 0, 3, 0])
+        np.testing.assert_array_equal(plan.offsets, [0, 1, 1, 4, 4])
+        np.testing.assert_array_equal(plan.starts, [0, 1])
+        np.testing.assert_array_equal(plan.index, index)
+        # matrix @ ones == counts
+        m = plan.matrix(np.float64)
+        np.testing.assert_array_equal(m @ np.ones(4), plan.counts)
+        # transpose is prebuilt CSR and memoized
+        assert plan.matrix_t(np.float64) is plan.matrix_t(np.float64)
+        assert plan.matrix_t(np.float64).shape == (4, 4)
+
+    def test_safe_counts_dtype(self):
+        plan = ReductionPlan.from_index(np.array([0, 0, 2]), 3)
+        assert plan.safe_counts(np.float32).dtype == np.float32
+        assert plan.inv_counts(np.float32).dtype == np.float32
+        np.testing.assert_array_equal(plan.safe_counts(np.float64), [2, 1, 1])
+
+    def test_from_segments_validation(self):
+        with pytest.raises(ValueError):
+            ReductionPlan.from_segments(np.array([1, 2]), None, 1)
+        with pytest.raises(ValueError):
+            ReductionPlan.from_segments(np.array([0, 2, 1]), None, 2)
+        with pytest.raises(ValueError):
+            ReductionPlan.from_segments(np.array([0, 2]), np.array([0, 7]), 3)
+
+    def test_nbytes_grows_with_lazy_artifacts(self):
+        plan = ReductionPlan.from_index(np.arange(10) % 3, 3)
+        before = plan.nbytes
+        plan.matrix(np.float64)
+        plan.matrix_t(np.float64)
+        assert plan.nbytes > before
+
+
+class TestPlanCache:
+    def test_hit_miss_and_counters(self, fresh_cache):
+        obs.reset()
+        index = np.arange(6) % 3
+        key = index_plan_key("fp-a", index.size, 3)
+        built = []
+
+        def builder():
+            built.append(1)
+            return ReductionPlan.from_index(index, 3)
+
+        p1 = fresh_cache.get_or_build(key, builder)
+        p2 = fresh_cache.get_or_build(key, builder)
+        assert p1 is p2 and len(built) == 1
+        assert fresh_cache.hits == 1 and fresh_cache.misses == 1
+        assert fresh_cache.builds == 1
+        assert obs.counter("plan.cache.hit").total == 1
+        assert obs.counter("plan.cache.miss").total == 1
+        stats = fresh_cache.stats()
+        assert stats["entries"] == 1 and stats["bytes"] > 0
+        assert stats["hit_rate"] == 0.5
+
+    def test_lru_eviction_respects_byte_budget(self):
+        small = PlanCache(max_bytes=1)  # everything evicts immediately
+        plan = ReductionPlan.from_index(np.arange(100) % 10, 10)
+        small.put(("k",), plan)
+        assert len(small) == 0 and small.evictions == 1
+        assert small.current_bytes == 0 and plan._owner is None
+
+    def test_lazy_growth_can_trigger_eviction(self):
+        plan = ReductionPlan.from_index(np.arange(64) % 8, 8)
+        cache = PlanCache(max_bytes=plan.nbytes + 64)
+        cache.put(("k",), plan)
+        assert len(cache) == 1
+        plan.matrix(np.float64)  # growth reported back -> over budget
+        assert len(cache) == 0 and cache.evictions == 1
+
+    def test_zero_budget_disables(self):
+        cache = PlanCache(max_bytes=0)
+        plan = ReductionPlan.from_index(np.arange(4), 4)
+        cache.put(("k",), plan)
+        assert cache.get(("k",)) is None
+
+    def test_key_structure_separates_shapes(self):
+        # Same base but different structural tail -> different entries.
+        assert index_plan_key("b", 5, 3) != index_plan_key("b", 5, 4)
+        assert segment_plan_key("b", 3, 5, 5, True) != \
+            segment_plan_key("b", 3, 5, 5, False)
+        assert index_plan_key("b", 5, 3) != segment_plan_key("b", 5, 3, 3, True)
+
+
+class TestVersioning:
+    """Graph edits must never reuse a stale plan."""
+
+    def _graph(self, edges):
+        src, dst = np.array(edges, dtype=np.int64).T
+        return Graph(5, src, dst)
+
+    def test_hdg_fingerprint_tracks_structure(self):
+        g1 = self._graph([(0, 1), (1, 2), (2, 3)])
+        g2 = g1.with_edges_added(np.array([[3, 4]]))
+        h1, h1b = hdg_from_graph(g1), hdg_from_graph(g1)
+        h2 = hdg_from_graph(g2)
+        assert h1.fingerprint() == h1b.fingerprint()
+        assert h1.fingerprint() != h2.fingerprint()
+        # memoized: second call returns the cached digest
+        assert h1.fingerprint() is h1.fingerprint()
+
+    def test_edited_graph_uses_fresh_plan(self, fresh_cache):
+        g1 = self._graph([(0, 1), (1, 2), (2, 3), (0, 4)])
+        feats = Tensor(np.random.default_rng(0).standard_normal((5, 4)))
+        from repro.core import hierarchical_aggregate
+
+        from repro.core.aggregation import SumAggregator
+        h1 = hdg_from_graph(g1)
+        out1 = hierarchical_aggregate(h1, feats, [SumAggregator()], "sa")
+        assert fresh_cache.misses == 1
+        # Same topology again: pure hit.
+        hierarchical_aggregate(hdg_from_graph(g1), feats, [SumAggregator()], "sa")
+        assert fresh_cache.misses == 1 and fresh_cache.hits >= 1
+        # Edited graph: new fingerprint, new plan, result reflects the edit.
+        g2 = g1.with_edges_added(np.array([[3, 0]]))
+        h2 = hdg_from_graph(g2)
+        assert h2.fingerprint() != h1.fingerprint()
+        out2 = hierarchical_aggregate(h2, feats, [SumAggregator()], "sa")
+        assert fresh_cache.misses == 2
+        with pytest.raises(AssertionError):
+            np.testing.assert_allclose(out1.data, out2.data)
+        # Reference: the edited result is correct, not a stale reuse.
+        dst, src = h2.sub_graph(1)
+        ref = np.zeros((5, 4))
+        np.add.at(ref, dst, feats.data[src])
+        np.testing.assert_allclose(out2.data, ref, atol=1e-6)
+
+
+class TestSteadyState:
+    def test_engine_zero_misses_after_first_epoch(self, fresh_cache):
+        from repro import models
+        from repro.datasets import load_dataset
+
+        obs.reset()
+        ds = load_dataset("reddit", scale="tiny", seed=0)
+        model = models.gcn(ds.feat_dim, 8, ds.num_classes, seed=0)
+        engine = FlexGraphEngine(model, ds.graph, strategy="sa", seed=0)
+        optimizer = Adam(model.parameters(), lr=0.01)
+        feats = Tensor(ds.features)
+        for epoch in range(3):
+            misses_before = fresh_cache.misses
+            engine.train_epoch(feats, ds.labels, optimizer, ds.train_mask,
+                               epoch)
+            if epoch > 0:
+                assert fresh_cache.misses == misses_before, (
+                    "plan rebuilt after the first epoch"
+                )
+                assert fresh_cache.hits > 0
+
+    def test_record_op_memo_survives_registry_reset(self):
+        from repro.obs.profile import record_op
+
+        obs.reset()
+        record_op("memo_probe", flops=1.0)
+        assert obs.counter("profile.op.memo_probe.flops").total == 1.0
+        obs.reset()
+        record_op("memo_probe", flops=2.0)
+        # A stale memoized handle would add onto the pre-reset Counter
+        # object and leave the fresh registry at zero.
+        assert obs.counter("profile.op.memo_probe.flops").total == 2.0

@@ -29,6 +29,7 @@ Usage::
 
     python tools/bench.py                      # full matrix -> repo root
     python tools/bench.py --smoke              # tiny/fast variant
+    python tools/bench.py --kernels            # + per-reducer microbench rows
     python tools/bench.py --check-against BENCH_epoch_time.json
     python tools/bench.py --output path.json --chrome-trace trace.json
 
@@ -227,6 +228,130 @@ def run_matrix(scale: str, epochs: int, seed: int,
     return report
 
 
+#: synthetic kernel-microbench shapes per scale: (edges, destinations, dim)
+KERNEL_SIZES = {"tiny": (2_000, 200, 16), "small": (20_000, 2_000, 32)}
+#: reducers measured by --kernels, planned and unplanned
+KERNEL_OPS = ("scatter_add", "scatter_mean", "scatter_max", "scatter_min",
+              "scatter_softmax", "segment_sum", "segment_mean")
+
+
+def run_kernel_matrix(scale: str, seed: int, reps: int | None = None) -> list[dict]:
+    """Per-reducer microbenchmark rows (kind="kernel"), planned vs unplanned.
+
+    Each row times one forward+backward through a single reduction kernel
+    on a synthetic index structure.  The *planned* variant reuses a
+    prebuilt :class:`repro.tensor.plans.ReductionPlan` (the steady-state
+    hot path once the plan cache is warm); the *unplanned* variant builds
+    an ephemeral plan per call (the cold path).  Rows share the
+    ``repro.bench/2`` config schema so the --check-against gate covers
+    them, and add ``ns_per_element``/``planned`` for kernel-level reading.
+    """
+    import numpy as np
+
+    from repro.tensor import Tensor
+    from repro.tensor import scatter as sc
+    from repro.tensor.plans import ReductionPlan
+
+    E, n, dim = KERNEL_SIZES.get(scale, KERNEL_SIZES["small"])
+    reps = reps if reps is not None else (5 if scale == "tiny" else 9)
+    rng = np.random.default_rng(seed)
+    index = rng.integers(0, n, size=E, dtype=np.int64)
+    values = rng.standard_normal((E, dim))
+    g_out = rng.standard_normal((n, dim))
+    g_edge = rng.standard_normal((E, dim))
+    index_plan = ReductionPlan.from_index(index, n)
+    offsets, order = index_plan.offsets, index_plan.gather
+    segment_plan = ReductionPlan.from_segments(offsets, order, E)
+
+    def scatter_case(op, plan):
+        fn = getattr(sc, op)
+        grad = g_edge if op == "scatter_softmax" else g_out
+
+        def run():
+            out = fn(Tensor(values, requires_grad=True), index, n, plan=plan)
+            out.backward(grad)
+        return run
+
+    def segment_case(reducer, plan):
+        def run():
+            out = sc.segment_reduce_csr(Tensor(values, requires_grad=True),
+                                        offsets, order, reducer, plan=plan)
+            out.backward(g_out)
+        return run
+
+    rows = []
+    for op in KERNEL_OPS:
+        for planned in (True, False):
+            if op.startswith("segment_"):
+                case = segment_case(op.split("_", 1)[1],
+                                    segment_plan if planned else None)
+            else:
+                case = scatter_case(op, index_plan if planned else None)
+            case()  # warmup: builds the plan's lazy matrices untimed
+            obs.reset()
+            seconds = []
+            for _ in range(reps):
+                start = time.perf_counter()
+                case()
+                seconds.append(time.perf_counter() - start)
+            work = obs.work_snapshot()
+            median = statistics.median(seconds)
+            variant = "planned" if planned else "unplanned"
+            rows.append({
+                "name": f"kernel-{op}-{variant}",
+                "model": op,
+                "dataset": "synthetic",
+                "scale": scale,
+                "kind": "kernel",
+                "strategy": variant,
+                "planned": planned,
+                "epochs": reps,
+                "median_epoch_seconds": median,
+                "p90_epoch_seconds": _percentile(seconds, 90),
+                "peak_materialized_bytes":
+                    obs.counter("scatter.materialized_bytes").peak,
+                "time_basis": "wall",
+                "total_flops": work["flops"],
+                "total_bytes": work["bytes_read"] + work["bytes_written"],
+                "peak_flops_per_sec": (
+                    (work["flops"] / reps) / median if median > 0 else 0.0
+                ),
+                "elements": E * dim,
+                "ns_per_element": median * 1e9 / (E * dim),
+            })
+            print(f"  {rows[-1]['name']:<36} median {median * 1e6:8.1f} us  "
+                  f"{rows[-1]['ns_per_element']:7.2f} ns/elem")
+    return rows
+
+
+def plan_cache_regressions(report: dict,
+                           tolerance: float = DEFAULT_TOLERANCE) -> list[str]:
+    """Intra-report plan-cache check over kernel rows.
+
+    A *planned* kernel slower than its *unplanned* sibling beyond
+    ``tolerance`` means plan reuse stopped paying for itself — a
+    plan-cache regression even when absolute times look fine (e.g. both
+    sped up, but planning now adds overhead instead of removing it).
+    """
+    rows = {row["name"]: row for row in report.get("configs", [])
+            if row.get("kind") == "kernel"}
+    regressions = []
+    for name, row in sorted(rows.items()):
+        if not name.endswith("-planned"):
+            continue
+        sibling = rows.get(name[: -len("planned")] + "unplanned")
+        if sibling is None:
+            continue
+        ratio = row["median_epoch_seconds"] / sibling["median_epoch_seconds"]
+        if ratio > 1.0 + tolerance:
+            regressions.append(
+                f"{name}: planned kernel is {ratio:.2f}x the unplanned "
+                f"median (plan-cache regression, tolerance "
+                f"{1.0 + tolerance:.2f}x)"
+            )
+    return regressions
+
+
 def validate_report(report: dict) -> None:
     """Raise ValueError when the report violates the bench schema."""
     schema = report.get("schema")
@@ -297,6 +422,9 @@ def compare_reports(fresh: dict, baseline: dict,
             )
         else:
             print(f"  [compare] {row['name']}: {ratio:.2f}x vs baseline, ok")
+    # Plan-cache gate: planned kernel rows must beat (or match, within
+    # tolerance) their unplanned siblings in the fresh report.
+    regressions.extend(plan_cache_regressions(fresh, tolerance))
     return regressions
 
 
@@ -313,6 +441,9 @@ def main(argv: list[str] | None = None) -> int:
                         help=f"output JSON path (default {DEFAULT_OUTPUT})")
     parser.add_argument("--chrome-trace", metavar="PATH",
                         help="also write a merged Chrome trace of every config")
+    parser.add_argument("--kernels", action="store_true",
+                        help="also run the per-reducer kernel microbenchmark "
+                             "(planned vs unplanned rows, kind='kernel')")
     parser.add_argument("--check-against", metavar="BASELINE",
                         help="compare against a committed baseline report "
                              "and exit 1 on median epoch-time regression")
@@ -327,6 +458,10 @@ def main(argv: list[str] | None = None) -> int:
           f"{len(MATRIX)} configs, scale={scale}, {epochs} epochs each")
     report = run_matrix(scale, epochs, args.seed,
                         chrome_trace=args.chrome_trace)
+    if args.kernels:
+        print(f"kernel microbenchmark: {len(KERNEL_OPS)} reducers, "
+              f"planned vs unplanned")
+        report["configs"].extend(run_kernel_matrix(scale, args.seed))
     validate_report(report)
     with open(args.output, "w") as fh:
         json.dump(report, fh, indent=1)
