@@ -102,13 +102,22 @@ class MetapathHDGMaintainer:
         self._n = graph.num_vertices
         # Per-metapath instance rows kept sorted by row key, with the key
         # array alongside — set operations then cost O(delta log total)
-        # instead of re-sorting millions of rows per change batch.
+        # instead of re-sorting millions of rows per change batch.  Rows
+        # are canonical (deduplicated); parallel-edge multiplicity lives
+        # in the aligned ``_counts`` array, so multigraph instance counts
+        # match :func:`match_length3_metapath` exactly (an instance
+        # ``a -> b -> c`` exists once per (copy of a->b, copy of b->c)
+        # pair).
         self._rows: list[np.ndarray] = []
         self._keys: list[np.ndarray] = []
+        self._counts: list[np.ndarray] = []
         for mp in self.metapaths:
-            rows = _canonical(match_length3_metapath(graph, mp))
+            rows, counts = _canonical_with_counts(
+                match_length3_metapath(graph, mp)
+            )
             self._rows.append(rows)
             self._keys.append(_row_keys(rows, self._n))
+            self._counts.append(counts)
         #: instances recomputed by the last apply_edge_changes call
         self.last_delta = 0
         #: roots whose instance set the last apply_edge_changes touched —
@@ -124,11 +133,26 @@ class MetapathHDGMaintainer:
     # ------------------------------------------------------------------
     @property
     def num_instances(self) -> int:
-        return int(sum(block.shape[0] for block in self._rows))
+        """Total instance count, parallel-edge multiplicity included."""
+        return int(sum(int(c.sum()) for c in self._counts))
 
     def build_hdg(self) -> HDG:
-        """Compact the current instance set into an HDG."""
-        blocks = [b for b in self._rows if b.size]
+        """Compact the current instance set into an HDG.
+
+        Canonical rows are expanded by their multiplicity so the result
+        is row-for-row identical (as a multiset) to
+        ``build_metapath_hdg`` on the current graph.
+        """
+        blocks: list[np.ndarray] = []
+        type_id_parts: list[np.ndarray] = []
+        for i, (rows, counts) in enumerate(zip(self._rows, self._counts)):
+            if rows.size == 0:
+                continue
+            expanded = np.repeat(rows, counts, axis=0)
+            if expanded.size == 0:
+                continue
+            blocks.append(expanded)
+            type_id_parts.append(np.full(expanded.shape[0], i, dtype=np.int64))
         if not blocks:
             empty = np.empty(0, dtype=np.int64)
             return hdg_from_instance_arrays(
@@ -137,10 +161,7 @@ class MetapathHDGMaintainer:
                 empty, empty, empty, empty, self.graph.num_vertices,
             )
         instances = np.concatenate(blocks, axis=0)
-        type_ids = np.concatenate([
-            np.full(b.shape[0], i, dtype=np.int64)
-            for i, b in enumerate(self._rows) if b.size
-        ])
+        type_ids = np.concatenate(type_id_parts)
         return hdg_from_instance_arrays(
             self.schema,
             np.arange(self.graph.num_vertices, dtype=np.int64),
@@ -182,42 +203,63 @@ class MetapathHDGMaintainer:
             new_graph = new_graph.with_edges_added(added)
         delta = 0
         touched: list[np.ndarray] = []
+        changed = (
+            np.unique(np.concatenate([added, removed], axis=0), axis=0)
+            if added.size or removed.size
+            else np.empty((0, 2), dtype=np.int64)
+        )
         for i, mp in enumerate(self.metapaths):
-            rows, keys = self._rows[i], self._keys[i]
-            if removed.size:
-                # Instances that used a removed edge, matched in the OLD
-                # graph — minus any that survive via a parallel edge in
-                # the new graph.
-                gone = _canonical(instances_through_edges(old_graph, mp, removed))
-                if gone.size:
-                    survivors = _canonical(
-                        instances_through_edges(new_graph, mp, removed)
-                    )
-                    gone_keys = np.setdiff1d(
-                        _row_keys(gone, self._n), _row_keys(survivors, self._n)
-                    )
-                    if gone_keys.size:
-                        pos, found = _positions_of(keys, gone_keys)
-                        if found.any():
-                            touched.append(rows[pos[found], 0])
-                            mask = np.ones(keys.size, dtype=bool)
-                            mask[pos[found]] = False
-                            rows, keys = rows[mask], keys[mask]
-                            delta += int(found.sum())
-            if added.size:
-                fresh = _canonical(instances_through_edges(new_graph, mp, added))
-                if fresh.size:
-                    fresh_keys = _row_keys(fresh, self._n)
-                    _pos, exists = _positions_of(keys, fresh_keys)
-                    new_rows = fresh[~exists]
-                    if new_rows.size:
-                        new_keys = fresh_keys[~exists]
-                        insert_at = np.searchsorted(keys, new_keys)
-                        rows = np.insert(rows, insert_at, new_rows, axis=0)
-                        keys = np.insert(keys, insert_at, new_keys)
-                        delta += new_rows.shape[0]
-                        touched.append(new_rows[:, 0])
-            self._rows[i], self._keys[i] = rows, keys
+            rows, keys, counts = self._rows[i], self._keys[i], self._counts[i]
+            if changed.size == 0:
+                continue
+            # Every canonical instance whose multiplicity may have moved:
+            # instances traversing a changed edge in either the old graph
+            # (a removed copy) or the new one (an added copy).
+            affected = _set_union(
+                instances_through_edges(old_graph, mp, changed),
+                instances_through_edges(new_graph, mp, changed),
+            )
+            if affected.size == 0:
+                self._rows[i], self._keys[i], self._counts[i] = rows, keys, counts
+                continue
+            # New multiplicity of a -> b -> c is the product of the two
+            # parallel-edge counts in the evolved graph — exactly how
+            # match_length3_metapath's edge join counts it.
+            new_counts = (
+                new_graph.edge_multiplicity(affected[:, :2])
+                * new_graph.edge_multiplicity(affected[:, 1:])
+            )
+            affected_keys = _row_keys(affected, self._n)
+            pos, found = _positions_of(keys, affected_keys)
+            old_counts = np.zeros(affected_keys.size, dtype=np.int64)
+            old_counts[found] = counts[pos[found]]
+            moved = new_counts != old_counts
+            if not moved.any():
+                self._rows[i], self._keys[i], self._counts[i] = rows, keys, counts
+                continue
+            delta += int(np.abs(new_counts - old_counts)[moved].sum())
+            touched.append(affected[moved, 0])
+            # Update surviving rows' counts in place (positions valid
+            # before any removal shifts them).
+            update = found & moved & (new_counts > 0)
+            if update.any():
+                counts = counts.copy()
+                counts[pos[update]] = new_counts[update]
+            # Drop rows whose last parallel copy disappeared.
+            drop = found & (new_counts == 0)
+            if drop.any():
+                mask = np.ones(keys.size, dtype=bool)
+                mask[pos[drop]] = False
+                rows, keys, counts = rows[mask], keys[mask], counts[mask]
+            # Insert brand-new rows (sorted; _set_union output is
+            # lexicographically sorted so the keys are ascending).
+            insert = (~found) & (new_counts > 0)
+            if insert.any():
+                insert_at = np.searchsorted(keys, affected_keys[insert])
+                rows = np.insert(rows, insert_at, affected[insert], axis=0)
+                keys = np.insert(keys, insert_at, affected_keys[insert])
+                counts = np.insert(counts, insert_at, new_counts[insert])
+            self._rows[i], self._keys[i], self._counts[i] = rows, keys, counts
         self.graph = new_graph
         self.last_delta = delta
         self.last_touched_roots = (
@@ -232,6 +274,19 @@ def _canonical(instances: np.ndarray) -> np.ndarray:
     if instances.size == 0:
         return instances.reshape(0, 3)
     return np.unique(instances, axis=0)
+
+
+def _canonical_with_counts(instances: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Sorted, deduplicated rows plus per-row multiplicity.
+
+    ``np.unique(axis=0)`` sorts lexicographically, which coincides with
+    ``_row_keys`` order (the key is monotone in ``(a, b, c)``), so the
+    returned rows align with a sorted key array.
+    """
+    if instances.size == 0:
+        return instances.reshape(0, 3), np.empty(0, dtype=np.int64)
+    rows, counts = np.unique(instances, axis=0, return_counts=True)
+    return rows, counts.astype(np.int64)
 
 
 def _row_keys(block: np.ndarray, n: int) -> np.ndarray:

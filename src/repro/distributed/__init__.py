@@ -13,14 +13,18 @@ from .fault_tolerance import (
     RecoveryEvent,
     WorkerFailure,
 )
-from .comm import CommConfig, SimulatedComm
+from .comm import Comm, CommConfig, ProcessComm, SimulatedComm
+from .kvstore import KVStore, SharedArray
 from .minibatch import DistributedMiniBatchStats, DistributedMiniBatchTrainer
 from .pipeline import CommPlan, DependencyStats, dependency_stats, plan_layer_comm
+from .runtime import MultiprocessEpochStats, MultiprocessTrainer
 from .trainer import DistributedEpochStats, DistributedTrainer
 from .worker import Worker
 
 __all__ = [
-    "CommConfig", "SimulatedComm",
+    "Comm", "CommConfig", "SimulatedComm", "ProcessComm",
+    "KVStore", "SharedArray",
+    "MultiprocessTrainer", "MultiprocessEpochStats",
     "DependencyStats", "dependency_stats", "CommPlan", "plan_layer_comm",
     "Worker",
     "DistributedTrainer", "DistributedEpochStats",

@@ -1,13 +1,26 @@
-"""Simulated MPI communicator with a latency/bandwidth cost model.
+"""The ``Comm`` abstraction: one accounting interface, two backends.
 
-The paper's testbed is a 16-machine cluster with 3.25 GB/s NICs; no
-cluster is available here, so the distributed runtime executes all
-workers in one process and *models* network time.  The model is the
-standard alpha-beta one: a message of ``b`` bytes costs
-``alpha + b / beta`` seconds, and each worker's per-step communication
-time is the sum over messages it sends plus receives (workers send and
-receive concurrently with respect to each other, but serially with
-respect to their own messages — a conservative, standard assumption).
+Every distributed code path talks to a :class:`Comm`:
+
+* :class:`SimulatedComm` — the deterministic test harness.  The paper's
+  testbed is a 16-machine cluster with 3.25 GB/s NICs; when no cluster
+  is available the runtime executes all workers in one process and
+  *models* network time with the standard alpha-beta model: a message of
+  ``b`` bytes costs ``alpha + b / beta`` seconds, and each worker's
+  per-step communication time is the sum over messages it sends plus
+  receives (workers send and receive concurrently with respect to each
+  other, but serially with respect to their own messages — a
+  conservative, standard assumption).
+* :class:`ProcessComm` — the real multi-process backend used by
+  :class:`~repro.distributed.runtime.MultiprocessTrainer`.  Workers are
+  OS processes; synchronization is a :class:`multiprocessing.Barrier`
+  and reductions run over shared-memory numpy slabs
+  (:meth:`ProcessComm.reduce_slabs` is a ring-style reduce-scatter:
+  each rank owns one contiguous chunk and sums it across worker slabs
+  in rank order, so the result is bitwise deterministic; the all-gather
+  half is free because the output lives in shared memory).  It keeps
+  the same byte/message accounting so traces and epoch logs carry
+  comparable traffic totals.
 
 Bandwidth defaults are scaled down consistently with the dataset scale so
 compute and communication remain comparable, matching the compute/comm
@@ -16,16 +29,25 @@ ratios the paper's optimizations (batching, overlap) act on.
 
 from __future__ import annotations
 
+import multiprocessing as mp
+import time
 from dataclasses import dataclass
 
 import numpy as np
 
 from ..obs import counter as _obs_counter
 
-__all__ = ["CommConfig", "SimulatedComm", "BYTES_COUNTER", "MESSAGES_COUNTER"]
+__all__ = [
+    "CommConfig",
+    "Comm",
+    "SimulatedComm",
+    "ProcessComm",
+    "BYTES_COUNTER",
+    "MESSAGES_COUNTER",
+]
 
-#: obs counters fed by every simulated cross-worker send, so traces carry
-#: global traffic totals without the caller having to thread them through.
+#: obs counters fed by every cross-worker send, so traces carry global
+#: traffic totals without the caller having to thread them through.
 BYTES_COUNTER = "comm.bytes"
 MESSAGES_COUNTER = "comm.messages"
 
@@ -49,8 +71,15 @@ class _WorkerTraffic:
     recv_messages: int = 0
 
 
-class SimulatedComm:
-    """Per-superstep message accounting across ``k`` simulated workers."""
+class Comm:
+    """Per-superstep message accounting across ``k`` workers.
+
+    The accounting and the alpha-beta cost model are backend-independent:
+    the simulated backend uses :meth:`worker_step_time` as the *actual*
+    communication time, the multiprocess backend records the same byte
+    and message totals next to measured wall-clock synchronization time
+    so the two runtimes produce comparable traces.
+    """
 
     def __init__(self, k: int, config: CommConfig | None = None):
         if k <= 0:
@@ -99,3 +128,132 @@ class SimulatedComm:
         steps = 2 * (self.k - 1)
         chunk = nbytes / self.k
         return steps * self.config.message_time(chunk, 1)
+
+    def allreduce_traffic(self, nbytes: float) -> tuple[float, int]:
+        """(bytes, messages) one worker moves in a ring allreduce of
+        ``nbytes`` — ``2 (k-1)`` chunk messages of ``nbytes / k`` each."""
+        if self.k == 1:
+            return 0.0, 0
+        steps = 2 * (self.k - 1)
+        return steps * nbytes / self.k, steps
+
+    # ------------------------------------------------------------------
+    # synchronization — no-ops for accounting-only backends
+    # ------------------------------------------------------------------
+    def barrier(self) -> float:
+        """Synchronize all workers; returns seconds spent waiting."""
+        return 0.0
+
+    def close(self) -> None:
+        """Release backend resources (no-op for in-process backends)."""
+
+
+class SimulatedComm(Comm):
+    """The deterministic single-process harness: pure accounting.
+
+    All workers run in one process; :meth:`Comm.worker_step_time` *is*
+    the communication time, so results are exactly reproducible.
+    """
+
+
+class ProcessComm(Comm):
+    """Real synchronization for ``k`` worker OS processes.
+
+    Created in the parent before the workers are spawned; the barrier
+    and its state travel to each worker through process inheritance (or
+    pickling under the ``spawn`` start method).  Each worker calls
+    :meth:`bind` with its rank once it is running.
+
+    Parameters
+    ----------
+    k:
+        Number of worker processes (the parent is *not* a barrier party;
+        it observes progress through result queues so a dead worker is
+        detected by liveness polling, not by a broken barrier).
+    config:
+        Cost model used for the byte/message *accounting* columns; the
+        measured times are wall clocks.
+    ctx:
+        ``multiprocessing`` context; defaults to ``fork`` where
+        available (zero-copy inheritance), else the platform default.
+    timeout:
+        Seconds a worker waits at a barrier before giving up; a broken
+        or timed-out barrier means a peer died and the epoch is
+        abandoned (the parent detects the death independently).
+    """
+
+    def __init__(self, k: int, config: CommConfig | None = None, *,
+                 ctx: mp.context.BaseContext | None = None,
+                 timeout: float = 120.0):
+        super().__init__(k, config)
+        if ctx is None:
+            try:
+                ctx = mp.get_context("fork")
+            except ValueError:  # pragma: no cover - non-posix platforms
+                ctx = mp.get_context()
+        self.ctx = ctx
+        self.timeout = float(timeout)
+        self._barrier = ctx.Barrier(k)
+        self.rank: int | None = None
+
+    def bind(self, rank: int) -> None:
+        """Attach this (per-process) copy to a worker rank."""
+        if not (0 <= rank < self.k):
+            raise ValueError("rank out of range")
+        self.rank = rank
+
+    def barrier(self) -> float:
+        """Wait for all ``k`` workers; returns measured seconds waited.
+
+        Raises :class:`threading.BrokenBarrierError` when a peer died or
+        the timeout elapsed — callers abandon the epoch and let the
+        parent heal the pool.
+        """
+        start = time.perf_counter()
+        self._barrier.wait(self.timeout)
+        return time.perf_counter() - start
+
+    def reset(self) -> None:
+        """Replace the barrier before respawning workers.
+
+        A worker killed *inside* ``wait()`` leaves its party registered
+        forever, so the old barrier can stay in the draining state no
+        matter how it is reset — a fresh one is the only safe recovery.
+        Only call between pools: workers receive the barrier at spawn.
+        """
+        self._barrier = self.ctx.Barrier(self.k)
+
+    def reduce_slabs(self, slabs: list[np.ndarray], out: np.ndarray,
+                     rank: int | None = None) -> None:
+        """Ring-style reduce-scatter over shared-memory slabs.
+
+        Rank ``r`` owns the ``r``-th contiguous chunk of the flattened
+        output and sums that chunk across every worker's slab *in rank
+        order* — a fixed reduction order, so the result is bitwise
+        deterministic regardless of process scheduling.  Because ``out``
+        is shared memory, the all-gather half of the ring is free; the
+        caller supplies the barriers around the reduction.
+        """
+        if rank is None:
+            rank = self.rank
+        if rank is None:
+            raise RuntimeError("reduce_slabs needs a bound rank")
+        if len(slabs) != self.k:
+            raise ValueError(f"expected {self.k} slabs, got {len(slabs)}")
+        flat_out = out.reshape(-1)
+        size = flat_out.size
+        bounds = np.linspace(0, size, self.k + 1).astype(np.int64)
+        lo, hi = int(bounds[rank]), int(bounds[rank + 1])
+        if lo == hi:
+            return
+        acc = np.array(slabs[0].reshape(-1)[lo:hi], dtype=flat_out.dtype)
+        for r in range(1, self.k):
+            acc += slabs[r].reshape(-1)[lo:hi]
+        flat_out[lo:hi] = acc
+
+    def close(self) -> None:
+        """Abort the barrier so any straggler wait fails fast."""
+        try:
+            self._barrier.abort()
+        except Exception:  # pragma: no cover - teardown best effort
+            pass

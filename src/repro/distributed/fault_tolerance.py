@@ -18,6 +18,7 @@ Failures are injected deterministically for testing via a
 
 from __future__ import annotations
 
+import bisect
 import os
 from dataclasses import dataclass
 
@@ -83,7 +84,12 @@ class CheckpointManager:
         if (epoch + 1) % self.interval != 0:
             return False
         save_checkpoint(state, self._path(epoch), {"epoch": epoch, **(metadata or {})})
-        self._epochs.append(epoch)
+        # Replayed epochs (post-recovery) re-save the same epoch number:
+        # keep the retention list deduplicated and sorted, otherwise the
+        # pruning loop pops the duplicate instead of an older checkpoint
+        # and silently retains more files than ``keep``.
+        if epoch not in self._epochs:
+            bisect.insort(self._epochs, epoch)
         while len(self._epochs) > self.keep:
             stale = self._epochs.pop(0)
             path = self._path(stale)
@@ -110,6 +116,10 @@ class FaultTolerantTrainer:
         self.trainer = trainer
         self.checkpoints = CheckpointManager(checkpoint_dir, interval, keep)
         self.recoveries: list[RecoveryEvent] = []
+        # Pre-training model + optimizer snapshot, captured at train()
+        # entry: the no-checkpoint recovery path restores it so a
+        # "restart from scratch" really is bit-identical to a fresh run.
+        self._initial_state: tuple[dict, dict] | None = None
 
     def train(
         self,
@@ -132,14 +142,32 @@ class FaultTolerantTrainer:
         """
         failure_schedule = dict(failure_schedule or {})
         history: list[DistributedEpochStats] = []
+        self._initial_state = (
+            {k: np.copy(v) for k, v in self.trainer.model.state_dict().items()},
+            {k: np.copy(v) for k, v in optimizer.state_dict().items()},
+        )
         epoch = 0
         while epoch < num_epochs:
             if epoch in failure_schedule:
                 worker_id = failure_schedule.pop(epoch)
-                self._recover(WorkerFailure(worker_id, epoch), optimizer, history)
+                if hasattr(self.trainer, "inject_failure"):
+                    # Multiprocess runtime: kill the real worker process;
+                    # the epoch attempt below raises WorkerFailure.
+                    self.trainer.inject_failure(worker_id)
+                else:
+                    self._recover(
+                        WorkerFailure(worker_id, epoch), optimizer, history
+                    )
+                    epoch = len(history)
+                    continue
+            try:
+                stats = self.trainer.train_epoch(
+                    feats, labels, optimizer, mask, epoch
+                )
+            except WorkerFailure as failure:
+                self._recover(failure, optimizer, history)
                 epoch = len(history)
                 continue
-            stats = self.trainer.train_epoch(feats, labels, optimizer, mask, epoch)
             history.append(stats)
             combined = {
                 f"model/{k}": v for k, v in self.trainer.model.state_dict().items()
@@ -157,7 +185,18 @@ class FaultTolerantTrainer:
         loaded = self.checkpoints.load_latest()
         if loaded is None:
             restored_epoch = -1
-            # Nothing saved yet: restart from scratch.
+            # Nothing saved yet: restart from scratch by restoring the
+            # state snapshotted at train() entry — merely clearing grads
+            # would keep the partially-trained weights and make the
+            # "fresh" rerun diverge from an actual fresh run.
+            if self._initial_state is not None:
+                model_state, opt_state = self._initial_state
+                self.trainer.model.load_state_dict(
+                    {k: np.copy(v) for k, v in model_state.items()}
+                )
+                optimizer.load_state_dict(
+                    {k: np.copy(v) for k, v in opt_state.items()}
+                )
             for p in self.trainer.model.parameters():
                 p.grad = None
         else:
@@ -177,6 +216,10 @@ class FaultTolerantTrainer:
             self.trainer.workers[failure.worker_id].attach_hdg(
                 self.trainer._model_hdg
             )
+        # Multiprocess runtime: respawn the worker pool (the dead
+        # process took its peers' barrier down with it).
+        if hasattr(self.trainer, "heal"):
+            self.trainer.heal()
         replayed = len(history) - (restored_epoch + 1)
         del history[restored_epoch + 1 :]
         self.recoveries.append(

@@ -156,7 +156,7 @@ class DistributedMiniBatchTrainer:
                 remote = input_vertices[self.labels_part[input_vertices] != w]
                 if remote.size:
                     owners = self.labels_part[remote]
-                    feat_bytes = int(feats.shape[1]) * 8
+                    feat_bytes = int(feats.shape[1]) * feats.data.dtype.itemsize
                     for src_w in np.unique(owners):
                         count = int((owners == src_w).sum())
                         comm.send(int(src_w), w, count * feat_bytes, messages=1)

@@ -1,0 +1,661 @@
+"""The real multi-process distributed runtime (ROADMAP item 2).
+
+:class:`MultiprocessTrainer` runs the k workers of the shared-nothing
+cluster as real OS processes.  Each worker executes exactly the
+per-partition computation :class:`~repro.distributed.trainer.DistributedTrainer`
+runs serially today — sliced HDG aggregation + update over its
+``Worker.sub_hdg``, with the process-global plan cache warm across
+epochs — so the two runtimes are numerically interchangeable; the
+difference is that here layer synchronization, gradient reduction and
+epoch times are *wall clock*, not modeled.
+
+Data movement
+-------------
+Everything bulk lives in ``multiprocessing.shared_memory`` (zero-copy
+numpy views, see :mod:`repro.distributed.kvstore`):
+
+* ``feat/{w}`` KV keys — the partitioned input features, one shard per
+  owning worker; every worker assembles its full input copy once at
+  startup (remote shards are the bytes a real cluster would ship).
+* ``param/{i}`` KV keys — the replicated model state.  The parent
+  writes fresh parameters and bumps the KV version before dispatching
+  each epoch; workers pull the batch and assert the version.
+* ``h{l}`` / ``g{l}`` buffers — one (n, d_l) float64 activation and
+  gradient buffer per layer boundary.  Forward: each worker writes its
+  root rows, barriers, reads the full buffer as the next layer's input.
+  Backward: each worker writes its full dh contribution to its slab,
+  barriers, and the deterministic chunk reduction
+  (:meth:`ProcessComm.reduce_slabs`) sums slabs in rank order.
+* ``pslab``/``pbuf`` — flattened parameter-gradient slabs reduced the
+  same way; the parent unflattens ``pbuf`` and steps the single
+  optimizer, so the model update is exactly the data-parallel sum.
+
+The parent is **not** a barrier party: it observes progress through a
+result queue and polls worker liveness, so a dead process surfaces as
+:class:`~repro.distributed.fault_tolerance.WorkerFailure` within a
+fraction of a second instead of a barrier timeout.  ``heal()`` resets
+the barrier and respawns the pool, which is what
+:class:`FaultTolerantTrainer` calls before replaying lost epochs.
+
+Per-process observability registries are merged at epoch end: workers
+ship their ``dist.compute`` / ``dist.comm`` span records through the
+result queue and the parent ingests them via ``Registry.merge_spans``.
+"""
+
+from __future__ import annotations
+
+import os
+import queue as queue_mod
+import time
+import traceback
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .. import obs
+from ..core.hdg import HDG
+from ..core.hybrid import ExecutionStrategy
+from ..core.nau import NAUModel, SelectionScope
+from ..tensor.loss import cross_entropy
+from ..tensor.optim import Optimizer
+from ..tensor.tensor import Tensor
+from .comm import BYTES_COUNTER, MESSAGES_COUNTER, CommConfig, ProcessComm
+from .fault_tolerance import WorkerFailure
+from .kvstore import KVStore, SharedArray
+from .worker import Worker
+
+__all__ = ["MultiprocessEpochStats", "MultiprocessTrainer"]
+
+
+@dataclass
+class MultiprocessEpochStats:
+    """Wall-clock timing of one multiprocess epoch."""
+
+    epoch: int
+    loss: float
+    wall_seconds: float
+    compute_seconds: np.ndarray      # per worker, measured in-process
+    comm_seconds: np.ndarray         # per worker, barrier + reduction waits
+    total_bytes: float               # cross-partition traffic (accounted)
+    total_messages: int
+    backend: str = "process"
+
+
+@dataclass
+class _WorkerSpec:
+    """Everything a worker process needs; travels via ``Process`` args.
+
+    Under the default ``fork`` context the child inherits the parent's
+    already-attached shared segments, so nothing here re-attaches; under
+    ``spawn`` the queues/barrier go through multiprocessing's reducer and
+    the :class:`SharedArray` descriptors re-attach lazily.
+    """
+
+    rank: int
+    k: int
+    model: NAUModel
+    labels_part: np.ndarray
+    strategy: ExecutionStrategy
+    comm: ProcessComm
+    kv: KVStore
+    hbufs: dict            # boundary l (1..L) -> SharedArray (n, d_l)
+    gbufs: dict            # boundary l (1..L) -> SharedArray (n, d_l)
+    hslabs: list           # per rank, flat scratch for dh reduction
+    pslabs: list           # per rank, flat parameter-grad slab
+    pbuf: SharedArray      # reduced parameter gradient
+    inbox: object          # task queue (this rank only)
+    result_q: object       # shared result queue
+    param_keys: list = field(default_factory=list)
+
+
+def _partition_vertex_lists(labels_part: np.ndarray, k: int) -> list[np.ndarray]:
+    return [np.flatnonzero(labels_part == w) for w in range(k)]
+
+
+class _WorkerRuntime:
+    """The per-process worker loop (runs inside the child)."""
+
+    def __init__(self, spec: _WorkerSpec):
+        self.spec = spec
+        self.rank = spec.rank
+        self.k = spec.k
+        self.model = spec.model
+        self.comm = spec.comm
+        self.kv = spec.kv
+        self.root_orders = np.flatnonzero(spec.labels_part == spec.rank)
+        self.sub_hdg: HDG | None = None
+        #: unique remote leaves per owning rank (filled on HDG arrival)
+        self._leaf_counts = np.zeros(spec.k, dtype=np.int64)
+        self.X: np.ndarray | None = None
+        self._startup_bytes = 0.0
+        self._startup_messages = 0
+
+    # ------------------------------------------------------------------
+    def run(self) -> None:
+        while True:
+            msg = self.spec.inbox.get()
+            tag = msg[0]
+            if tag == "stop":
+                return
+            if tag == "die":
+                # Failure injection: die the way a segfault would — no
+                # cleanup, no exception, just a vanished process.
+                os._exit(1)
+            if tag == "epoch":
+                self._run_epoch(msg[1])
+
+    # ------------------------------------------------------------------
+    def _fetch_features(self) -> None:
+        """Assemble the full input matrix from the per-partition shards.
+
+        Remote shards are the startup traffic a shared-nothing cluster
+        pays once (layer-0 inputs are static, so they are fetched once
+        and cached, unlike hidden activations which move every epoch).
+        """
+        parts = _partition_vertex_lists(self.spec.labels_part, self.k)
+        with obs.span("dist.feat_fetch", worker=self.rank):
+            first = self.kv.get("feat/0")
+            n = int(self.spec.labels_part.size)
+            X = np.empty((n, first.shape[1]), dtype=first.dtype)
+            for src in range(self.k):
+                shard = self.kv.get(f"feat/{src}")
+                X[parts[src]] = shard
+                if src != self.rank:
+                    self._startup_bytes += shard.nbytes
+                    self._startup_messages += 1
+        self.X = X
+
+    def _attach_hdg(self, sub_hdg: HDG) -> None:
+        self.sub_hdg = sub_hdg
+        leaves = np.unique(sub_hdg.leaf_vertices)
+        owners = self.spec.labels_part[leaves]
+        self._leaf_counts = np.bincount(owners, minlength=self.k).astype(np.int64)
+
+    def _remote_read_traffic(self, width: int, itemsize: int) -> tuple[float, int]:
+        """Bytes/messages this worker reads across partition boundaries
+        for one layer input (unique remote leaf rows, as the simulated
+        backend counts them)."""
+        nbytes = 0.0
+        messages = 0
+        for src in range(self.k):
+            if src == self.rank or self._leaf_counts[src] == 0:
+                continue
+            nbytes += float(self._leaf_counts[src]) * width * itemsize
+            messages += 1
+        return nbytes, messages
+
+    # ------------------------------------------------------------------
+    def _run_epoch(self, payload: dict) -> None:
+        epoch = int(payload["epoch"])
+        reg = obs.get_registry()
+        span_mark = len(reg.spans)
+        if payload.get("sub_hdg") is not None:
+            self._attach_hdg(payload["sub_hdg"])
+        if self.X is None:
+            self._fetch_features()
+        assert self.sub_hdg is not None, "epoch dispatched before any HDG"
+        if self.kv.version < payload["version"]:
+            raise RuntimeError(
+                f"worker {self.rank} sees kv version {self.kv.version}, "
+                f"epoch {epoch} needs {payload['version']}"
+            )
+
+        model = self.model
+        params = model.parameters()
+        state = self.kv.pull_batch(self.spec.param_keys)
+        for key, p in zip(self.spec.param_keys, params):
+            p.data[...] = state[key]
+        model.train()
+        model.zero_grad()
+
+        compute_s = 0.0
+        comm_s = 0.0
+        bytes_total = self._startup_bytes
+        messages_total = self._startup_messages
+        self._startup_bytes = 0.0
+        self._startup_messages = 0
+
+        layers = model.layers
+        num_layers = len(layers)
+        tapes: list[tuple[Tensor, Tensor]] = []
+
+        # -------------------------- forward ---------------------------
+        h_in = Tensor(self.X)
+        for l, layer in enumerate(layers):
+            read_bytes, read_msgs = self._remote_read_traffic(
+                int(h_in.data.shape[1]), h_in.data.dtype.itemsize
+            )
+            bytes_total += read_bytes
+            messages_total += read_msgs
+            with obs.span("dist.compute", worker=self.rank, layer=l,
+                          epoch=epoch, pid=os.getpid()) as s_cmp:
+                nbr = layer.aggregation(h_in, self.sub_hdg, self.spec.strategy)
+                out = layer.update(h_in[self.root_orders], nbr)
+            compute_s += s_cmp.duration
+            self.spec.hbufs[l + 1].array[self.root_orders] = out.data
+            wait = self.comm.barrier()
+            comm_s += wait
+            obs.record_span("dist.comm", wait, simulated=False,
+                            worker=self.rank, layer=l, epoch=epoch,
+                            phase="layer_sync", bytes=read_bytes)
+            tapes.append((h_in, out))
+            if l + 1 < num_layers:
+                # Stable until next epoch's forward overwrites it, so a
+                # zero-copy leaf view is safe for the whole backward.
+                h_in = Tensor(self.spec.hbufs[l + 1].array, requires_grad=True)
+
+        if self.rank == 0:
+            self.spec.result_q.put(("fwd", epoch))
+        msg = self.spec.inbox.get()
+        if msg[0] != "bwd":
+            if msg[0] == "die":
+                os._exit(1)
+            return  # "stop" mid-epoch: parent is tearing the pool down
+
+        # -------------------------- backward --------------------------
+        for l in range(num_layers - 1, -1, -1):
+            h_leaf, out = tapes[l]
+            gout = np.array(self.spec.gbufs[l + 1].array[self.root_orders])
+            with obs.span("dist.backward", worker=self.rank, layer=l,
+                          epoch=epoch) as s_bwd:
+                out.backward(gout)
+            compute_s += s_bwd.duration
+            if l == 0:
+                continue  # layer-0 input is the non-differentiable features
+            n, d = self.spec.gbufs[l].shape
+            slab = self.spec.hslabs[self.rank].array[: n * d].reshape(n, d)
+            if h_leaf.grad is None:
+                slab[...] = 0.0
+            else:
+                slab[...] = h_leaf.grad
+            wait = self.comm.barrier()
+            slabs = [
+                self.spec.hslabs[r].array[: n * d].reshape(n, d)
+                for r in range(self.k)
+            ]
+            self.comm.reduce_slabs(slabs, self.spec.gbufs[l].array, self.rank)
+            wait += self.comm.barrier()
+            comm_s += wait
+            red_bytes, red_msgs = self.comm.allreduce_traffic(n * d * 8)
+            bytes_total += red_bytes
+            messages_total += red_msgs
+            obs.record_span("dist.comm", wait, simulated=False,
+                            worker=self.rank, layer=l, epoch=epoch,
+                            phase="grad_reduce", bytes=red_bytes)
+
+        # --------------------- parameter gradients --------------------
+        pslab = self.spec.pslabs[self.rank].array
+        off = 0
+        for p in params:
+            size = p.data.size
+            g = p.grad
+            if g is None:
+                pslab[off:off + size] = 0.0
+            else:
+                pslab[off:off + size] = np.asarray(g, dtype=np.float64).ravel()
+            off += size
+        wait = self.comm.barrier()
+        self.comm.reduce_slabs(
+            [self.spec.pslabs[r].array for r in range(self.k)],
+            self.spec.pbuf.array, self.rank,
+        )
+        wait += self.comm.barrier()
+        comm_s += wait
+        red_bytes, red_msgs = self.comm.allreduce_traffic(pslab.size * 8)
+        bytes_total += red_bytes
+        messages_total += red_msgs
+        obs.record_span("dist.comm", wait, simulated=False,
+                        worker=self.rank, epoch=epoch,
+                        phase="param_allreduce", bytes=red_bytes)
+
+        spans = [s.to_dict() for s in reg.spans[span_mark:] if s.closed]
+        self.spec.result_q.put(("done", self.rank, {
+            "compute_seconds": compute_s,
+            "comm_seconds": comm_s,
+            "bytes": bytes_total,
+            "messages": messages_total,
+            "spans": spans,
+        }))
+
+
+def _worker_main(spec: _WorkerSpec) -> None:
+    # Fresh per-process registry: under fork the child inherits the
+    # parent's spans, which must not be shipped back a second time.
+    obs.reset()
+    spec.comm.bind(spec.rank)
+    try:
+        _WorkerRuntime(spec).run()
+    except BaseException:  # noqa: BLE001 - ship any failure to the parent
+        try:
+            spec.result_q.put(("error", spec.rank, traceback.format_exc()))
+        except Exception:  # pragma: no cover - queue already torn down
+            pass
+
+
+class MultiprocessTrainer:
+    """Train a NAU model across ``k`` real worker processes.
+
+    Drop-in alongside :class:`DistributedTrainer` — same constructor
+    shape, same ``train_epoch`` signature, numerically matching loss and
+    gradients (see ``tests/test_multiprocess.py``) — but epoch times are
+    wall clock and worker death is a real observable failure.
+
+    Use as a context manager or call :meth:`close`; the shared-memory
+    segments are owned by the parent and must be unlinked.
+    """
+
+    def __init__(
+        self,
+        model: NAUModel,
+        graph,
+        partition_labels: np.ndarray,
+        strategy: ExecutionStrategy | str = ExecutionStrategy.HA,
+        comm_config: CommConfig | None = None,
+        seed: int = 0,
+        ctx=None,
+        timeout: float = 120.0,
+    ):
+        self.model = model
+        self.graph = graph
+        self.labels_part = np.asarray(partition_labels, dtype=np.int64)
+        if self.labels_part.shape != (graph.num_vertices,):
+            raise ValueError("partition labels must cover every vertex")
+        self.k = int(self.labels_part.max()) + 1
+        self.strategy = ExecutionStrategy.parse(strategy)
+        self.comm_config = comm_config or CommConfig()
+        self.timeout = float(timeout)
+        self._rng = np.random.default_rng(seed)
+        self._model_hdg: HDG | None = None
+        self._hdg_epoch = -1
+        self.workers = [
+            Worker(w, np.flatnonzero(self.labels_part == w)) for w in range(self.k)
+        ]
+        self.comm = ProcessComm(self.k, self.comm_config, ctx=ctx,
+                                timeout=self.timeout)
+        self.ctx = self.comm.ctx
+        self.kv = KVStore(ctx=self.ctx)
+        self._param_keys = [
+            f"param/{i}" for i in range(len(self.model.parameters()))
+        ]
+        self._hbufs: dict[int, SharedArray] = {}
+        self._gbufs: dict[int, SharedArray] = {}
+        self._hslabs: list[SharedArray] = []
+        self._pslabs: list[SharedArray] = []
+        self._pbuf: SharedArray | None = None
+        self._procs: list | None = None
+        self._inboxes: list = []
+        self._result_q = None
+        self._hdg_dirty: set[int] = set()
+        self._die_next: set[int] = set()
+        self._started = False
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def _ensure_started(self, feats: Tensor | np.ndarray) -> None:
+        if self._started:
+            return
+        X = np.asarray(feats.data if isinstance(feats, Tensor) else feats)
+        if X.shape[0] != self.graph.num_vertices:
+            raise ValueError("features must cover every vertex")
+        n = X.shape[0]
+        # Feature shards: created before any worker exists (KV keys must
+        # pre-date the spawn — see repro.distributed.kvstore).
+        for w in range(self.k):
+            self.kv.set(f"feat/{w}", X[self.workers[w].root_orders])
+        for key, p in zip(self._param_keys, self.model.parameters()):
+            self.kv.set(key, p.data)
+        # Layer-boundary activation/gradient buffers (float64: hidden
+        # activations inherit the float64 parameter dtype).
+        dims = [layer.output_dim for layer in self.model.layers]
+        for l, d in enumerate(dims, start=1):
+            self._hbufs[l] = SharedArray((n, d), np.float64)
+            self._gbufs[l] = SharedArray((n, d), np.float64)
+        hidden = [n * d for d in dims[:-1]] or [1]
+        slab_size = max(hidden)
+        psize = sum(p.data.size for p in self.model.parameters())
+        for _ in range(self.k):
+            self._hslabs.append(SharedArray((slab_size,), np.float64))
+            self._pslabs.append(SharedArray((max(psize, 1),), np.float64))
+        self._pbuf = SharedArray((max(psize, 1),), np.float64)
+        self._started = True
+        self._spawn()
+
+    def _spawn(self) -> None:
+        self._inboxes = [self.ctx.Queue() for _ in range(self.k)]
+        self._result_q = self.ctx.Queue()
+        self._hdg_dirty = set(range(self.k))
+        self._procs = []
+        for rank in range(self.k):
+            spec = _WorkerSpec(
+                rank=rank, k=self.k, model=self.model,
+                labels_part=self.labels_part, strategy=self.strategy,
+                comm=self.comm, kv=self.kv,
+                hbufs=self._hbufs, gbufs=self._gbufs,
+                hslabs=self._hslabs, pslabs=self._pslabs, pbuf=self._pbuf,
+                inbox=self._inboxes[rank], result_q=self._result_q,
+                param_keys=self._param_keys,
+            )
+            proc = self.ctx.Process(target=_worker_main, args=(spec,),
+                                    daemon=True, name=f"repro-worker-{rank}")
+            proc.start()
+            self._procs.append(proc)
+        obs.event("dist.pool_spawned", k=self.k,
+                  pids=[p.pid for p in self._procs])
+
+    def _teardown_pool(self) -> None:
+        """Stop every worker process (barrier aborted so stragglers fail
+        fast); shared buffers and KV segments survive for a respawn."""
+        if self._procs is None:
+            return
+        self.comm.close()  # abort the barrier: unblock stuck workers
+        if self._result_q is not None:
+            try:
+                while True:
+                    self._result_q.get_nowait()
+            except (queue_mod.Empty, OSError, ValueError):
+                pass
+        for proc in self._procs:
+            if proc.is_alive():
+                proc.terminate()
+        for proc in self._procs:
+            proc.join(timeout=5.0)
+        self._procs = None
+
+    def heal(self) -> None:
+        """Respawn the worker pool after a failure (FT recovery path)."""
+        self._teardown_pool()
+        self.comm.reset()
+        if self._started:
+            self._spawn()
+
+    def inject_failure(self, worker_id: int) -> None:
+        """Arrange for ``worker_id`` to die (``os._exit``) at the start
+        of the next dispatched epoch — a real process death, not a
+        simulated exception."""
+        if not (0 <= worker_id < self.k):
+            raise ValueError("worker id out of range")
+        self._die_next.add(worker_id)
+
+    def close(self) -> None:
+        """Stop workers and unlink every shared-memory segment."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._procs is not None:
+            for inbox in self._inboxes:
+                try:
+                    inbox.put(("stop",))
+                except Exception:  # pragma: no cover
+                    pass
+            for proc in self._procs:
+                proc.join(timeout=3.0)
+            self._teardown_pool()
+        for buf in (*self._hbufs.values(), *self._gbufs.values(),
+                    *self._hslabs, *self._pslabs):
+            buf.close()
+        if self._pbuf is not None:
+            self._pbuf.close()
+        self.kv.close()
+
+    def __enter__(self) -> "MultiprocessTrainer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __del__(self):  # pragma: no cover - best effort
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    # ------------------------------------------------------------------
+    # training
+    # ------------------------------------------------------------------
+    def _ensure_hdg(self, epoch: int) -> HDG:
+        scope = self.model.selection_scope
+        stale = self._model_hdg is None or (
+            scope is SelectionScope.PER_EPOCH and self._hdg_epoch != epoch
+        )
+        if stale:
+            with obs.span("dist.neighbor_selection", epoch=epoch):
+                self._model_hdg = self.model.neighbor_selection(
+                    self.graph, self._rng
+                )
+            self._hdg_epoch = epoch
+            for worker in self.workers:
+                worker.attach_hdg(self._model_hdg)
+            self._hdg_dirty = set(range(self.k))
+        return self._model_hdg
+
+    def _check_liveness(self, epoch: int) -> None:
+        assert self._procs is not None
+        for rank, proc in enumerate(self._procs):
+            if not proc.is_alive():
+                self._teardown_pool()
+                raise WorkerFailure(rank, epoch)
+
+    def _await(self, tag: str, epoch: int, count: int) -> dict[int, dict]:
+        """Collect ``count`` messages of kind ``tag``, surfacing worker
+        death (liveness poll) or in-worker exceptions as they happen."""
+        results: dict[int, dict] = {}
+        deadline = time.monotonic() + self.timeout
+        while len(results) < count:
+            try:
+                msg = self._result_q.get(timeout=0.2)
+            except queue_mod.Empty:
+                self._check_liveness(epoch)
+                if time.monotonic() > deadline:
+                    self._teardown_pool()
+                    raise TimeoutError(
+                        f"workers did not reach {tag!r} within {self.timeout}s"
+                    )
+                continue
+            if msg[0] == "error":
+                rank, tb = msg[1], msg[2]
+                self._teardown_pool()
+                raise RuntimeError(f"worker {rank} failed:\n{tb}")
+            if msg[0] == tag:
+                if tag == "fwd":
+                    results[len(results)] = {}
+                else:
+                    results[msg[1]] = msg[2]
+        return results
+
+    def train_epoch(
+        self,
+        feats: Tensor,
+        labels: np.ndarray,
+        optimizer: Optimizer,
+        mask: np.ndarray | None = None,
+        epoch: int = 0,
+    ) -> MultiprocessEpochStats:
+        """One data-parallel full-batch epoch across real processes."""
+        t0 = time.perf_counter()
+        self.model.train()
+        self._ensure_started(feats)
+        if self._procs is None:
+            self._spawn()
+        self._ensure_hdg(epoch)
+
+        # Parameter sync: fresh replicated state, then bump the version
+        # the dispatched tasks will assert.
+        for key, p in zip(self._param_keys, self.model.parameters()):
+            self.kv.set(key, p.data)
+        version = self.kv.bump_version()
+
+        per_epoch = self.model.selection_scope is SelectionScope.PER_EPOCH
+        for rank in range(self.k):
+            if rank in self._die_next:
+                self._die_next.discard(rank)
+                self._inboxes[rank].put(("die",))
+                continue
+            sub = None
+            if rank in self._hdg_dirty:
+                sub = self.workers[rank].sub_hdg
+                self._hdg_dirty.discard(rank)
+            self._inboxes[rank].put(("epoch", {
+                "epoch": epoch, "version": version, "sub_hdg": sub,
+            }))
+        if per_epoch:
+            self._hdg_dirty = set(range(self.k))
+
+        # Forward runs worker-side; rank 0 signals the final barrier.
+        self._await("fwd", epoch, 1)
+        num_layers = len(self.model.layers)
+        logits = Tensor(np.array(self._hbufs[num_layers].array),
+                        requires_grad=True)
+        loss = cross_entropy(logits, labels, mask)
+        with obs.span("dist.backward", epoch=epoch, stage="loss"):
+            loss.backward()
+        self._gbufs[num_layers].array[...] = logits.grad
+        for rank in range(self.k):
+            self._inboxes[rank].put(("bwd", epoch))
+        results = self._await("done", epoch, self.k)
+
+        # Apply the reduced data-parallel gradient with the one optimizer.
+        optimizer.zero_grad()
+        flat = self._pbuf.array
+        off = 0
+        for p in self.model.parameters():
+            size = p.data.size
+            p.grad = flat[off:off + size].reshape(p.data.shape).copy()
+            off += size
+        optimizer.step()
+
+        compute = np.zeros(self.k)
+        comm = np.zeros(self.k)
+        total_bytes = 0.0
+        total_messages = 0
+        reg = obs.get_registry()
+        for rank in sorted(results):
+            stats = results[rank]
+            compute[rank] = stats["compute_seconds"]
+            comm[rank] = stats["comm_seconds"]
+            total_bytes += stats["bytes"]
+            total_messages += stats["messages"]
+            reg.merge_spans(stats["spans"])
+        obs.counter(BYTES_COUNTER).add(total_bytes)
+        obs.counter(MESSAGES_COUNTER).add(total_messages)
+
+        wall = time.perf_counter() - t0
+        obs.epoch_log().log(
+            epoch,
+            loss=loss.item(),
+            wall_seconds=wall,
+            bytes=total_bytes,
+            messages=total_messages,
+            backend="process",
+            workers=self.k,
+        )
+        return MultiprocessEpochStats(
+            epoch=epoch,
+            loss=loss.item(),
+            wall_seconds=wall,
+            compute_seconds=compute,
+            comm_seconds=comm,
+            total_bytes=total_bytes,
+            total_messages=total_messages,
+        )

@@ -183,7 +183,7 @@ class DistributedTrainer:
         effective_modes: set[str] = set()
 
         for layer_index, layer in enumerate(self.model.layers):
-            feat_bytes = int(h.shape[1]) * 8
+            feat_bytes = int(h.shape[1]) * h.data.dtype.itemsize
             commutative = self._layer_commutative(layer)
             plan = plan_layer_comm(
                 self._dep_stats, feat_bytes, self.comm_config, mode, commutative
@@ -302,7 +302,7 @@ class DistributedTrainer:
         mode = "pipelined" if self.pipeline else "batched"
 
         for layer_index, layer in enumerate(self.model.layers):
-            feat_bytes = int(h.shape[1]) * 8
+            feat_bytes = int(h.shape[1]) * h.data.dtype.itemsize
             plan = plan_layer_comm(
                 self._dep_stats, feat_bytes, self.comm_config, mode,
                 self._layer_commutative(layer),

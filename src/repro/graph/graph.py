@@ -154,6 +154,22 @@ class Graph:
         """Whether the directed edge ``u -> v`` exists."""
         return bool(np.isin(v, self.out_neighbors(u)).any())
 
+    def edge_multiplicity(self, pairs) -> np.ndarray:
+        """Parallel-edge count for each directed ``(u, v)`` pair.
+
+        Vectorized over an ``(m, 2)`` array: a searchsorted range query
+        against the sorted edge-key multiset, so multigraph-aware callers
+        (incremental metapath maintenance) get exact multiplicities in
+        ``O(m log E)``.
+        """
+        pairs = np.asarray(pairs, dtype=np.int64).reshape(-1, 2)
+        src, dst = self.edges()
+        keys = np.sort(src * np.int64(self.num_vertices) + dst)
+        query = pairs[:, 0] * np.int64(self.num_vertices) + pairs[:, 1]
+        lo = np.searchsorted(keys, query, side="left")
+        hi = np.searchsorted(keys, query, side="right")
+        return (hi - lo).astype(np.int64)
+
     def vertices_of_type(self, type_id: int) -> np.ndarray:
         """All vertex ids of the given type."""
         return np.flatnonzero(self.vertex_types == type_id)

@@ -186,6 +186,39 @@ class Registry:
         self.end_span(record, duration=duration)
         return record
 
+    def merge_spans(self, records: list[dict]) -> None:
+        """Ingest span records exported from another process's registry.
+
+        The multiprocess runtime runs one registry per worker process;
+        at epoch end each worker ships ``[span.to_dict() ...]`` to the
+        parent, which merges them here so exports, histograms and
+        straggler analysis see the whole cluster.  Start times stay in
+        the producing process's clock (durations, names and attrs are
+        what aggregation consumes); parent/child nesting is not
+        reconstructed across the process boundary.
+        """
+        for rec in records:
+            record = SpanRecord(
+                span_id=self._next_id,
+                name=rec["name"],
+                start=float(rec.get("start", 0.0)),
+                attrs=dict(rec.get("attrs", {})),
+                duration=float(rec.get("duration", 0.0)),
+                depth=0,
+                simulated=bool(rec.get("simulated", False)),
+            )
+            record.closed = True
+            self._next_id += 1
+            self.histogram(SPAN_HISTOGRAM_PREFIX + record.name).observe(
+                record.duration
+            )
+            if not self.enabled:
+                continue
+            if len(self.spans) >= self.max_records:
+                self.dropped_spans += 1
+                continue
+            self.spans.append(record)
+
     # ------------------------------------------------------------------
     # events / counters / gauges
     # ------------------------------------------------------------------

@@ -191,6 +191,27 @@ class TestDistributedTrainer:
         assert stats.total_bytes > 0
         assert stats.comm_mode == "pipelined"
 
+    def test_comm_bytes_follow_feature_dtype(self, ds):
+        """Traffic accounting uses the actual row itemsize; float32
+        features move exactly half the bytes of float64 (single-layer
+        model so every counted row carries the feature dtype)."""
+
+        def epoch_bytes(feats_np):
+            model = gcn(ds.feat_dim, 8, ds.num_classes, num_layers=1, seed=7)
+            trainer = DistributedTrainer(
+                model, ds.graph, hash_partition(ds.graph.num_vertices, 2)
+            )
+            stats = trainer.train_epoch(
+                Tensor(feats_np), ds.labels,
+                Adam(model.parameters(), 0.01), ds.train_mask,
+            )
+            return stats.total_bytes
+
+        bytes64 = epoch_bytes(ds.features.astype(np.float64))
+        bytes32 = epoch_bytes(ds.features.astype(np.float32))
+        assert bytes64 > 0
+        assert bytes32 * 2 == bytes64
+
     def test_bad_partition_shape_raises(self, ds):
         model = gcn(ds.feat_dim, 8, ds.num_classes)
         with pytest.raises(ValueError):

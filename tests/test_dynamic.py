@@ -148,6 +148,41 @@ class TestMaintainer:
         maintainer.apply_edge_changes(added=np.array([[movie, actor]]))
         assert maintainer.last_delta < total / 4
 
+    def test_parallel_edges_count_multiplicity(self):
+        """On multigraphs the maintainer must agree with the bulk
+        matcher: an instance through a doubled edge appears twice
+        (aggregation weight = edge multiplicity), both at construction
+        and across incremental updates."""
+        types = np.array([0, 1, 2, 1, 2])
+        edges = [(0, 1), (0, 1), (1, 2), (1, 2), (1, 2), (0, 3), (3, 4)]
+        graph = Graph.from_edges(5, edges, vertex_types=types)
+        mp = Metapath((0, 1, 2))
+
+        def leaf_triples(hdg):
+            leaves = hdg.leaf_vertices.reshape(-1, 3)
+            return sorted(map(tuple, leaves.tolist()))
+
+        from repro.core.selection import build_metapath_hdg
+
+        maintainer = MetapathHDGMaintainer(graph, [mp])
+        # (0,1,2) runs through 2 copies of (0,1) x 3 copies of (1,2).
+        assert maintainer.num_instances == 2 * 3 + 1
+        assert leaf_triples(maintainer.build_hdg()) == \
+            leaf_triples(build_metapath_hdg(graph, [mp]))
+
+        # Evolve: another (1,2) copy, one fewer (0,1) copy.
+        maintainer.apply_edge_changes(added=[(1, 2)], removed=[(0, 1)])
+        evolved = graph.with_edges_removed([(0, 1)]).with_edges_added([(1, 2)])
+        assert leaf_triples(maintainer.build_hdg()) == \
+            leaf_triples(build_metapath_hdg(evolved, [mp]))
+
+        # Removing the last parallel copy drops the instances entirely.
+        maintainer.apply_edge_changes(removed=[(0, 1)])
+        final = evolved.with_edges_removed([(0, 1)])
+        assert leaf_triples(maintainer.build_hdg()) == \
+            leaf_triples(build_metapath_hdg(final, [mp]))
+        assert maintainer.num_instances == 1  # only (0,3,4) survives
+
     def test_hdg_usable_for_training_after_updates(self, hgraph):
         from repro.core import FlexGraphEngine
         from repro.models import MAGNN

@@ -83,6 +83,24 @@ class TestCheckpointManager:
         with pytest.raises(ValueError):
             CheckpointManager(str(tmp_path), interval=0)
 
+    def test_replay_resave_does_not_duplicate_epochs(self, tmp_path):
+        """Recovery replays epochs already checkpointed; re-saving the
+        same epoch must overwrite in place, not grow the retention list
+        (a duplicated entry used to make pruning delete a live epoch)."""
+        mgr = CheckpointManager(str(tmp_path), interval=1, keep=2)
+        for epoch in range(3):
+            mgr.maybe_save(epoch, {"w": np.full(2, float(epoch))})
+        # Replay epochs 1-2 after a simulated recovery, then advance.
+        for epoch in (1, 2, 2, 3):
+            mgr.maybe_save(epoch, {"w": np.full(2, float(epoch) + 10.0)})
+        files = sorted(f for f in os.listdir(tmp_path) if f.startswith("ckpt_"))
+        assert len(files) == 2
+        assert all(f"{epoch:06d}" in name
+                   for epoch, name in zip([2, 3], files))
+        state, meta = mgr.load_latest()
+        assert meta["epoch"] == 3
+        np.testing.assert_array_equal(state["w"], [13.0, 13.0])
+
 
 class TestOptimizerStateDicts:
     def test_adam_roundtrip(self):
@@ -180,6 +198,31 @@ class TestFaultTolerantTraining:
                         ds.train_mask, failure_schedule={0: 1})
         assert len(hist) == 3
         assert ft.recoveries[0].restored_from_epoch == -1
+
+    def test_no_checkpoint_recovery_matches_clean_run(self, ds, tmp_path):
+        """A failure before the first checkpoint restarts training from
+        the *initial* model and optimizer state — epochs trained before
+        the failure must not leak through (they used to, because the
+        recovery path only cleared gradients)."""
+        feats = Tensor(ds.features)
+        model_a, trainer_a = make_trainer(ds, seed=4)
+        ft = FaultTolerantTrainer(trainer_a, str(tmp_path / "clean"),
+                                  interval=5)
+        hist_fail = ft.train(feats, ds.labels,
+                             Adam(model_a.parameters(), 0.01), 4,
+                             ds.train_mask, failure_schedule={2: 1})
+        assert len(hist_fail) == 4
+        assert ft.recoveries[0].restored_from_epoch == -1
+
+        model_b, trainer_b = make_trainer(ds, seed=4)
+        opt_b = Adam(model_b.parameters(), 0.01)
+        hist_ok = [
+            trainer_b.train_epoch(feats, ds.labels, opt_b, ds.train_mask, e)
+            for e in range(4)
+        ]
+        np.testing.assert_allclose(
+            [h.loss for h in hist_fail], [h.loss for h in hist_ok], rtol=1e-10
+        )
 
     def test_multiple_failures(self, ds, tmp_path):
         model, trainer = make_trainer(ds, seed=3)

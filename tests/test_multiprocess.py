@@ -1,0 +1,266 @@
+"""Tests for the real multi-process distributed runtime: KV store,
+ProcessComm, loss/gradient parity with the simulated trainer, and
+worker-crash recovery."""
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.datasets import load_dataset
+from repro.distributed import (
+    Comm,
+    DistributedTrainer,
+    FaultTolerantTrainer,
+    KVStore,
+    MultiprocessTrainer,
+    ProcessComm,
+    SharedArray,
+    WorkerFailure,
+)
+from repro.graph import hash_partition
+from repro.models import gcn
+from repro.tensor import Adam, Tensor
+
+
+@pytest.fixture(scope="module")
+def ds():
+    return load_dataset("reddit", scale="tiny")
+
+
+def train_losses(trainer, ds, epochs, lr=0.01):
+    feats = Tensor(ds.features)
+    opt = Adam(trainer.model.parameters(), lr)
+    return [
+        trainer.train_epoch(feats, ds.labels, opt, ds.train_mask, epoch=e).loss
+        for e in range(epochs)
+    ]
+
+
+class TestSharedArray:
+    def test_roundtrip_and_zero_copy(self):
+        arr = SharedArray((3, 4), np.float64)
+        try:
+            arr.array[...] = np.arange(12).reshape(3, 4)
+            view = arr.array
+            view[0, 0] = 99.0
+            assert arr.array[0, 0] == 99.0
+        finally:
+            arr.close()
+
+    def test_descriptor_pickle_reattaches(self):
+        import pickle
+
+        arr = SharedArray((5,), np.float32)
+        try:
+            arr.array[...] = np.arange(5, dtype=np.float32)
+            clone = pickle.loads(pickle.dumps(arr))
+            np.testing.assert_array_equal(clone.array, arr.array)
+            clone.close()  # non-owner: detach only
+            assert arr.array[2] == 2.0
+        finally:
+            arr.close()
+
+
+class TestKVStore:
+    def test_set_get_pull_batch(self):
+        kv = KVStore()
+        try:
+            kv.set("a", np.ones((2, 3)))
+            kv.set("b", np.zeros(4, dtype=np.float32))
+            np.testing.assert_array_equal(kv.get("a"), np.ones((2, 3)))
+            batch = kv.pull_batch(["a", "b"])
+            assert set(batch) == {"a", "b"}
+            assert batch["b"].dtype == np.float32
+            assert kv.keys() == ["a", "b"]
+            assert "a" in kv and "zzz" not in kv
+            assert kv.nbytes("a") == 2 * 3 * 8
+        finally:
+            kv.close()
+
+    def test_overwrite_requires_matching_shape(self):
+        kv = KVStore()
+        try:
+            kv.set("w", np.ones(4))
+            kv.set("w", np.full(4, 2.0))
+            np.testing.assert_array_equal(kv.get("w"), np.full(4, 2.0))
+            with pytest.raises(ValueError):
+                kv.set("w", np.ones(5))
+            with pytest.raises(ValueError):
+                kv.set("w", np.ones(4, dtype=np.float32))
+        finally:
+            kv.close()
+
+    def test_missing_key_raises(self):
+        kv = KVStore()
+        try:
+            with pytest.raises(KeyError):
+                kv.get("nope")
+        finally:
+            kv.close()
+
+    def test_version_counter(self):
+        kv = KVStore()
+        try:
+            assert kv.version == 0
+            assert kv.bump_version() == 1
+            assert kv.bump_version() == 2
+            assert kv.version == 2
+        finally:
+            kv.close()
+
+    def test_pulled_bytes_accounting(self):
+        kv = KVStore()
+        try:
+            kv.set("x", np.ones((10, 4)))
+            kv.get("x")
+            assert kv.pulled_bytes == 10 * 4 * 8
+        finally:
+            kv.close()
+
+
+class TestProcessComm:
+    def test_allreduce_traffic(self):
+        comm = Comm(4)
+        nbytes, messages = comm.allreduce_traffic(1000.0)
+        assert messages == 2 * 3
+        assert nbytes == pytest.approx(6 * 250.0)
+        assert Comm(1).allreduce_traffic(1000.0) == (0.0, 0)
+
+    def test_reduce_slabs_is_exact_sum(self):
+        comm = ProcessComm(3)
+        try:
+            rng = np.random.default_rng(0)
+            slabs = [rng.standard_normal((7, 5)) for _ in range(3)]
+            out = np.zeros((7, 5))
+            for rank in range(3):  # every rank reduces its own chunk
+                comm.reduce_slabs(slabs, out, rank)
+            expected = slabs[0] + slabs[1] + slabs[2]
+            # Same fixed rank-order summation both ways: bitwise equal.
+            np.testing.assert_array_equal(out, expected)
+        finally:
+            comm.close()
+
+    def test_reduce_slabs_requires_rank(self):
+        comm = ProcessComm(2)
+        try:
+            with pytest.raises(RuntimeError):
+                comm.reduce_slabs([np.ones(4), np.ones(4)], np.zeros(4))
+            with pytest.raises(ValueError):
+                comm.reduce_slabs([np.ones(4)], np.zeros(4), 0)
+        finally:
+            comm.close()
+
+    def test_single_party_barrier_returns(self):
+        comm = ProcessComm(1)
+        try:
+            comm.bind(0)
+            assert comm.barrier() >= 0.0
+        finally:
+            comm.close()
+
+
+class TestMultiprocessParity:
+    """The tentpole acceptance: k real processes reproduce the simulated
+    trainer's numerics (same seeds, same partitions)."""
+
+    @pytest.mark.parametrize("k", [1, 2])
+    def test_loss_trajectory_matches_simulated(self, ds, k):
+        part = hash_partition(ds.graph.num_vertices, k)
+        ref = DistributedTrainer(
+            gcn(ds.feat_dim, 8, ds.num_classes, seed=7), ds.graph, part, seed=0
+        )
+        ref_losses = train_losses(ref, ds, 3)
+
+        mt = MultiprocessTrainer(
+            gcn(ds.feat_dim, 8, ds.num_classes, seed=7), ds.graph, part, seed=0
+        )
+        try:
+            mp_losses = train_losses(mt, ds, 3)
+        finally:
+            mt.close()
+        np.testing.assert_allclose(mp_losses, ref_losses, rtol=0, atol=1e-6)
+
+    def test_gradients_match_simulated(self, ds):
+        part = hash_partition(ds.graph.num_vertices, 2)
+        ref = DistributedTrainer(
+            gcn(ds.feat_dim, 8, ds.num_classes, seed=3), ds.graph, part, seed=0
+        )
+        train_losses(ref, ds, 2)
+
+        mt = MultiprocessTrainer(
+            gcn(ds.feat_dim, 8, ds.num_classes, seed=3), ds.graph, part, seed=0
+        )
+        try:
+            train_losses(mt, ds, 2)
+        finally:
+            mt.close()
+        for p_ref, p_mp in zip(ref.model.parameters(), mt.model.parameters()):
+            np.testing.assert_allclose(p_mp.grad, p_ref.grad, atol=1e-9)
+            np.testing.assert_allclose(p_mp.data, p_ref.data, atol=1e-9)
+
+    def test_epoch_stats_and_span_merge(self, ds):
+        obs.reset()
+        part = hash_partition(ds.graph.num_vertices, 2)
+        mt = MultiprocessTrainer(
+            gcn(ds.feat_dim, 8, ds.num_classes, seed=0), ds.graph, part, seed=0
+        )
+        try:
+            feats = Tensor(ds.features)
+            opt = Adam(mt.model.parameters(), 0.01)
+            stats = mt.train_epoch(feats, ds.labels, opt, ds.train_mask, epoch=0)
+        finally:
+            mt.close()
+        assert stats.backend == "process"
+        assert stats.wall_seconds > 0
+        assert stats.compute_seconds.shape == (2,)
+        assert (stats.compute_seconds > 0).all()
+        assert stats.total_bytes > 0
+        # Worker-process spans were merged into the parent registry.
+        reg = obs.get_registry()
+        workers_seen = {
+            s.attrs.get("worker") for s in reg.spans if s.name == "dist.compute"
+        }
+        assert workers_seen == {0, 1}
+        assert any(s.name == "dist.comm" and not s.simulated for s in reg.spans)
+
+
+class TestWorkerCrash:
+    def test_real_crash_surfaces_worker_failure(self, ds):
+        part = hash_partition(ds.graph.num_vertices, 2)
+        mt = MultiprocessTrainer(
+            gcn(ds.feat_dim, 8, ds.num_classes, seed=1), ds.graph, part, seed=0
+        )
+        try:
+            feats = Tensor(ds.features)
+            opt = Adam(mt.model.parameters(), 0.01)
+            mt.train_epoch(feats, ds.labels, opt, ds.train_mask, epoch=0)
+            mt.inject_failure(1)
+            with pytest.raises(WorkerFailure) as exc:
+                mt.train_epoch(feats, ds.labels, opt, ds.train_mask, epoch=1)
+            assert exc.value.worker_id == 1
+            # heal(): respawn the pool and keep training.
+            mt.heal()
+            stats = mt.train_epoch(feats, ds.labels, opt, ds.train_mask, epoch=1)
+            assert np.isfinite(stats.loss)
+        finally:
+            mt.close()
+
+    def test_fault_tolerant_trainer_recovers_real_crash(self, ds, tmp_path):
+        part = hash_partition(ds.graph.num_vertices, 2)
+        mt = MultiprocessTrainer(
+            gcn(ds.feat_dim, 8, ds.num_classes, seed=2), ds.graph, part, seed=0
+        )
+        try:
+            ft = FaultTolerantTrainer(mt, str(tmp_path / "mp"), interval=1)
+            hist = ft.train(
+                Tensor(ds.features), ds.labels,
+                Adam(mt.model.parameters(), 0.01), 4, ds.train_mask,
+                failure_schedule={2: 0},
+            )
+        finally:
+            mt.close()
+        assert len(hist) == 4
+        assert len(ft.recoveries) == 1
+        assert ft.recoveries[0].worker_id == 0
+        assert ft.recoveries[0].restored_from_epoch == 1
+        assert np.isfinite(hist[-1].loss)

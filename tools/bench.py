@@ -30,6 +30,9 @@ Usage::
     python tools/bench.py                      # full matrix -> repo root
     python tools/bench.py --smoke              # tiny/fast variant
     python tools/bench.py --kernels            # + per-reducer microbench rows
+    python tools/bench.py --distributed        # scaling sweep (k=1/2/4,
+                                               #   simulated vs multiprocess)
+                                               #   -> BENCH_dist_scaling.json
     python tools/bench.py --check-against BENCH_epoch_time.json
     python tools/bench.py --output path.json --chrome-trace trace.json
 
@@ -62,10 +65,14 @@ from repro import obs  # noqa: E402
 SCHEMA = "repro.bench/2"
 #: schema versions validate_report accepts; /1 lacks the work-profile keys
 ACCEPTED_SCHEMAS = ("repro.bench/1", "repro.bench/2")
+DIST_SCHEMA = "repro.dist-bench/1"
 REPO_ROOT = os.path.abspath(
     os.path.join(os.path.dirname(os.path.abspath(__file__)), "..")
 )
 DEFAULT_OUTPUT = os.path.join(REPO_ROOT, "BENCH_epoch_time.json")
+DIST_OUTPUT = os.path.join(REPO_ROOT, "BENCH_dist_scaling.json")
+#: worker counts the --distributed scaling sweep measures
+DIST_WORKER_COUNTS = (1, 2, 4)
 #: default regression tolerance of the --check-against gate
 DEFAULT_TOLERANCE = 0.25
 
@@ -226,6 +233,103 @@ def run_matrix(scale: str, epochs: int, seed: int,
             fh.write("\n")
         print(f"chrome trace written to {chrome_trace}")
     return report
+
+
+def run_dist_scaling(scale: str, epochs: int, seed: int) -> dict:
+    """Distributed scaling sweep: wall-clock epoch seconds vs worker count,
+    simulated backend next to the real multi-process backend.
+
+    Writes rows for every ``(k, backend)`` pair in
+    ``DIST_WORKER_COUNTS x {simulated, process}``.  Both backends run the
+    same model/partition/seed, so their losses agree to float precision
+    (``final_loss`` is recorded per row for exactly that cross-check);
+    the columns that differ are the *measured* wall seconds — the
+    simulated backend also carries its modeled cluster seconds in
+    ``median_modeled_seconds``.
+    """
+    from repro import models
+    from repro.datasets import load_dataset
+    from repro.distributed import DistributedTrainer, MultiprocessTrainer
+    from repro.graph import hash_partition
+    from repro.tensor import Adam, Tensor
+
+    ds = load_dataset("reddit", scale=scale, seed=seed)
+    feats = Tensor(ds.features)
+    rows = []
+    for k in DIST_WORKER_COUNTS:
+        part = hash_partition(ds.graph.num_vertices, k)
+        for backend in ("simulated", "process"):
+            obs.reset()
+            model = models.gcn(ds.feat_dim, 16, ds.num_classes, seed=seed)
+            if backend == "simulated":
+                trainer = DistributedTrainer(model, ds.graph, part, seed=seed)
+            else:
+                trainer = MultiprocessTrainer(model, ds.graph, part, seed=seed)
+            optimizer = Adam(model.parameters(), lr=0.01)
+            wall, modeled, total_bytes, loss = [], [], 0.0, float("nan")
+            try:
+                for epoch in range(epochs):
+                    start = time.perf_counter()
+                    stats = trainer.train_epoch(feats, ds.labels, optimizer,
+                                                ds.train_mask, epoch)
+                    wall.append(time.perf_counter() - start)
+                    if backend == "simulated":
+                        modeled.append(stats.simulated_seconds)
+                    total_bytes += stats.total_bytes
+                    loss = stats.loss
+            finally:
+                if backend == "process":
+                    trainer.close()
+            row = {
+                "name": f"gcn-dist{k}-{backend}",
+                "model": "gcn",
+                "dataset": "reddit",
+                "scale": scale,
+                "kind": "dist-scaling",
+                "backend": backend,
+                "workers": k,
+                "epochs": epochs,
+                "median_epoch_seconds": statistics.median(wall),
+                "p90_epoch_seconds": _percentile(wall, 90),
+                "time_basis": "wall",
+                "total_bytes": total_bytes,
+                "final_loss": loss,
+            }
+            if modeled:
+                row["median_modeled_seconds"] = statistics.median(modeled)
+            rows.append(row)
+            print(f"  {row['name']:<22} median {row['median_epoch_seconds']:.4f}s  "
+                  f"p90 {row['p90_epoch_seconds']:.4f}s  "
+                  f"{row['total_bytes'] / 1e6:.2f} MB moved  "
+                  f"loss {row['final_loss']:.4f}")
+    return {"schema": DIST_SCHEMA,
+            "mode": "smoke" if scale == "tiny" else "full",
+            "scale": scale,
+            "calibration_seconds": calibration_seconds(),
+            "configs": rows}
+
+
+def validate_dist_report(report: dict) -> None:
+    """Raise ValueError when the dist-scaling report violates its schema."""
+    if report.get("schema") != DIST_SCHEMA:
+        raise ValueError(f"bad schema: {report.get('schema')!r}")
+    rows = {(r.get("workers"), r.get("backend")): r
+            for r in report.get("configs", [])}
+    for k in DIST_WORKER_COUNTS:
+        for backend in ("simulated", "process"):
+            row = rows.get((k, backend))
+            if row is None:
+                raise ValueError(f"missing dist-scaling row k={k} {backend}")
+            if row["median_epoch_seconds"] <= 0:
+                raise ValueError(f"row {row['name']!r} has non-positive median")
+    # Same math on both backends: losses must agree per worker count.
+    for k in DIST_WORKER_COUNTS:
+        sim = rows[(k, "simulated")]["final_loss"]
+        proc = rows[(k, "process")]["final_loss"]
+        if abs(sim - proc) > 1e-6 * max(1.0, abs(sim)):
+            raise ValueError(
+                f"k={k}: simulated loss {sim!r} != process loss {proc!r}"
+            )
 
 
 #: synthetic kernel-microbench shapes per scale: (edges, destinations, dim)
@@ -444,6 +548,11 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--kernels", action="store_true",
                         help="also run the per-reducer kernel microbenchmark "
                              "(planned vs unplanned rows, kind='kernel')")
+    parser.add_argument("--distributed", action="store_true",
+                        help="run the distributed scaling sweep instead of "
+                             "the fixed matrix: wall-clock epoch seconds for "
+                             f"k in {DIST_WORKER_COUNTS}, simulated vs real "
+                             f"multiprocess backend -> {DIST_OUTPUT}")
     parser.add_argument("--check-against", metavar="BASELINE",
                         help="compare against a committed baseline report "
                              "and exit 1 on median epoch-time regression")
@@ -454,6 +563,22 @@ def main(argv: list[str] | None = None) -> int:
 
     scale = "tiny" if args.smoke else "small"
     epochs = args.epochs if args.epochs is not None else (3 if args.smoke else 5)
+
+    if args.distributed:
+        output = (args.output if args.output != DEFAULT_OUTPUT
+                  else DIST_OUTPUT)
+        print(f"distributed scaling sweep "
+              f"({'smoke' if args.smoke else 'full'}): "
+              f"k in {DIST_WORKER_COUNTS}, scale={scale}, "
+              f"{epochs} epochs each")
+        report = run_dist_scaling(scale, epochs, args.seed)
+        validate_dist_report(report)
+        with open(output, "w") as fh:
+            json.dump(report, fh, indent=1)
+            fh.write("\n")
+        print(f"dist scaling report written to {output}")
+        return 0
+
     print(f"bench matrix ({'smoke' if args.smoke else 'full'}): "
           f"{len(MATRIX)} configs, scale={scale}, {epochs} epochs each")
     report = run_matrix(scale, epochs, args.seed,
