@@ -195,12 +195,28 @@ class ProcessComm(Comm):
         self.timeout = float(timeout)
         self._barrier = ctx.Barrier(k)
         self.rank: int | None = None
+        #: per-process liveness hook (see :meth:`bind`); not pickled —
+        #: each worker installs its own after spawn
+        self._heartbeat = None
 
-    def bind(self, rank: int) -> None:
-        """Attach this (per-process) copy to a worker rank."""
+    def bind(self, rank: int, heartbeat=None) -> None:
+        """Attach this (per-process) copy to a worker rank.
+
+        ``heartbeat``, when given, is called ``heartbeat("enter")`` as
+        the worker parks at a barrier and ``heartbeat("exit")`` when the
+        barrier releases — the live-telemetry plane uses it to mark the
+        worker as *waiting* (a frozen heartbeat at a barrier means a
+        peer stalled, not this rank) and to prove progress on release.
+        """
         if not (0 <= rank < self.k):
             raise ValueError("rank out of range")
         self.rank = rank
+        self._heartbeat = heartbeat
+
+    def __getstate__(self):
+        state = dict(self.__dict__)
+        state["_heartbeat"] = None  # process-local, never travels
+        return state
 
     def barrier(self) -> float:
         """Wait for all ``k`` workers; returns measured seconds waited.
@@ -209,9 +225,14 @@ class ProcessComm(Comm):
         the timeout elapsed — callers abandon the epoch and let the
         parent heal the pool.
         """
+        if self._heartbeat is not None:
+            self._heartbeat("enter")
         start = time.perf_counter()
         self._barrier.wait(self.timeout)
-        return time.perf_counter() - start
+        waited = time.perf_counter() - start
+        if self._heartbeat is not None:
+            self._heartbeat("exit")
+        return waited
 
     def reset(self) -> None:
         """Replace the barrier before respawning workers.

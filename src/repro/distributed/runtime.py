@@ -37,9 +37,28 @@ fraction of a second instead of a barrier timeout.  ``heal()`` resets
 the barrier and respawns the pool, which is what
 :class:`FaultTolerantTrainer` calls before replaying lost epochs.
 
+Live telemetry and the failure model
+------------------------------------
+Liveness polling distinguishes **dead** from **stalled**.  Every worker
+writes a fixed-layout record into a shared
+:class:`~repro.obs.live.TelemetrySlab` on each phase transition
+(lock-free: its own row, heartbeat seqno bumped last), and the parent
+samples all rows during the result-queue poll.  A process that is gone
+raises :class:`WorkerFailure` (today's path); a process that is alive
+but whose heartbeat has been frozen past ``stall_deadline`` seconds in
+an *active* phase emits a ``dist.worker_stalled`` event naming the
+rank, epoch, layer and phase where progress stopped — workers parked
+at a barrier are the victims of someone else's stall and are never
+flagged.  ``inject_stall()`` (a real in-worker sleep) drives the path
+end-to-end the way ``inject_failure()`` drives the crash path.
+
 Per-process observability registries are merged at epoch end: workers
-ship their ``dist.compute`` / ``dist.comm`` span records through the
-result queue and the parent ingests them via ``Registry.merge_spans``.
+ship their closed span records *and* a full metric snapshot (counters,
+gauges, histograms, events) through the result queue; the parent
+rebases span/event times onto its own clock using the worker's
+published registry origin (``Registry.merge_spans`` /
+``merge_metrics``), so one coherent trace with a lane per rank covers
+the whole pool.
 """
 
 from __future__ import annotations
@@ -53,6 +72,19 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from .. import obs
+from ..obs.live import (
+    PHASE_AWAIT_GRAD,
+    PHASE_BACKWARD,
+    PHASE_DONE,
+    PHASE_FEAT_FETCH,
+    PHASE_FORWARD,
+    PHASE_GRAD_REDUCE,
+    PHASE_PARAM_REDUCE,
+    STALL_EVENT,
+    StallDetector,
+    StallEvent,
+    TelemetrySlab,
+)
 from ..core.hdg import HDG
 from ..core.hybrid import ExecutionStrategy
 from ..core.nau import NAUModel, SelectionScope
@@ -105,6 +137,7 @@ class _WorkerSpec:
     pbuf: SharedArray      # reduced parameter gradient
     inbox: object          # task queue (this rank only)
     result_q: object       # shared result queue
+    telemetry: TelemetrySlab | None = None   # live metrics plane (one row per rank)
     param_keys: list = field(default_factory=list)
 
 
@@ -129,6 +162,12 @@ class _WorkerRuntime:
         self.X: np.ndarray | None = None
         self._startup_bytes = 0.0
         self._startup_messages = 0
+        self.tele = spec.telemetry.writer(spec.rank) if spec.telemetry else None
+
+    def _phase(self, phase: int, *, epoch: int | None = None,
+               layer: int | None = None) -> None:
+        if self.tele is not None:
+            self.tele.update(phase=phase, epoch=epoch, layer=layer)
 
     # ------------------------------------------------------------------
     def run(self) -> None:
@@ -187,11 +226,20 @@ class _WorkerRuntime:
     # ------------------------------------------------------------------
     def _run_epoch(self, payload: dict) -> None:
         epoch = int(payload["epoch"])
+        # Fresh registry per epoch: the metric snapshot shipped at epoch
+        # end is then a clean delta (counters merged exactly once), and
+        # every span record is this epoch's.
+        obs.reset()
         reg = obs.get_registry()
-        span_mark = len(reg.spans)
+        if payload.get("trace_id"):
+            reg.trace_id = payload["trace_id"]
+        if self.tele is not None:
+            self.tele.set_clock_origin(reg.origin)
+        stall_s = float(payload.get("stall_seconds") or 0.0)
         if payload.get("sub_hdg") is not None:
             self._attach_hdg(payload["sub_hdg"])
         if self.X is None:
+            self._phase(PHASE_FEAT_FETCH, epoch=epoch)
             self._fetch_features()
         assert self.sub_hdg is not None, "epoch dispatched before any HDG"
         if self.kv.version < payload["version"]:
@@ -222,6 +270,12 @@ class _WorkerRuntime:
         # -------------------------- forward ---------------------------
         h_in = Tensor(self.X)
         for l, layer in enumerate(layers):
+            self._phase(PHASE_FORWARD, epoch=epoch, layer=l)
+            if stall_s > 0.0 and l == 0:
+                # Injected stall: a real sleep in an active phase, so
+                # the heartbeat seqno freezes exactly as a hung kernel
+                # or a livelocked fetch would freeze it.
+                time.sleep(stall_s)
             read_bytes, read_msgs = self._remote_read_traffic(
                 int(h_in.data.shape[1]), h_in.data.dtype.itemsize
             )
@@ -246,6 +300,7 @@ class _WorkerRuntime:
 
         if self.rank == 0:
             self.spec.result_q.put(("fwd", epoch))
+        self._phase(PHASE_AWAIT_GRAD, epoch=epoch)
         msg = self.spec.inbox.get()
         if msg[0] != "bwd":
             if msg[0] == "die":
@@ -256,6 +311,7 @@ class _WorkerRuntime:
         for l in range(num_layers - 1, -1, -1):
             h_leaf, out = tapes[l]
             gout = np.array(self.spec.gbufs[l + 1].array[self.root_orders])
+            self._phase(PHASE_BACKWARD, epoch=epoch, layer=l)
             with obs.span("dist.backward", worker=self.rank, layer=l,
                           epoch=epoch) as s_bwd:
                 out.backward(gout)
@@ -269,6 +325,7 @@ class _WorkerRuntime:
             else:
                 slab[...] = h_leaf.grad
             wait = self.comm.barrier()
+            self._phase(PHASE_GRAD_REDUCE, epoch=epoch, layer=l)
             slabs = [
                 self.spec.hslabs[r].array[: n * d].reshape(n, d)
                 for r in range(self.k)
@@ -284,6 +341,7 @@ class _WorkerRuntime:
                             phase="grad_reduce", bytes=red_bytes)
 
         # --------------------- parameter gradients --------------------
+        self._phase(PHASE_PARAM_REDUCE, epoch=epoch)
         pslab = self.spec.pslabs[self.rank].array
         off = 0
         for p in params:
@@ -308,13 +366,20 @@ class _WorkerRuntime:
                         worker=self.rank, epoch=epoch,
                         phase="param_allreduce", bytes=red_bytes)
 
-        spans = [s.to_dict() for s in reg.spans[span_mark:] if s.closed]
+        self._phase(PHASE_DONE, epoch=epoch)
+        spans = [s.to_dict() for s in reg.spans if s.closed]
         self.spec.result_q.put(("done", self.rank, {
             "compute_seconds": compute_s,
             "comm_seconds": comm_s,
             "bytes": bytes_total,
             "messages": messages_total,
             "spans": spans,
+            "metrics": reg.metrics_snapshot(),
+            # Raw perf_counter at this epoch's reset: the parent rebases
+            # span/event times by (worker origin - parent origin), which
+            # is exact on platforms where perf_counter is system-wide
+            # (CLOCK_MONOTONIC on Linux).
+            "clock_origin": reg.origin,
         }))
 
 
@@ -322,9 +387,11 @@ def _worker_main(spec: _WorkerSpec) -> None:
     # Fresh per-process registry: under fork the child inherits the
     # parent's spans, which must not be shipped back a second time.
     obs.reset()
-    spec.comm.bind(spec.rank)
     try:
-        _WorkerRuntime(spec).run()
+        runtime = _WorkerRuntime(spec)
+        heartbeat = runtime.tele.on_barrier if runtime.tele is not None else None
+        spec.comm.bind(spec.rank, heartbeat=heartbeat)
+        runtime.run()
     except BaseException:  # noqa: BLE001 - ship any failure to the parent
         try:
             spec.result_q.put(("error", spec.rank, traceback.format_exc()))
@@ -354,6 +421,7 @@ class MultiprocessTrainer:
         seed: int = 0,
         ctx=None,
         timeout: float = 120.0,
+        stall_deadline: float = 5.0,
     ):
         self.model = model
         self.graph = graph
@@ -387,8 +455,16 @@ class MultiprocessTrainer:
         self._result_q = None
         self._hdg_dirty: set[int] = set()
         self._die_next: set[int] = set()
+        self._stall_next: dict[int, float] = {}
         self._started = False
         self._closed = False
+        #: shared live-metrics plane: one fixed-layout row per rank,
+        #: written lock-free by the worker, sampled by the parent's poll
+        self.telemetry = TelemetrySlab(self.k)
+        self.stall_deadline = float(stall_deadline)
+        self._stall_detector = StallDetector(self.stall_deadline)
+        #: every stall detected so far (also emitted as obs events)
+        self.stall_events: list[StallEvent] = []
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -426,6 +502,8 @@ class MultiprocessTrainer:
         self._inboxes = [self.ctx.Queue() for _ in range(self.k)]
         self._result_q = self.ctx.Queue()
         self._hdg_dirty = set(range(self.k))
+        self.telemetry.reset()
+        self._stall_detector.reset()
         self._procs = []
         for rank in range(self.k):
             spec = _WorkerSpec(
@@ -435,6 +513,7 @@ class MultiprocessTrainer:
                 hbufs=self._hbufs, gbufs=self._gbufs,
                 hslabs=self._hslabs, pslabs=self._pslabs, pbuf=self._pbuf,
                 inbox=self._inboxes[rank], result_q=self._result_q,
+                telemetry=self.telemetry,
                 param_keys=self._param_keys,
             )
             proc = self.ctx.Process(target=_worker_main, args=(spec,),
@@ -478,6 +557,24 @@ class MultiprocessTrainer:
             raise ValueError("worker id out of range")
         self._die_next.add(worker_id)
 
+    def inject_stall(self, worker_id: int, seconds: float = 1.0) -> None:
+        """Arrange for ``worker_id`` to sleep ``seconds`` inside its next
+        epoch's layer-0 forward — a real in-process hang (heartbeat
+        frozen in an active phase), not a simulated event.  With
+        ``seconds > stall_deadline`` the parent's liveness poll emits a
+        ``dist.worker_stalled`` event naming this rank; the worker then
+        resumes and the epoch completes."""
+        if not (0 <= worker_id < self.k):
+            raise ValueError("worker id out of range")
+        if seconds <= 0:
+            raise ValueError("stall must be positive")
+        self._stall_next[worker_id] = float(seconds)
+
+    def telemetry_snapshot(self) -> dict:
+        """JSON-ready snapshot of every worker's live row (for
+        ``tools/monitor.py --snapshot`` and CI smoke checks)."""
+        return self.telemetry.snapshot()
+
     def close(self) -> None:
         """Stop workers and unlink every shared-memory segment."""
         if self._closed:
@@ -497,6 +594,7 @@ class MultiprocessTrainer:
             buf.close()
         if self._pbuf is not None:
             self._pbuf.close()
+        self.telemetry.close()
         self.kv.close()
 
     def __enter__(self) -> "MultiprocessTrainer":
@@ -537,6 +635,29 @@ class MultiprocessTrainer:
                 self._teardown_pool()
                 raise WorkerFailure(rank, epoch)
 
+    def _poll_telemetry(self) -> None:
+        """Sample the live slab, publish gauges, flag frozen heartbeats.
+
+        A stall is *alive but not progressing*: the heartbeat seqno of a
+        rank in an active phase has not moved for ``stall_deadline``
+        seconds.  Ranks parked at a barrier (or awaiting gradients) are
+        exempt — they are the victims when a peer stalls.  Stalls emit
+        events and are recorded; they do not abort the epoch (the
+        ``timeout`` deadline still backstops a stall that never ends).
+        """
+        samples = self.telemetry.sample(publish=True)
+        for stall in self._stall_detector.observe(samples):
+            self.stall_events.append(stall)
+            obs.event(
+                STALL_EVENT,
+                rank=stall.rank,
+                epoch=stall.epoch,
+                layer=stall.layer,
+                phase=stall.phase_name,
+                stalled_seconds=stall.stalled_seconds,
+                deadline=self.stall_deadline,
+            )
+
     def _await(self, tag: str, epoch: int, count: int) -> dict[int, dict]:
         """Collect ``count`` messages of kind ``tag``, surfacing worker
         death (liveness poll) or in-worker exceptions as they happen."""
@@ -547,10 +668,14 @@ class MultiprocessTrainer:
                 msg = self._result_q.get(timeout=0.2)
             except queue_mod.Empty:
                 self._check_liveness(epoch)
+                self._poll_telemetry()
                 if time.monotonic() > deadline:
                     self._teardown_pool()
+                    stalled = sorted({s.rank for s in self.stall_events})
+                    hint = f" (stalled ranks: {stalled})" if stalled else ""
                     raise TimeoutError(
-                        f"workers did not reach {tag!r} within {self.timeout}s"
+                        f"workers did not reach {tag!r} within "
+                        f"{self.timeout}s{hint}"
                     )
                 continue
             if msg[0] == "error":
@@ -587,6 +712,7 @@ class MultiprocessTrainer:
         version = self.kv.bump_version()
 
         per_epoch = self.model.selection_scope is SelectionScope.PER_EPOCH
+        trace_id = obs.get_registry().trace_id
         for rank in range(self.k):
             if rank in self._die_next:
                 self._die_next.discard(rank)
@@ -598,6 +724,8 @@ class MultiprocessTrainer:
                 self._hdg_dirty.discard(rank)
             self._inboxes[rank].put(("epoch", {
                 "epoch": epoch, "version": version, "sub_hdg": sub,
+                "trace_id": trace_id,
+                "stall_seconds": self._stall_next.pop(rank, 0.0),
             }))
         if per_epoch:
             self._hdg_dirty = set(range(self.k))
@@ -636,9 +764,19 @@ class MultiprocessTrainer:
             comm[rank] = stats["comm_seconds"]
             total_bytes += stats["bytes"]
             total_messages += stats["messages"]
-            reg.merge_spans(stats["spans"])
+            # Rebase worker-relative times onto the parent clock: both
+            # origins are raw perf_counter values, so the offset is
+            # exactly (worker origin - parent origin).  Span histograms
+            # are NOT re-observed here — the worker's own histograms
+            # arrive via merge_metrics, which avoids double counting.
+            offset = float(stats.get("clock_origin", reg.origin)) - reg.origin
+            reg.merge_spans(stats["spans"], clock_offset=offset, rank=rank,
+                            observe_histograms=False)
+            reg.merge_metrics(stats.get("metrics"), clock_offset=offset,
+                              rank=rank)
         obs.counter(BYTES_COUNTER).add(total_bytes)
         obs.counter(MESSAGES_COUNTER).add(total_messages)
+        self._poll_telemetry()  # final sample: phase/epoch gauges current
 
         wall = time.perf_counter() - t0
         obs.epoch_log().log(

@@ -32,12 +32,15 @@ measurement window.  All primitives are cheap (a ``perf_counter`` call
 and a list append) so they stay on in production code paths.
 """
 
-from . import analysis, profile
+from . import analysis, live, profile
 from .analysis import (
+    StallReport,
     StragglerReport,
     backend_report,
     render_backend_report,
+    render_stall_report,
     render_straggler_report,
+    stall_report,
     straggler_report,
 )
 from .export import (
@@ -52,6 +55,7 @@ from .export import (
     to_prometheus,
 )
 from .histogram import Histogram
+from .live import StallDetector, StallEvent, TelemetrySlab, WorkerTelemetry
 from .metrics import Counter, Gauge
 from .registry import (
     SPAN_HISTOGRAM_PREFIX,
@@ -113,8 +117,16 @@ __all__ = [
     "straggler_report",
     "StragglerReport",
     "render_straggler_report",
+    "stall_report",
+    "StallReport",
+    "render_stall_report",
     "backend_report",
     "render_backend_report",
+    "live",
+    "TelemetrySlab",
+    "WorkerTelemetry",
+    "StallDetector",
+    "StallEvent",
     "profile",
     "record_op",
     "profiling_enabled",

@@ -57,6 +57,7 @@ def to_dict(registry: Registry | None = None) -> dict:
     return {
         "schema": SCHEMA,
         "meta": {
+            "trace_id": reg.trace_id,
             "dropped_spans": reg.dropped_spans,
             "dropped_events": reg.dropped_events,
         },
@@ -142,6 +143,23 @@ def to_chrome_trace(registry: Registry | None = None,
             (_PID_SIMULATED, "repro (simulated)"),
         )
     ]
+    # Integer worker ranks get named lanes too, so a merged multiprocess
+    # trace reads "rank 0 / rank 1 / ..." instead of bare thread ids.
+    int_tids: set[int] = set()
+    for s in reg.spans:
+        worker = s.attrs.get("worker")
+        if worker is None:
+            continue
+        try:
+            int_tids.add(int(worker))
+        except (TypeError, ValueError):
+            pass
+    for tid in sorted(int_tids):
+        trace_events.append({
+            "ph": "M", "name": "thread_name",
+            "pid": pid_offset + _PID_MEASURED, "tid": tid,
+            "args": {"name": f"rank {tid}"},
+        })
     label_tids = _worker_label_tids(reg.spans)
     for label, tid in label_tids.items():
         trace_events.append({
@@ -198,7 +216,11 @@ def to_chrome_trace(registry: Registry | None = None,
             "ts": e.time * 1e6,
             "args": dict(e.attrs),
         })
-    return {"traceEvents": trace_events, "displayTimeUnit": "ms"}
+    return {
+        "traceEvents": trace_events,
+        "displayTimeUnit": "ms",
+        "otherData": {"trace_id": reg.trace_id},
+    }
 
 
 def export_chrome_trace(path: str, registry: Registry | None = None) -> None:

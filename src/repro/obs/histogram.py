@@ -94,6 +94,36 @@ class Histogram:
             for i, c in zip(uniq.tolist(), counts.tolist()):
                 self.buckets[i] = self.buckets.get(i, 0) + int(c)
 
+    def merge_dict(self, data: dict) -> None:
+        """Fold another histogram's :meth:`to_dict` export into this one.
+
+        Exported buckets are non-cumulative ``[upper_bound, count]``
+        pairs; a bound at or below ``base`` is the underflow bucket, any
+        other bound maps back to its geometric index exactly (the bound
+        *is* ``base * growth**i``), so merging two same-shaped
+        histograms is lossless.  count/sum/min/max combine directly.
+        """
+        count = int(data.get("count", 0))
+        if count <= 0:
+            return
+        self.count += count
+        self.sum += float(data.get("sum", 0.0))
+        other_min = data.get("min")
+        if other_min is not None and float(other_min) < self.min:
+            self.min = float(other_min)
+        other_max = data.get("max")
+        if other_max is not None and float(other_max) > self.max:
+            self.max = float(other_max)
+        for bound, n in data.get("buckets", ()):
+            n = int(n)
+            if bound <= self.base:
+                self.underflow += n
+            else:
+                idx = int(round(
+                    math.log(bound / self.base) / self._log_growth
+                ))
+                self.buckets[idx] = self.buckets.get(idx, 0) + n
+
     # ------------------------------------------------------------------
     def bucket_bounds(self) -> list[tuple[float, int]]:
         """Sorted ``(upper_bound, count)`` pairs, underflow first."""

@@ -52,6 +52,19 @@ class Counter:
         self.total = self.current = self.peak = 0.0
         self.count = 0
 
+    def merge_dict(self, data: dict) -> None:
+        """Fold another process's exported counter state into this one.
+
+        Totals, live values and call counts add; the peak takes the
+        high-water mark of either side's peak and the combined live
+        value (the two processes' peaks need not have coincided, so
+        summing peaks would overstate — max is the defensible bound).
+        """
+        self.total += float(data.get("total", 0.0))
+        self.current += float(data.get("current", 0.0))
+        self.count += int(data.get("count", 0))
+        self.peak = max(self.peak, float(data.get("peak", 0.0)), self.current)
+
     def to_dict(self) -> dict:
         return {
             "total": self.total,
@@ -81,6 +94,20 @@ class Gauge:
         self.value = 0.0
         self.peak = float("-inf")
         self.count = 0
+
+    def merge_dict(self, data: dict) -> None:
+        """Fold another process's exported gauge state into this one:
+        adopt the incoming value (last write wins across the merge),
+        keep the larger peak, add the set counts.  A never-set incoming
+        gauge (count 0) leaves this one untouched."""
+        incoming = int(data.get("count", 0))
+        if incoming <= 0:
+            return
+        self.value = float(data.get("value", 0.0))
+        self.count += incoming
+        peak = data.get("peak")
+        if peak is not None and float(peak) > self.peak:
+            self.peak = float(peak)
 
     def to_dict(self) -> dict:
         return {

@@ -14,6 +14,7 @@ aggregation in the summary) remain exact regardless.
 
 from __future__ import annotations
 
+import secrets
 import time
 from dataclasses import dataclass, field
 
@@ -97,6 +98,10 @@ class Registry:
         # profile.record_op) know their cached Counter objects are stale.
         self.generation = getattr(self, "generation", -1) + 1
         self.origin = time.perf_counter()
+        #: one id per measurement window; the multiprocess runtime
+        #: propagates the parent's to every worker so merged traces can
+        #: be recognized as one run
+        self.trace_id = secrets.token_hex(8)
         self.spans: list[SpanRecord] = []
         self.events: list[EventRecord] = []
         self.counters: dict[str, Counter] = {}
@@ -181,43 +186,141 @@ class Registry:
     def record_span(self, name: str, duration: float, *,
                     simulated: bool = True, **attrs) -> SpanRecord:
         """Record a span whose duration is already known (e.g. modeled
-        network time), rather than measured by entry/exit."""
+        network time), rather than measured by entry/exit.
+
+        A *measured* duration (``simulated=False``) describes wall time
+        that just elapsed — a barrier wait, a request latency — so the
+        span is backdated to when that interval began; stamping it at
+        record time would claim ``duration`` seconds of the future and
+        overlap whatever runs next on the timeline.  Simulated spans
+        keep their record-time start: their durations are modeled, not
+        intervals of this clock.
+        """
         record = self.begin_span(name, attrs, simulated=simulated)
         self.end_span(record, duration=duration)
+        if not simulated:
+            record.start = max(record.start - record.duration, 0.0)
         return record
 
-    def merge_spans(self, records: list[dict]) -> None:
+    def merge_spans(self, records: list[dict], *, clock_offset: float = 0.0,
+                    rank: int | None = None,
+                    observe_histograms: bool = True) -> int:
         """Ingest span records exported from another process's registry.
 
         The multiprocess runtime runs one registry per worker process;
-        at epoch end each worker ships ``[span.to_dict() ...]`` to the
-        parent, which merges them here so exports, histograms and
-        straggler analysis see the whole cluster.  Start times stay in
-        the producing process's clock (durations, names and attrs are
-        what aggregation consumes); parent/child nesting is not
-        reconstructed across the process boundary.
+        each worker ships ``[span.to_dict() ...]`` to the parent, which
+        merges them here so exports, histograms and straggler analysis
+        see the whole cluster.
+
+        ``clock_offset`` (seconds) is added to every start time —
+        workers publish their registry origin at spawn, so the parent
+        can rebase worker-clock starts onto its own timeline and the
+        merged Chrome trace shows one coherent set of per-rank lanes.
+        Parent/child nesting survives the process boundary: worker-local
+        span/parent ids are remapped onto fresh parent ids and the
+        recorded depth is preserved.  ``rank``, when given, is stamped
+        into the attrs as ``worker`` (unless the span already carries
+        one) so aggregation can group by rank.
+
+        Merging honors ``enabled`` consistently: while the registry is
+        disabled nothing is ingested — not even the derived span
+        histograms, which the producing process already observed
+        (re-observing on a retried merge would double-count them).  Set
+        ``observe_histograms=False`` when the worker's own histograms
+        arrive separately via :meth:`merge_metrics`, for the same
+        reason.  Returns the number of records stored.
         """
+        if not self.enabled:
+            return 0
+        # Two passes: spans close child-before-parent, so a child's
+        # ``parent`` refers to an id that appears *later* in the list —
+        # the full id remap must exist before any record is built.
+        id_map: dict[int, int] = {}
+        new_ids: list[int] = []
         for rec in records:
+            new_id = self._next_id
+            self._next_id += 1
+            new_ids.append(new_id)
+            if "id" in rec:
+                id_map[rec["id"]] = new_id
+        stored = 0
+        for rec, new_id in zip(records, new_ids):
+            attrs = dict(rec.get("attrs", {}))
+            if rank is not None:
+                attrs.setdefault("worker", rank)
             record = SpanRecord(
-                span_id=self._next_id,
+                span_id=new_id,
                 name=rec["name"],
-                start=float(rec.get("start", 0.0)),
-                attrs=dict(rec.get("attrs", {})),
+                start=float(rec.get("start", 0.0)) + clock_offset,
+                attrs=attrs,
                 duration=float(rec.get("duration", 0.0)),
-                depth=0,
+                parent_id=id_map.get(rec.get("parent")),
+                depth=int(rec.get("depth", 0)),
                 simulated=bool(rec.get("simulated", False)),
             )
             record.closed = True
-            self._next_id += 1
-            self.histogram(SPAN_HISTOGRAM_PREFIX + record.name).observe(
-                record.duration
-            )
-            if not self.enabled:
-                continue
+            if observe_histograms:
+                self.histogram(SPAN_HISTOGRAM_PREFIX + record.name).observe(
+                    record.duration
+                )
             if len(self.spans) >= self.max_records:
                 self.dropped_spans += 1
                 continue
             self.spans.append(record)
+            stored += 1
+        return stored
+
+    # ------------------------------------------------------------------
+    # cross-process metric merging
+    # ------------------------------------------------------------------
+    def metrics_snapshot(self) -> dict:
+        """Serializable snapshot of every non-span aggregate — the
+        payload a worker ships so :meth:`merge_metrics` can fold its
+        counters, gauges, histograms and events into the parent."""
+        return {
+            "counters": {n: c.to_dict() for n, c in self.counters.items()},
+            "gauges": {n: g.to_dict() for n, g in self.gauges.items()},
+            "histograms": {
+                n: h.to_dict() for n, h in self.histograms.items()
+            },
+            "events": [e.to_dict() for e in self.events],
+        }
+
+    def merge_metrics(self, snapshot: dict | None, *,
+                      clock_offset: float = 0.0,
+                      rank: int | None = None) -> None:
+        """Fold another registry's :meth:`metrics_snapshot` into this one.
+
+        Counters add totals/currents/counts (peaks take the high-water
+        mark), gauges adopt the incoming value (peaks merge), histograms
+        merge bucket-exact, and events are re-recorded with
+        ``clock_offset`` applied and ``worker=rank`` stamped.  Counters,
+        gauges and histograms merge even while recording is disabled —
+        they are O(1) aggregates that always update, matching the live
+        semantics; events respect ``enabled`` and the record cap.
+        """
+        if not snapshot:
+            return
+        for name, data in snapshot.get("counters", {}).items():
+            self.counter(name).merge_dict(data)
+        for name, data in snapshot.get("gauges", {}).items():
+            self.gauge(name).merge_dict(data)
+        for name, data in snapshot.get("histograms", {}).items():
+            self.histogram(name).merge_dict(data)
+        for rec in snapshot.get("events", ()):
+            if not self.enabled:
+                break
+            if len(self.events) >= self.max_records:
+                self.dropped_events += 1
+                continue
+            attrs = dict(rec.get("attrs", {}))
+            if rank is not None:
+                attrs.setdefault("worker", rank)
+            self.events.append(EventRecord(
+                name=rec["name"],
+                time=float(rec.get("time", 0.0)) + clock_offset,
+                attrs=attrs,
+            ))
 
     # ------------------------------------------------------------------
     # events / counters / gauges

@@ -21,12 +21,17 @@ Operational behavior:
   (latency histogram for free via the obs registry), batches run under
   ``serve.batch`` spans, queue depth is a gauge, and
   :meth:`slo_summary` rolls it all up with the session's cache stats.
+  Alongside the lifetime aggregates, a rolling window (last
+  ``window_seconds``, default 60 s) tracks *recent* p50/p99 and shed
+  rate — the live numbers an operator watches, published as
+  ``serve.window.*`` gauges.
 """
 
 from __future__ import annotations
 
 import threading
 import time
+from collections import deque
 from concurrent.futures import Future
 
 import numpy as np
@@ -46,6 +51,69 @@ ERRORS_COUNTER = "serve.requests_errored"
 QUEUE_DEPTH_GAUGE = "serve.queue_depth"
 REQUEST_SPAN = "serve.request"
 BATCH_SPAN = "serve.batch"
+WINDOW_P50_GAUGE = "serve.window.p50_ms"
+WINDOW_P99_GAUGE = "serve.window.p99_ms"
+WINDOW_SHED_GAUGE = "serve.window.shed_rate"
+
+
+class _SloWindow:
+    """Rolling last-``window_seconds`` latency/shed samples.
+
+    Bounded deques under one lock: appends are O(1) from the worker
+    threads, expiry is amortized O(1) (each sample is evicted once).
+    ``max_samples`` caps memory under sustained overload — beyond it the
+    oldest samples fall off and the window is effectively shorter, which
+    biases *toward recency*, exactly what a live gauge wants.
+    """
+
+    def __init__(self, window_seconds: float = 60.0, max_samples: int = 65536):
+        self.window_seconds = float(window_seconds)
+        self._lock = threading.Lock()
+        self._lat: deque[tuple[float, float]] = deque(maxlen=max_samples)
+        self._shed: deque[float] = deque(maxlen=max_samples)
+
+    def record_latency(self, latency: float, now: float | None = None) -> None:
+        now = time.monotonic() if now is None else now
+        with self._lock:
+            self._lat.append((now, float(latency)))
+
+    def record_shed(self, now: float | None = None) -> None:
+        now = time.monotonic() if now is None else now
+        with self._lock:
+            self._shed.append(now)
+
+    def _expire(self, now: float) -> None:
+        horizon = now - self.window_seconds
+        while self._lat and self._lat[0][0] < horizon:
+            self._lat.popleft()
+        while self._shed and self._shed[0] < horizon:
+            self._shed.popleft()
+
+    def summary(self, now: float | None = None) -> dict:
+        """Percentiles/rates over the samples still inside the window."""
+        now = time.monotonic() if now is None else now
+        with self._lock:
+            self._expire(now)
+            lats = sorted(lat for _, lat in self._lat)
+            shed = len(self._shed)
+        n = len(lats)
+        admitted = n + shed
+
+        def pct(q: float) -> float:
+            if not n:
+                return 0.0
+            return lats[min(n - 1, int(q * (n - 1) + 0.5))]
+
+        return {
+            "seconds": self.window_seconds,
+            "requests": n,
+            "p50_ms": pct(0.50) * 1e3,
+            "p99_ms": pct(0.99) * 1e3,
+            "mean_ms": (sum(lats) / n if n else 0.0) * 1e3,
+            "shed": shed,
+            "shed_rate": shed / admitted if admitted else 0.0,
+            "throughput_rps": n / self.window_seconds,
+        }
 
 
 class GNNServer:
@@ -62,16 +130,20 @@ class GNNServer:
     max_batch_size, max_delay, max_queue_depth:
         Batching policy and admission bound (see
         :class:`~repro.serve.batcher.MicroBatcher`).
+    window_seconds:
+        Width of the rolling SLO window (recent p50/p99 + shed rate in
+        :meth:`slo_summary`'s ``"window"`` entry).
     """
 
     def __init__(self, session: InferenceSession, num_workers: int = 2,
                  max_batch_size: int = 64, max_delay: float = 0.002,
-                 max_queue_depth: int = 256):
+                 max_queue_depth: int = 256, window_seconds: float = 60.0):
         if num_workers < 1:
             raise ValueError("num_workers must be >= 1")
         self.session = session
         self.batcher = MicroBatcher(max_batch_size, max_delay, max_queue_depth)
         self.num_workers = int(num_workers)
+        self.window = _SloWindow(window_seconds)
         self._threads: list[threading.Thread] = []
         self._started = False
 
@@ -132,6 +204,7 @@ class GNNServer:
             request = self.batcher.submit(kind, seeds)
         except ServerOverloaded:
             obs.counter(SHED_COUNTER).add(1)
+            self.window.record_shed()
             raise
         obs.gauge(QUEUE_DEPTH_GAUGE).set(len(self.batcher))
         return request.future
@@ -181,6 +254,7 @@ class GNNServer:
             latency = max(time.perf_counter() - request.enqueue_time, 0.0)
             request.future.set_result(result)
             obs.counter(COMPLETED_COUNTER).add(1)
+            self.window.record_latency(latency)
             registry.record_span(
                 REQUEST_SPAN, latency,
                 simulated=False, kind=request.kind, seeds=int(span_len),
@@ -190,8 +264,18 @@ class GNNServer:
     # SLO accounting
     # ------------------------------------------------------------------
     def slo_summary(self) -> dict:
-        """Roll-up of request/batch latency, shedding and cache health."""
+        """Roll-up of request/batch latency, shedding and cache health.
+
+        Lifetime aggregates plus a ``"window"`` entry with last-
+        ``window_seconds`` p50/p99/shed-rate; the window numbers are
+        also published as ``serve.window.*`` gauges so a metrics poller
+        sees the live values without calling this method.
+        """
         reg = get_registry()
+        window = self.window.summary()
+        reg.gauge(WINDOW_P50_GAUGE).set(window["p50_ms"])
+        reg.gauge(WINDOW_P99_GAUGE).set(window["p99_ms"])
+        reg.gauge(WINDOW_SHED_GAUGE).set(window["shed_rate"])
         request_hist = reg.histogram("span." + REQUEST_SPAN)
         batch_hist = reg.histogram("span." + BATCH_SPAN)
         requests = reg.counter(REQUESTS_COUNTER).total
@@ -215,5 +299,6 @@ class GNNServer:
                 "count": batch_hist.count,
                 "mean_ms": batch_hist.mean * 1e3,
             },
+            "window": window,
             "session": self.session.stats(),
         }

@@ -352,8 +352,11 @@ class TestChromeTrace:
         assert {e["args"]["worker"] for e in coercions} == {"ps-0", "trainer-1"}
         thread_names = [e for e in events
                         if e["ph"] == "M" and e["name"] == "thread_name"]
+        # coerced labels get "worker <label>" names; integer ranks get
+        # their own named lane so merged multiprocess traces read
+        # "rank 0 / rank 1 / ..."
         assert {e["args"]["name"] for e in thread_names} == {
-            "worker ps-0", "worker trainer-1"
+            "worker ps-0", "worker trainer-1", "rank 2"
         }
 
     def test_worker_label_tids_stable_across_exports(self):

@@ -472,3 +472,70 @@ class TestInvalidation:
         # Stochastic selection: rebuilt HDGs are not comparable, so the
         # whole cache goes.
         assert len(session.embed_cache) == 0
+
+
+# ---------------------------------------------------------------------------
+# Rolling SLO window (last-N-seconds p50/p99 + shed rate)
+# ---------------------------------------------------------------------------
+class TestSloWindow:
+    def test_percentiles_over_recorded_samples(self):
+        from repro.serve.server import _SloWindow
+
+        win = _SloWindow(window_seconds=60.0)
+        for i in range(100):
+            win.record_latency((i + 1) * 1e-3, now=100.0)
+        s = win.summary(now=101.0)
+        assert s["requests"] == 100
+        assert s["p50_ms"] == pytest.approx(51.0, abs=1.0)
+        assert s["p99_ms"] == pytest.approx(99.0, abs=1.5)
+        assert s["mean_ms"] == pytest.approx(50.5, abs=0.1)
+        assert s["shed"] == 0 and s["shed_rate"] == 0.0
+        assert s["throughput_rps"] == pytest.approx(100 / 60.0)
+
+    def test_old_samples_expire(self):
+        from repro.serve.server import _SloWindow
+
+        win = _SloWindow(window_seconds=10.0)
+        win.record_latency(0.5, now=0.0)     # will fall out of the window
+        win.record_shed(now=0.0)             # likewise
+        win.record_latency(0.001, now=95.0)
+        win.record_shed(now=95.0)
+        s = win.summary(now=100.0)
+        assert s["requests"] == 1
+        assert s["p99_ms"] == pytest.approx(1.0)
+        assert s["shed"] == 1
+        assert s["shed_rate"] == pytest.approx(0.5)
+
+    def test_empty_window_is_all_zero(self):
+        from repro.serve.server import _SloWindow
+
+        s = _SloWindow(window_seconds=5.0).summary(now=1e6)
+        assert s["requests"] == 0 and s["p50_ms"] == 0.0
+        assert s["shed_rate"] == 0.0 and s["throughput_rps"] == 0.0
+
+    def test_server_summary_and_gauges_carry_window(self, reddit):
+        from repro import obs
+        from repro.serve.server import (
+            WINDOW_P50_GAUGE,
+            WINDOW_P99_GAUGE,
+            WINDOW_SHED_GAUGE,
+        )
+
+        model, _ = trained(gcn, reddit)
+        session = InferenceSession(model, reddit.graph, reddit.features)
+        with GNNServer(session, num_workers=1, max_batch_size=8,
+                       max_delay=0.0, window_seconds=30.0) as server:
+            for seed in range(12):
+                server.predict(np.array([seed % reddit.graph.num_vertices]))
+            summary = server.slo_summary()
+        window = summary["window"]
+        assert window["seconds"] == 30.0
+        assert window["requests"] == 12
+        assert window["p99_ms"] >= window["p50_ms"] > 0.0
+        assert window["shed"] == 0
+        reg = obs.get_registry()
+        assert reg.gauge(WINDOW_P50_GAUGE).value == pytest.approx(
+            window["p50_ms"])
+        assert reg.gauge(WINDOW_P99_GAUGE).value == pytest.approx(
+            window["p99_ms"])
+        assert reg.gauge(WINDOW_SHED_GAUGE).value == 0.0

@@ -80,3 +80,62 @@ class TestSummaryView:
         captured = capsys.readouterr()
         assert "unknown trace schema" in captured.err
         assert "(0 spans, 0 events)" in captured.out
+
+
+class TestPerRankSections:
+    """Regression: merged k=2 multiprocess traces get per-rank sections
+    and a cross-rank critical-path line."""
+
+    @pytest.fixture(scope="class")
+    def merged_trace_path(self, tmp_path_factory):
+        """A merged two-rank trace built exactly the way the parent
+        builds one: worker span dicts ingested via merge_spans with a
+        per-rank clock offset."""
+        obs.reset()
+        reg = obs.get_registry()
+        for rank, offset in ((0, 0.010), (1, 0.012)):
+            slow = 0.050 if rank == 1 else 0.020  # rank 1 bounds layer 0
+            records = [
+                {"name": "dist.compute", "start": 0.001, "duration": slow,
+                 "id": 1, "attrs": {"layer": 0, "epoch": 0}},
+                {"name": "dist.comm", "start": 0.001 + slow,
+                 "duration": 0.004, "id": 2,
+                 "attrs": {"layer": 0, "epoch": 0, "phase": "layer_sync"}},
+                {"name": "dist.compute", "start": 0.060, "duration": 0.015,
+                 "id": 3, "attrs": {"layer": 1, "epoch": 0}},
+            ]
+            reg.merge_spans(records, clock_offset=offset, rank=rank,
+                            observe_histograms=False)
+        path = tmp_path_factory.mktemp("mtrace") / "merged.json"
+        obs.export_json(str(path))
+        obs.reset()
+        return str(path)
+
+    def test_sections_appear_automatically_for_merged_trace(
+            self, merged_trace_path, capsys):
+        assert trace_summary.main([merged_trace_path]) == 0
+        out = capsys.readouterr().out
+        assert "per-rank spans:" in out
+        assert "rank 0" in out and "rank 1" in out
+        # both ranks' compute aggregates are listed under their section
+        assert out.count("dist.compute") >= 3  # summary + two sections
+
+    def test_critical_path_names_bounding_rank(self, merged_trace_path,
+                                               capsys):
+        trace_summary.main([merged_trace_path])
+        out = capsys.readouterr().out
+        assert "cross-rank critical path:" in out
+        # rank 1's layer-0 compute dominates: it bounds the barrier
+        assert "L0->w1" in out
+        assert "slowest rank: w1" in out
+
+    def test_single_rank_trace_stays_clean_without_flag(self, trace_path,
+                                                        capsys):
+        trace_summary.main([trace_path])
+        out = capsys.readouterr().out
+        assert "per-rank spans:" not in out
+
+    def test_per_rank_flag_forces_sections(self, merged_trace_path, capsys):
+        trace_summary.main([merged_trace_path, "--per-rank"])
+        out = capsys.readouterr().out
+        assert "per-rank spans:" in out

@@ -1,0 +1,179 @@
+#!/usr/bin/env python3
+"""Live per-worker cluster monitor over the shared telemetry slab.
+
+Renders one row per worker rank — phase, epoch/layer, heartbeat seqno,
+throughput (GFLOP/s from sample deltas), progress age — either from a
+live :class:`~repro.obs.live.TelemetrySlab` (attach by descriptor file,
+see ``TelemetrySlab.write_descriptor``) or from a JSON snapshot
+(``MultiprocessTrainer.telemetry_snapshot()``).
+
+Usage::
+
+    python tools/monitor.py --slab /tmp/slab.json            # one sample
+    python tools/monitor.py --slab /tmp/slab.json --watch    # refresh loop
+    python tools/monitor.py --snapshot snap.json             # offline view
+
+A stale row (progress age past ``--stall-deadline`` in an active phase)
+is marked ``STALLED?`` — the same heuristic the parent's
+:class:`~repro.obs.live.StallDetector` applies authoritatively.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
+)
+
+from repro.obs.live import (  # noqa: E402
+    ACTIVE_PHASES,
+    TelemetrySlab,
+    WorkerSample,
+    phase_name,
+)
+
+_HEADER = (
+    f"  {'rank':>4}  {'pid':>7}  {'phase':<12} {'epoch':>5} {'layer':>5} "
+    f"{'beats':>7} {'spans':>6} {'gflop/s':>8} {'age':>7}  status"
+)
+
+
+def _sample_from_dict(rank: int, d: dict) -> WorkerSample:
+    """Rebuild a :class:`WorkerSample` from a snapshot-file entry."""
+    return WorkerSample(
+        rank=int(d.get("rank", rank)),
+        seqno=int(d.get("seqno", 0)),
+        pid=int(d.get("pid", 0)),
+        epoch=int(d.get("epoch", 0)),
+        layer=int(d.get("layer", 0)),
+        phase=int(d.get("phase", 0)),
+        spans_closed=int(d.get("spans_closed", 0)),
+        flops=float(d.get("flops", 0.0)),
+        bytes=float(d.get("bytes", 0.0)),
+        last_beat=0.0,
+        clock_origin=0.0,
+        progress_age=d.get("progress_age"),
+    )
+
+
+def render_table(samples: list[WorkerSample],
+                 prev: list[WorkerSample] | None = None,
+                 dt: float | None = None,
+                 stall_deadline: float = 5.0) -> str:
+    """Format one poll's samples as a fixed-width table.
+
+    ``prev``/``dt`` (the previous poll and the seconds between them)
+    enable the throughput column: FLOP deltas over the interval.  Worker
+    registries reset each epoch, so a negative delta (new epoch) renders
+    as a dash rather than a bogus rate.
+    """
+    lines = [_HEADER]
+    for i, s in enumerate(samples):
+        rate = ""
+        if prev is not None and dt and i < len(prev):
+            dflops = s.flops - prev[i].flops
+            if dflops >= 0:
+                rate = f"{dflops / dt / 1e9:8.3f}"
+        if not rate:
+            rate = f"{'-':>8}"
+        age = f"{s.progress_age:6.1f}s" if s.progress_age is not None else "      -"
+        status = "ok"
+        if s.seqno == 0:
+            status = "no beat yet"
+        elif (s.progress_age is not None
+              and s.progress_age > stall_deadline
+              and s.phase in ACTIVE_PHASES):
+            status = "STALLED?"
+        lines.append(
+            f"  {s.rank:>4}  {s.pid:>7}  {phase_name(s.phase):<12} "
+            f"{s.epoch:>5} {s.layer:>5} {s.seqno:>7} {s.spans_closed:>6} "
+            f"{rate} {age}  {status}"
+        )
+    return "\n".join(lines)
+
+
+def _render_snapshot(path: str, stall_deadline: float) -> int:
+    with open(path) as fh:
+        snap = json.load(fh)
+    if snap.get("schema") != "repro.live/1":
+        print(f"warning: unknown snapshot schema {snap.get('schema')!r}",
+              file=sys.stderr)
+    samples = [
+        _sample_from_dict(i, d) for i, d in enumerate(snap.get("workers", []))
+    ]
+    print(f"telemetry snapshot: {path}  (k={snap.get('k', len(samples))})")
+    print(render_table(samples, stall_deadline=stall_deadline))
+    return 0
+
+
+def _watch_slab(slab: TelemetrySlab, interval: float, iterations: int,
+                stall_deadline: float, clear: bool) -> int:
+    prev: list[WorkerSample] | None = None
+    prev_t: float | None = None
+    i = 0
+    while iterations <= 0 or i < iterations:
+        now = time.monotonic()
+        samples = slab.sample(now=now)
+        dt = (now - prev_t) if prev_t is not None else None
+        if clear:
+            print("\x1b[2J\x1b[H", end="")
+        print(f"live telemetry  (k={slab.k}, poll {i + 1})")
+        print(render_table(samples, prev=prev, dt=dt,
+                           stall_deadline=stall_deadline))
+        prev, prev_t = samples, now
+        i += 1
+        if iterations > 0 and i >= iterations:
+            break
+        time.sleep(interval)
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Live per-worker table over the shared telemetry slab."
+    )
+    src = parser.add_mutually_exclusive_group(required=True)
+    src.add_argument("--slab", metavar="DESCRIPTOR",
+                     help="slab descriptor JSON written by "
+                          "TelemetrySlab.write_descriptor")
+    src.add_argument("--snapshot", metavar="SNAP",
+                     help="offline telemetry snapshot "
+                          "(MultiprocessTrainer.telemetry_snapshot)")
+    parser.add_argument("--watch", action="store_true",
+                        help="refresh until interrupted (default: one sample)")
+    parser.add_argument("--interval", type=float, default=1.0,
+                        help="seconds between refreshes (default 1.0)")
+    parser.add_argument("--iterations", type=int, default=0,
+                        help="stop after N refreshes (0 = until ^C)")
+    parser.add_argument("--stall-deadline", type=float, default=5.0,
+                        help="seconds of frozen progress before a row is "
+                             "marked STALLED? (default 5)")
+    args = parser.parse_args(argv)
+
+    if args.snapshot:
+        return _render_snapshot(args.snapshot, args.stall_deadline)
+
+    with open(args.slab) as fh:
+        descriptor = json.load(fh)
+    if descriptor.get("schema") != "repro.live-slab/1":
+        print(f"warning: unknown slab schema {descriptor.get('schema')!r}",
+              file=sys.stderr)
+    slab = TelemetrySlab.attach(descriptor)
+    try:
+        iterations = args.iterations if args.watch else 1
+        return _watch_slab(slab, args.interval, iterations,
+                           args.stall_deadline, clear=args.watch)
+    except KeyboardInterrupt:
+        return 0
+    finally:
+        # Non-owning attach: close() only detaches this process's view.
+        slab.close()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

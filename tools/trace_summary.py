@@ -11,6 +11,13 @@ The summary view aggregates spans by name (count / total / mean / max,
 ``~`` marking simulated durations), then lists counters (total + peak),
 gauges and event counts — the same rendering ``repro.obs.summary()``
 produces for a live registry.
+
+Merged multiprocess traces (spans carrying an integer ``worker`` attr
+from two or more ranks) additionally get **per-rank sections** — each
+rank's spans aggregated separately, in lane order — and a cross-rank
+**critical path** line naming, per layer, the rank whose compute+comm
+bounded the barrier.  ``--per-rank`` forces the sections on even for a
+single-rank trace.
 """
 
 from __future__ import annotations
@@ -24,7 +31,7 @@ sys.path.insert(
     0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
 )
 
-from repro.obs import aggregate_spans, render_summary  # noqa: E402
+from repro.obs import aggregate_spans, render_summary, straggler_report  # noqa: E402
 
 
 def _span_listing(spans: list[dict], limit: int) -> str:
@@ -54,6 +61,63 @@ def _event_listing(events: list[dict], limit: int) -> str:
     return "\n".join(lines) or "  (no events)"
 
 
+def _rank_of(span: dict) -> int | None:
+    """The integer worker rank a span belongs to, if any."""
+    worker = (span.get("attrs") or {}).get("worker")
+    if isinstance(worker, bool) or not isinstance(worker, int):
+        return None
+    return worker
+
+
+def per_rank_summary(spans: list[dict]) -> str:
+    """Per-rank span aggregates + the cross-rank critical-path line.
+
+    Groups spans by their ``worker`` attr (the lane assignment of a
+    merged multiprocess trace); unattributed spans — the parent's own —
+    are summarized under ``(parent)``.
+    """
+    by_rank: dict[int, list[dict]] = {}
+    parent_spans: list[dict] = []
+    for s in spans:
+        rank = _rank_of(s)
+        if rank is None:
+            parent_spans.append(s)
+        else:
+            by_rank.setdefault(rank, []).append(s)
+    if not by_rank:
+        return ""
+    lines = ["per-rank spans:"]
+    sections = [(f"rank {r}", by_rank[r]) for r in sorted(by_rank)]
+    if parent_spans:
+        sections.append(("(parent)", parent_spans))
+    for label, rank_spans in sections:
+        total = sum(float(s["duration"]) for s in rank_spans)
+        lines.append(f"  {label}  ({len(rank_spans)} spans, "
+                     f"{total * 1e3:.3f}ms total)")
+        stats = aggregate_spans(rank_spans)
+        for name in sorted(stats, key=lambda n: -stats[n]["total"]):
+            row = stats[name]
+            mean = row["total"] / max(row["count"], 1)
+            tag = "~" if row.get("simulated") else " "
+            lines.append(
+                f"    {name:<32} {row['count']:>6} "
+                f"{row['total'] * 1e3:>10.3f}ms {mean * 1e3:>10.3f}ms{tag}"
+            )
+    report = straggler_report(spans)
+    if report.critical_path:
+        path = " ".join(
+            f"L{layer}->w{worker}"
+            for layer, worker in sorted(report.critical_path.items())
+        )
+        lines.append(f"  cross-rank critical path: {path}")
+    if report.slowest_worker is not None and len(report.per_worker) > 1:
+        lines.append(
+            f"  slowest rank: w{report.slowest_worker} "
+            f"(skew ratio {report.skew_ratio:.2f})"
+        )
+    return "\n".join(lines)
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         description="Pretty-print a repro.obs JSON trace file."
@@ -65,6 +129,9 @@ def main(argv: list[str] | None = None) -> int:
                         help="list individual events in time order")
     parser.add_argument("--limit", type=int, default=200,
                         help="max rows for --spans/--events (default 200)")
+    parser.add_argument("--per-rank", action="store_true",
+                        help="force per-rank sections (auto for merged "
+                             "multiprocess traces)")
     args = parser.parse_args(argv)
 
     with open(args.trace) as fh:
@@ -83,8 +150,9 @@ def main(argv: list[str] | None = None) -> int:
     if args.events:
         print(_event_listing(data.get("events", []), args.limit))
         return 0
+    spans = data.get("spans", [])
     print(render_summary(
-        aggregate_spans(data.get("spans", [])),
+        aggregate_spans(spans),
         data.get("counters", {}),
         data.get("gauges", {}),
         data.get("events", []),
@@ -92,6 +160,12 @@ def main(argv: list[str] | None = None) -> int:
         histograms=data.get("histograms", {}),
         epochs=data.get("epochs", {}),
     ))
+    ranks = {_rank_of(s) for s in spans} - {None}
+    if args.per_rank or len(ranks) >= 2:
+        section = per_rank_summary(spans)
+        if section:
+            print()
+            print(section)
     return 0
 
 
