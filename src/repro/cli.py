@@ -105,6 +105,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="micro-batch max delay window")
     serve.add_argument("--queue-depth", type=int, default=256,
                        help="admission bound (requests beyond it are shed)")
+    serve.add_argument("--slo-p99-ms", type=float, default=None,
+                       help="rolling-window p99 SLO in ms; with "
+                            "--flight-dir set, breaches snapshot an "
+                            "incident bundle")
     return parser
 
 
@@ -127,6 +131,11 @@ def _dataset_args(parser: argparse.ArgumentParser) -> None:
                              "bytes, arithmetic intensity per op/span/"
                              "backend) as JSON and print the roofline "
                              "report")
+    parser.add_argument("--flight-dir", metavar="DIR",
+                        help="enable the flight recorder: journal recent "
+                             "spans/events/logs to DIR and write a "
+                             "self-contained incident bundle there when "
+                             "the command crashes (see tools/postmortem.py)")
 
 
 def _model_args(parser: argparse.ArgumentParser) -> None:
@@ -335,6 +344,8 @@ def _cmd_serve(args) -> int:
     server = GNNServer(
         session, num_workers=args.workers, max_batch_size=args.batch_size,
         max_delay=args.max_delay_ms / 1e3, max_queue_depth=args.queue_depth,
+        flight_dir=getattr(args, "flight_dir", None),
+        slo_p99_ms=args.slo_p99_ms,
     )
     with server:
         for i in range(0, args.requests, 4):
@@ -376,12 +387,51 @@ def main(argv: list[str] | None = None) -> int:
     chrome_path = getattr(args, "chrome_trace", None)
     metrics_path = getattr(args, "metrics", None)
     profile_path = getattr(args, "profile", None)
+    flight_dir = getattr(args, "flight_dir", None)
     exporting = trace_path or chrome_path or metrics_path or profile_path
     if exporting:
         from . import obs
 
         obs.reset()
-    rc = _COMMANDS[args.command](args)
+    if flight_dir:
+        import os
+
+        from .obs.flight import FlightRecorder, install_flight
+
+        os.makedirs(flight_dir, exist_ok=True)
+        install_flight(FlightRecorder(
+            journal_path=os.path.join(flight_dir, "journal-cli.jsonl"),
+        ))
+    try:
+        rc = _COMMANDS[args.command](args)
+    except Exception:
+        if flight_dir:
+            # Crash hook: the black box plus the traceback become a
+            # post-mortem bundle before the error propagates.
+            import traceback
+
+            from .obs.flight import get_flight, write_incident_bundle
+
+            recorder = get_flight()
+            if recorder is not None:
+                recorder.crash(traceback.format_exc(), reason="cli_crash")
+            bundle = write_incident_bundle(
+                flight_dir, "cli_crash",
+                reason=f"command {args.command!r} raised",
+                config={"argv": list(argv) if argv is not None
+                        else sys.argv[1:]},
+            )
+            print(f"incident bundle written to {bundle}", file=sys.stderr)
+        raise
+    finally:
+        if flight_dir:
+            # Journal writes are asynchronous: drain the queue before
+            # the interpreter kills the daemon writer thread.
+            from .obs.flight import uninstall_flight
+
+            recorder = uninstall_flight()
+            if recorder is not None:
+                recorder.close()
     if trace_path:
         obs.export_json(trace_path)
         print(f"\ntrace written to {trace_path}")

@@ -33,12 +33,22 @@ __all__ = ["CheckpointManager", "FaultTolerantTrainer", "WorkerFailure", "Recove
 
 
 class WorkerFailure(RuntimeError):
-    """Raised (or injected) when a worker dies mid-epoch."""
+    """Raised (or injected) when a worker dies mid-epoch.
 
-    def __init__(self, worker_id: int, epoch: int):
-        super().__init__(f"worker {worker_id} failed during epoch {epoch}")
+    ``bundle`` carries the incident-bundle path the multiprocess runtime
+    wrote at detection time (``None`` when black-box capture is off or
+    the failure is simulated).
+    """
+
+    def __init__(self, worker_id: int, epoch: int,
+                 bundle: str | None = None):
+        message = f"worker {worker_id} failed during epoch {epoch}"
+        if bundle:
+            message += f" [bundle: {bundle}]"
+        super().__init__(message)
         self.worker_id = worker_id
         self.epoch = epoch
+        self.bundle = bundle
 
 
 @dataclass
@@ -49,6 +59,8 @@ class RecoveryEvent:
     worker_id: int
     restored_from_epoch: int
     replayed_epochs: int
+    #: incident bundle written when the failure was detected, if any
+    bundle: str | None = None
 
 
 class CheckpointManager:
@@ -228,5 +240,6 @@ class FaultTolerantTrainer:
                 worker_id=failure.worker_id,
                 restored_from_epoch=restored_epoch,
                 replayed_epochs=max(replayed, 0),
+                bundle=getattr(failure, "bundle", None),
             )
         )

@@ -72,6 +72,12 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from .. import obs
+from ..obs.flight import (
+    FlightRecorder,
+    install_flight,
+    uninstall_flight,
+    write_incident_bundle,
+)
 from ..obs.live import (
     PHASE_AWAIT_GRAD,
     PHASE_BACKWARD,
@@ -84,7 +90,9 @@ from ..obs.live import (
     StallDetector,
     StallEvent,
     TelemetrySlab,
+    phase_name,
 )
+from ..obs.log import clear_log_context, get_logger, set_log_context
 from ..core.hdg import HDG
 from ..core.hybrid import ExecutionStrategy
 from ..core.nau import NAUModel, SelectionScope
@@ -138,6 +146,7 @@ class _WorkerSpec:
     inbox: object          # task queue (this rank only)
     result_q: object       # shared result queue
     telemetry: TelemetrySlab | None = None   # live metrics plane (one row per rank)
+    flight_dir: str | None = None            # per-rank journal + bundle dir
     param_keys: list = field(default_factory=list)
 
 
@@ -163,11 +172,48 @@ class _WorkerRuntime:
         self._startup_bytes = 0.0
         self._startup_messages = 0
         self.tele = spec.telemetry.writer(spec.rank) if spec.telemetry else None
+        # The black box: a per-rank flight recorder journaling to
+        # ``journal-rank{r}.jsonl`` under the flight dir, so this rank's
+        # final spans/logs/phases survive its own death.
+        self.flight: FlightRecorder | None = None
+        if spec.flight_dir is not None:
+            self.flight = install_flight(FlightRecorder(
+                journal_path=os.path.join(
+                    spec.flight_dir, f"journal-rank{spec.rank}.jsonl"),
+                rank=spec.rank,
+            ))
+        set_log_context(rank=spec.rank)
+        self.log = get_logger("dist.worker")
 
     def _phase(self, phase: int, *, epoch: int | None = None,
                layer: int | None = None) -> None:
         if self.tele is not None:
             self.tele.update(phase=phase, epoch=epoch, layer=layer)
+        name = phase_name(phase)
+        set_log_context(phase=name, epoch=epoch, layer=layer)
+        if self.flight is not None:
+            self.flight.record("phase", phase=name, epoch=epoch, layer=layer)
+
+    def _on_barrier(self, event: str) -> None:
+        """Barrier hook: journal the transition into the waiting phase
+        (so a post-mortem sees barrier-parked ranks as victims, not as
+        frozen mid-forward), then forward to the telemetry writer."""
+        if event == "enter":
+            set_log_context(phase="barrier")
+            if self.flight is not None:
+                self.flight.record("phase", phase="barrier")
+        if self.tele is not None:
+            self.tele.on_barrier(event)
+
+    def _die(self, reason: str) -> None:
+        """Die the way a segfault would — but the black box records the
+        final stack first (the journal's ``os.write`` puts it in the
+        page cache, which survives ``os._exit``)."""
+        self.log.error("worker dying", reason=reason)
+        if self.flight is not None:
+            self.flight.crash("".join(traceback.format_stack()),
+                              reason=reason)
+        os._exit(1)
 
     # ------------------------------------------------------------------
     def run(self) -> None:
@@ -177,9 +223,9 @@ class _WorkerRuntime:
             if tag == "stop":
                 return
             if tag == "die":
-                # Failure injection: die the way a segfault would — no
-                # cleanup, no exception, just a vanished process.
-                os._exit(1)
+                # Failure injection: no cleanup, no exception, just a
+                # vanished process (after the black box's final record).
+                self._die("injected_failure")
             if tag == "epoch":
                 self._run_epoch(msg[1])
 
@@ -235,6 +281,8 @@ class _WorkerRuntime:
             reg.trace_id = payload["trace_id"]
         if self.tele is not None:
             self.tele.set_clock_origin(reg.origin)
+        self.log.info("epoch start", epoch=epoch,
+                      version=int(payload["version"]))
         stall_s = float(payload.get("stall_seconds") or 0.0)
         if payload.get("sub_hdg") is not None:
             self._attach_hdg(payload["sub_hdg"])
@@ -304,7 +352,7 @@ class _WorkerRuntime:
         msg = self.spec.inbox.get()
         if msg[0] != "bwd":
             if msg[0] == "die":
-                os._exit(1)
+                self._die("injected_failure")
             return  # "stop" mid-epoch: parent is tearing the pool down
 
         # -------------------------- backward --------------------------
@@ -367,6 +415,15 @@ class _WorkerRuntime:
                         phase="param_allreduce", bytes=red_bytes)
 
         self._phase(PHASE_DONE, epoch=epoch)
+        if self.flight is not None:
+            # One metric sample per epoch: the ring carries the final
+            # counter/gauge state alongside the spans.  Then drain the
+            # journal queue — the rank is past its last barrier and
+            # about to idle, so the batched write is off the critical
+            # path, and a completed epoch is always fully journaled
+            # even if this rank is killed before its next drain tick.
+            self.flight.record_metrics(reg)
+            self.flight.flush()
         spans = [s.to_dict() for s in reg.spans if s.closed]
         self.spec.result_q.put(("done", self.rank, {
             "compute_seconds": compute_s,
@@ -387,14 +444,28 @@ def _worker_main(spec: _WorkerSpec) -> None:
     # Fresh per-process registry: under fork the child inherits the
     # parent's spans, which must not be shipped back a second time.
     obs.reset()
+    # Under fork the child also inherits the parent's flight tap (a dup
+    # of its journal fd plus whatever records sat in its drain queue —
+    # the parent's drain thread does not survive the fork).  Drop it
+    # without draining: those records belong to the parent, which will
+    # write them itself.  This rank installs its own recorder with its
+    # own journal in _WorkerRuntime.__init__.
+    inherited = uninstall_flight()
+    if inherited is not None:
+        inherited.close(drain=False)
+    clear_log_context()
     try:
         runtime = _WorkerRuntime(spec)
-        heartbeat = runtime.tele.on_barrier if runtime.tele is not None else None
-        spec.comm.bind(spec.rank, heartbeat=heartbeat)
+        spec.comm.bind(spec.rank, heartbeat=runtime._on_barrier)
         runtime.run()
     except BaseException:  # noqa: BLE001 - ship any failure to the parent
+        tb = traceback.format_exc()
+        recorder = obs.get_flight()
+        if recorder is not None:
+            # The crash hook: the journal's last record is the traceback.
+            recorder.crash(tb, reason="exception")
         try:
-            spec.result_q.put(("error", spec.rank, traceback.format_exc()))
+            spec.result_q.put(("error", spec.rank, tb))
         except Exception:  # pragma: no cover - queue already torn down
             pass
 
@@ -422,6 +493,7 @@ class MultiprocessTrainer:
         ctx=None,
         timeout: float = 120.0,
         stall_deadline: float = 5.0,
+        flight_dir: str | None = None,
     ):
         self.model = model
         self.graph = graph
@@ -465,6 +537,20 @@ class MultiprocessTrainer:
         self._stall_detector = StallDetector(self.stall_deadline)
         #: every stall detected so far (also emitted as obs events)
         self.stall_events: list[StallEvent] = []
+        #: flight-recorder plane: per-rank journals + incident bundles
+        #: land here; ``None`` disables black-box capture entirely
+        self.flight_dir = flight_dir
+        self._own_flight: FlightRecorder | None = None
+        if flight_dir is not None:
+            os.makedirs(flight_dir, exist_ok=True)
+            if obs.get_flight() is None:
+                # No recorder installed (e.g. trainer constructed outside
+                # the CLI): give the parent its own, journaled alongside
+                # the workers'.
+                self._own_flight = install_flight(FlightRecorder(
+                    journal_path=os.path.join(flight_dir,
+                                              "journal-parent.jsonl"),
+                ))
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -514,6 +600,7 @@ class MultiprocessTrainer:
                 hslabs=self._hslabs, pslabs=self._pslabs, pbuf=self._pbuf,
                 inbox=self._inboxes[rank], result_q=self._result_q,
                 telemetry=self.telemetry,
+                flight_dir=self.flight_dir,
                 param_keys=self._param_keys,
             )
             proc = self.ctx.Process(target=_worker_main, args=(spec,),
@@ -596,6 +683,11 @@ class MultiprocessTrainer:
             self._pbuf.close()
         self.telemetry.close()
         self.kv.close()
+        if self._own_flight is not None:
+            if obs.get_flight() is self._own_flight:
+                uninstall_flight()
+            self._own_flight.close()
+            self._own_flight = None
 
     def __enter__(self) -> "MultiprocessTrainer":
         return self
@@ -628,12 +720,48 @@ class MultiprocessTrainer:
             self._hdg_dirty = set(range(self.k))
         return self._model_hdg
 
+    def _dump_incident(self, kind: str, *, rank: int | None = None,
+                       reason: str | None = None,
+                       extra_sections: dict | None = None) -> str | None:
+        """Snapshot one incident bundle under ``flight_dir`` (no-op when
+        black-box capture is off).  Must run *before* ``_teardown_pool``
+        so the telemetry slab still holds the workers' last rows."""
+        if self.flight_dir is None:
+            return None
+        sections = {
+            "telemetry": self.telemetry.snapshot(),
+            "stalls": {
+                "deadline": self.stall_deadline,
+                "events": [s.to_dict() for s in self.stall_events],
+            },
+        }
+        if extra_sections:
+            sections.update(extra_sections)
+        try:
+            return write_incident_bundle(
+                self.flight_dir, kind, rank=rank, reason=reason,
+                config={
+                    "k": self.k,
+                    "strategy": self.strategy.value,
+                    "timeout": self.timeout,
+                    "stall_deadline": self.stall_deadline,
+                    "num_vertices": int(self.graph.num_vertices),
+                },
+                sections=sections,
+            )
+        except OSError:  # pragma: no cover - flight dir vanished
+            return None
+
     def _check_liveness(self, epoch: int) -> None:
         assert self._procs is not None
         for rank, proc in enumerate(self._procs):
             if not proc.is_alive():
+                bundle = self._dump_incident(
+                    "worker_failure", rank=rank,
+                    reason=f"worker {rank} died during epoch {epoch} "
+                           f"(exitcode {proc.exitcode})")
                 self._teardown_pool()
-                raise WorkerFailure(rank, epoch)
+                raise WorkerFailure(rank, epoch, bundle=bundle)
 
     def _poll_telemetry(self) -> None:
         """Sample the live slab, publish gauges, flag frozen heartbeats.
@@ -657,6 +785,14 @@ class MultiprocessTrainer:
                 stalled_seconds=stall.stalled_seconds,
                 deadline=self.stall_deadline,
             )
+            # Stalls do not abort the epoch, but they are incidents: the
+            # bundle captures the cluster exactly while it is wedged.
+            self._dump_incident(
+                "worker_stalled", rank=stall.rank,
+                reason=f"rank {stall.rank} heartbeat frozen "
+                       f"{stall.stalled_seconds:.1f}s in "
+                       f"{stall.phase_name} (epoch {stall.epoch}, "
+                       f"layer {stall.layer})")
 
     def _await(self, tag: str, epoch: int, count: int) -> dict[int, dict]:
         """Collect ``count`` messages of kind ``tag``, surfacing worker
@@ -670,9 +806,15 @@ class MultiprocessTrainer:
                 self._check_liveness(epoch)
                 self._poll_telemetry()
                 if time.monotonic() > deadline:
-                    self._teardown_pool()
                     stalled = sorted({s.rank for s in self.stall_events})
+                    bundle = self._dump_incident(
+                        "epoch_timeout",
+                        reason=f"workers did not reach {tag!r} within "
+                               f"{self.timeout}s")
+                    self._teardown_pool()
                     hint = f" (stalled ranks: {stalled})" if stalled else ""
+                    if bundle:
+                        hint += f" [bundle: {bundle}]"
                     raise TimeoutError(
                         f"workers did not reach {tag!r} within "
                         f"{self.timeout}s{hint}"

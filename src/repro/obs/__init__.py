@@ -18,6 +18,10 @@ instead of growing its own ad-hoc clocks and module-global counters:
 * :mod:`repro.obs.profile` — op-level FLOP/byte accounting attributed
   to the enclosing spans, with :func:`profile_report` /
   :func:`render_profile_report` roofline-style summaries;
+* :mod:`repro.obs.flight` — the crash-surviving flight recorder
+  (bounded ring + per-rank journals) and incident bundles;
+* :mod:`repro.obs.log` — structured logging stamped with
+  rank/epoch/layer/phase and the enclosing span;
 * :mod:`repro.obs.analysis` — straggler/skew reports aggregated from
   the distributed per-worker spans, plus :func:`backend_report`
   ranking aggregation backends per HDG level by measured cost;
@@ -32,7 +36,7 @@ measurement window.  All primitives are cheap (a ``perf_counter`` call
 and a list append) so they stay on in production code paths.
 """
 
-from . import analysis, live, profile
+from . import analysis, flight, live, log, profile
 from .analysis import (
     StallReport,
     StragglerReport,
@@ -54,8 +58,24 @@ from .export import (
     to_dict,
     to_prometheus,
 )
+from .flight import (
+    FlightRecorder,
+    get_flight,
+    install_flight,
+    latest_incident,
+    read_journal,
+    uninstall_flight,
+    write_incident_bundle,
+)
 from .histogram import Histogram
 from .live import StallDetector, StallEvent, TelemetrySlab, WorkerTelemetry
+from .log import (
+    StructuredLogger,
+    clear_log_context,
+    get_logger,
+    log_context,
+    set_log_context,
+)
 from .metrics import Counter, Gauge
 from .registry import (
     SPAN_HISTOGRAM_PREFIX,
@@ -122,6 +142,20 @@ __all__ = [
     "render_stall_report",
     "backend_report",
     "render_backend_report",
+    "flight",
+    "FlightRecorder",
+    "install_flight",
+    "uninstall_flight",
+    "get_flight",
+    "write_incident_bundle",
+    "latest_incident",
+    "read_journal",
+    "log",
+    "StructuredLogger",
+    "get_logger",
+    "set_log_context",
+    "clear_log_context",
+    "log_context",
     "live",
     "TelemetrySlab",
     "WorkerTelemetry",

@@ -1,0 +1,471 @@
+"""The flight recorder: crash-surviving black-box capture.
+
+Everything else in ``repro.obs`` optimizes for the *surviving* process:
+spans accumulate in a per-process registry and reach the parent when a
+worker ships its epoch results.  A rank that dies inside a reduction
+takes that registry — its spans, its metric state, its final phase —
+with it, and the post-mortem question ("what was rank 1 doing when it
+vanished?") becomes unanswerable.
+
+A :class:`FlightRecorder` closes that gap the way an aircraft black box
+does: a bounded ring buffer of the most recent telemetry — closed
+spans, events, structured log records (:mod:`repro.obs.log`), phase
+transitions, metric samples — continuously spilled to an append-only
+per-rank *journal* file.  Journal writes stay off the hot path: the
+recording thread appends the record to an in-process queue (one deque
+append — the worker's phase transitions sit right at barrier
+boundaries, where every extra syscall de-synchronizes ranks), and a
+daemon drain thread batches them to an ``O_APPEND`` fd via ``os.write``
+every ``_DRAIN_INTERVAL``.  Once written they live in the kernel page
+cache and
+survive ``os._exit``, ``SIGKILL`` and segfaults.  Controlled deaths
+(:meth:`FlightRecorder.crash` — the worker crash hook, ``_die``) drain
+the queue *synchronously* before the process exits, so the journal
+always ends with the traceback; only an uncatchable kill can lose the
+final drain interval.  The parent (or ``tools/postmortem.py``) reads
+the dead rank's final moments straight from its journal.
+
+The recorder taps the registry (``Registry.flight``) so instrumentation
+does not change: every ``end_span``/``event`` forwards one shallow
+record.  The tap survives :func:`repro.obs.reset` deliberately — worker
+processes reset their registry each epoch, and the black box must keep
+recording across that boundary or it would lose exactly the incident
+it exists to capture.  Ring writes are plain list stores (append-only,
+no locks); journaling costs the recording thread one deque append —
+serialization and the write syscall happen on the drain thread.
+
+Incident bundles
+----------------
+:func:`write_incident_bundle` snapshots one incident into a
+self-contained directory::
+
+    incident-<kind>-<stamp>/
+      manifest.json     kind, wall time, rank, reason, trace id, config
+      flight.json       the calling process's ring dump
+      journal-*.jsonl   copies of every per-rank journal in the flight dir
+      telemetry.json    live TelemetrySlab snapshot        (section)
+      stalls.json       StallDetector state + episodes     (section)
+      requests.json     serving requests in flight         (section)
+      metrics.json      registry counters/gauges/histograms
+      trace.json        merged partial Chrome trace of the parent registry
+
+The multiprocess runtime dumps one on ``WorkerFailure``, on
+``dist.worker_stalled`` and on epoch timeout; ``GNNServer`` snapshots
+on SLO breach and shed-rate spikes; the CLI dumps one when a command
+crashes.  ``tools/postmortem.py`` analyzes a bundle into a per-rank
+timeline and a culprit-vs-victim ranking.
+"""
+
+from __future__ import annotations
+
+import collections
+import itertools
+import json
+import os
+import shutil
+import threading
+import time
+
+from .registry import EventRecord, Registry, SpanRecord, get_registry
+
+__all__ = [
+    "FlightRecorder",
+    "install_flight",
+    "uninstall_flight",
+    "get_flight",
+    "write_incident_bundle",
+    "latest_incident",
+    "read_journal",
+    "FLIGHT_SCHEMA",
+    "INCIDENT_SCHEMA",
+    "INCIDENT_PREFIX",
+    "JOURNAL_PREFIX",
+]
+
+FLIGHT_SCHEMA = "repro.flight/1"
+INCIDENT_SCHEMA = "repro.incident/1"
+
+#: incident bundle directories are named ``incident-<kind>-<stamp>``
+INCIDENT_PREFIX = "incident-"
+#: per-process journal files are named ``journal-<who>.jsonl``
+JOURNAL_PREFIX = "journal-"
+
+#: event names starting with this prefix reach the recorder through
+#: :meth:`FlightRecorder.on_log` (see repro.obs.log) and are skipped by
+#: the generic event tap so they are not journaled twice.
+_LOG_EVENT_PREFIX = "log."
+
+_BUNDLE_SEQ = itertools.count(1)
+
+#: how long a journaled record may sit in the in-process queue before
+#: the drain thread writes it out (the SIGKILL loss window; controlled
+#: deaths drain synchronously and lose nothing).  Deliberately coarse:
+#: on a single-core host every thread wake preempts a worker, and the
+#: workers' phase records sit at barrier boundaries where one badly
+#: timed context switch gates every rank.
+_DRAIN_INTERVAL = 0.25
+
+
+def _json_default(value):
+    """Last-resort JSON coercion: numpy scalars/arrays, then ``str``."""
+    item = getattr(value, "item", None)
+    if callable(item):
+        try:
+            return item()
+        except (TypeError, ValueError):
+            pass
+    tolist = getattr(value, "tolist", None)
+    if callable(tolist):
+        return tolist()
+    return str(value)
+
+
+def _dumps(obj) -> str:
+    # Fast path: pure-builtin records (the overwhelming majority) skip
+    # the default-handler machinery; numpy-bearing attrs fall back.
+    try:
+        return json.dumps(obj, separators=(",", ":"))
+    except (TypeError, ValueError):
+        return json.dumps(obj, separators=(",", ":"), default=_json_default)
+
+
+class FlightRecorder:
+    """Bounded ring of recent telemetry, spilled to a durable journal.
+
+    Parameters
+    ----------
+    capacity:
+        Ring size in records.  Older records fall out of the ring but —
+        when a ``journal_path`` is set — remain in the journal file.
+    journal_path:
+        Append-only JSONL spill target.  Records are queued by the
+        recording thread and written out by a daemon drain thread
+        within ``_DRAIN_INTERVAL``; :meth:`crash` and :meth:`close`
+        drain synchronously.  ``None`` keeps the recorder in-memory
+        only.
+    rank:
+        Stamped into every record and the :meth:`dump` header, so
+        merged post-mortem timelines can attribute records.
+    """
+
+    def __init__(self, capacity: int = 1024,
+                 journal_path: str | None = None,
+                 rank: int | None = None):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = int(capacity)
+        self.rank = rank
+        self.journal_path = journal_path
+        self._ring: list = [None] * self.capacity
+        self._total = 0
+        # Journal plumbing: records queue on a deque (GIL-atomic append,
+        # no syscall on the recording thread) and a daemon thread drains
+        # them to a raw O_APPEND fd.  Drains serialize under a lock so
+        # a synchronous flush (crash path) cannot interleave with the
+        # background drain and reorder records.
+        self._journal_fd: int | None = None
+        self._pending: collections.deque | None = None
+        self._drain_lock: threading.Lock | None = None
+        self._drain_stop: threading.Event | None = None
+        self._drain_thread: threading.Thread | None = None
+        if journal_path is not None:
+            directory = os.path.dirname(os.path.abspath(journal_path))
+            os.makedirs(directory, exist_ok=True)
+            self._journal_fd = os.open(
+                journal_path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644
+            )
+            self._pending = collections.deque()
+            self._drain_lock = threading.Lock()
+            self._drain_stop = threading.Event()
+            self._drain_thread = threading.Thread(
+                target=self._drain_loop, name="flight-journal", daemon=True
+            )
+            self._drain_thread.start()
+
+    # ------------------------------------------------------------------
+    # recording (the hot path: one dict build, one list store, one
+    # deque append — no locks, no syscalls)
+    # ------------------------------------------------------------------
+    def record(self, kind: str, **data) -> dict:
+        """Append one record to the ring (and the journal queue, if
+        any).  The drain thread writes it out within
+        ``_DRAIN_INTERVAL``; call :meth:`flush` to force it."""
+        entry = {"kind": kind, "t": time.time()}
+        if self.rank is not None:
+            entry["rank"] = self.rank
+        entry.update(data)
+        self._ring[self._total % self.capacity] = entry
+        self._total += 1
+        if self._pending is not None:
+            self._pending.append(entry)
+        return entry
+
+    def _drain_loop(self) -> None:
+        stop = self._drain_stop
+        while not stop.wait(_DRAIN_INTERVAL):
+            self.flush()
+
+    def flush(self) -> None:
+        """Drain queued records to the journal fd now (synchronous)."""
+        pending, fd = self._pending, self._journal_fd
+        if not pending or fd is None:
+            return
+        with self._drain_lock:
+            lines = []
+            while True:
+                try:
+                    lines.append(_dumps(pending.popleft()))
+                except IndexError:
+                    break
+            if lines:
+                try:
+                    os.write(fd, ("\n".join(lines) + "\n").encode("utf-8"))
+                except OSError:  # pragma: no cover - fd closed under us
+                    pass
+
+    # -- registry taps (see Registry.end_span / Registry.event) --------
+    def on_span(self, record: SpanRecord) -> None:
+        attrs = record.attrs
+        self.record(
+            "span", name=record.name, start=record.start,
+            duration=record.duration,
+            **({"attrs": dict(attrs)} if attrs else {}),
+        )
+
+    def on_event(self, record: EventRecord) -> None:
+        if record.name.startswith(_LOG_EVENT_PREFIX):
+            return  # structured logs arrive via on_log; don't journal twice
+        self.record(
+            "event", name=record.name, time=record.time,
+            **({"attrs": dict(record.attrs)} if record.attrs else {}),
+        )
+
+    def on_log(self, payload: dict) -> None:
+        """One structured log record (see :mod:`repro.obs.log`)."""
+        self.record("log", **payload)
+
+    def record_metrics(self, registry: Registry | None = None) -> dict:
+        """Sample the registry's counters/gauges into one ring record."""
+        reg = registry or get_registry()
+        return self.record(
+            "metrics",
+            counters={n: c.total for n, c in reg.counters.items()},
+            gauges={n: g.value for n, g in reg.gauges.items()},
+        )
+
+    def crash(self, traceback_text: str, reason: str = "crash") -> dict:
+        """The final record: the queue is drained synchronously before
+        returning, so the journal ends with the traceback even when the
+        caller's next statement is ``os._exit``."""
+        entry = self.record("crash", reason=reason,
+                            traceback=traceback_text)
+        self.flush()
+        return entry
+
+    # ------------------------------------------------------------------
+    # readout
+    # ------------------------------------------------------------------
+    @property
+    def total(self) -> int:
+        """Records ever written (ring holds the last ``capacity``)."""
+        return self._total
+
+    @property
+    def dropped(self) -> int:
+        """Records that have fallen out of the ring."""
+        return max(0, self._total - self.capacity)
+
+    def entries(self) -> list[dict]:
+        """Ring contents, oldest first."""
+        if self._total <= self.capacity:
+            return [e for e in self._ring[: self._total]]
+        head = self._total % self.capacity
+        return self._ring[head:] + self._ring[:head]
+
+    def dump(self) -> dict:
+        """JSON-ready snapshot of the ring (the ``flight.json`` of an
+        incident bundle)."""
+        return {
+            "schema": FLIGHT_SCHEMA,
+            "rank": self.rank,
+            "pid": os.getpid(),
+            "capacity": self.capacity,
+            "total": self._total,
+            "dropped": self.dropped,
+            "journal_path": self.journal_path,
+            "entries": self.entries(),
+        }
+
+    def close(self, drain: bool = True) -> None:
+        """Stop the drain thread and close the journal fd.
+
+        ``drain=False`` discards queued-but-unwritten records — for a
+        forked child disposing of the recorder it inherited, whose
+        pending records belong to (and will be written by) the parent.
+        """
+        stop, thread = self._drain_stop, self._drain_thread
+        if stop is not None:
+            stop.set()
+        if (thread is not None and thread.is_alive()
+                and thread is not threading.current_thread()):
+            thread.join(timeout=1.0)
+        self._drain_thread = None
+        if drain:
+            self.flush()
+        elif self._pending is not None:
+            self._pending.clear()
+        if self._journal_fd is not None:
+            fd, self._journal_fd = self._journal_fd, None
+            try:
+                os.close(fd)
+            except OSError:  # pragma: no cover - already closed
+                pass
+
+
+# ----------------------------------------------------------------------
+# registry installation
+# ----------------------------------------------------------------------
+def install_flight(recorder: FlightRecorder,
+                   registry: Registry | None = None) -> FlightRecorder:
+    """Tap ``recorder`` into the registry (``reg.flight``): every span
+    close and event is forwarded.  The tap survives ``reset()``."""
+    (registry or get_registry()).flight = recorder
+    return recorder
+
+
+def uninstall_flight(registry: Registry | None = None) -> FlightRecorder | None:
+    """Remove (and return) the installed recorder, if any.  The caller
+    owns closing it."""
+    reg = registry or get_registry()
+    recorder = reg.flight
+    reg.flight = None
+    return recorder
+
+
+def get_flight(registry: Registry | None = None) -> FlightRecorder | None:
+    """The recorder currently tapped into the registry, or ``None``."""
+    return (registry or get_registry()).flight
+
+
+# ----------------------------------------------------------------------
+# journals
+# ----------------------------------------------------------------------
+def read_journal(path: str) -> list[dict]:
+    """Parse a journal file, skipping any truncated trailing line (a
+    process killed mid-write leaves at most one partial record)."""
+    entries: list[dict] = []
+    with open(path, encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                entries.append(json.loads(line))
+            except json.JSONDecodeError:
+                continue
+    return entries
+
+
+# ----------------------------------------------------------------------
+# incident bundles
+# ----------------------------------------------------------------------
+def write_incident_bundle(
+    flight_dir: str,
+    kind: str,
+    *,
+    rank: int | None = None,
+    reason: str | None = None,
+    config: dict | None = None,
+    sections: dict | None = None,
+    registry: Registry | None = None,
+    copy_journals: bool = True,
+    include_trace: bool = True,
+) -> str:
+    """Write one self-contained incident bundle under ``flight_dir``.
+
+    ``sections`` maps section name -> JSON-serializable object; each
+    becomes ``<name>.json`` in the bundle (e.g. ``telemetry``,
+    ``stalls``, ``requests``, ``slo``).  ``copy_journals`` snapshots
+    every ``journal-*.jsonl`` sitting in ``flight_dir`` into the bundle
+    — including a dead worker's.  Returns the bundle directory path.
+    """
+    reg = registry or get_registry()
+    stamp = time.strftime("%Y%m%dT%H%M%S")
+    name = (f"{INCIDENT_PREFIX}{kind}-{stamp}-"
+            f"{os.getpid()}-{next(_BUNDLE_SEQ)}")
+    bundle = os.path.join(flight_dir, name)
+    os.makedirs(bundle, exist_ok=True)
+
+    files: list[str] = []
+
+    def _write(filename: str, payload) -> None:
+        with open(os.path.join(bundle, filename), "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=1, default=_json_default)
+        files.append(filename)
+
+    recorder = reg.flight
+    if recorder is not None:
+        recorder.flush()  # journal copies below must include the queue
+        _write("flight.json", recorder.dump())
+
+    for section, payload in (sections or {}).items():
+        if payload is not None:
+            _write(f"{section}.json", payload)
+
+    _write("metrics.json", reg.metrics_snapshot())
+
+    if include_trace:
+        from .export import to_chrome_trace
+
+        _write("trace.json", to_chrome_trace(reg))
+
+    if copy_journals and os.path.isdir(flight_dir):
+        for entry in sorted(os.listdir(flight_dir)):
+            if entry.startswith(JOURNAL_PREFIX) and entry.endswith(".jsonl"):
+                try:
+                    shutil.copyfile(os.path.join(flight_dir, entry),
+                                    os.path.join(bundle, entry))
+                except OSError:  # pragma: no cover - journal vanished
+                    continue
+                files.append(entry)
+
+    manifest = {
+        "schema": INCIDENT_SCHEMA,
+        "kind": kind,
+        "time_unix": time.time(),
+        "time": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "rank": rank,
+        "reason": reason,
+        "pid": os.getpid(),
+        "trace_id": reg.trace_id,
+        "config": config or {},
+        "files": files,
+    }
+    with open(os.path.join(bundle, "manifest.json"), "w",
+              encoding="utf-8") as fh:
+        json.dump(manifest, fh, indent=1, default=_json_default)
+    reg.event("flight.incident", kind=kind, rank=rank, bundle=bundle)
+    return bundle
+
+
+def latest_incident(flight_dir: str) -> dict | None:
+    """Manifest of the newest incident bundle under ``flight_dir``
+    (with its ``path`` added), or ``None``.  Feeds the "last incident"
+    status line of ``tools/monitor.py --watch``."""
+    if not flight_dir or not os.path.isdir(flight_dir):
+        return None
+    newest: dict | None = None
+    for entry in os.listdir(flight_dir):
+        if not entry.startswith(INCIDENT_PREFIX):
+            continue
+        manifest_path = os.path.join(flight_dir, entry, "manifest.json")
+        try:
+            with open(manifest_path, encoding="utf-8") as fh:
+                manifest = json.load(fh)
+        except (OSError, json.JSONDecodeError):
+            continue
+        manifest["path"] = os.path.join(flight_dir, entry)
+        if newest is None or (manifest.get("time_unix", 0.0)
+                              > newest.get("time_unix", 0.0)):
+            newest = manifest
+    return newest

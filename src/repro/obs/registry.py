@@ -97,6 +97,10 @@ class Registry:
         # Bumped on every reset so memoized counter handles (see
         # profile.record_op) know their cached Counter objects are stale.
         self.generation = getattr(self, "generation", -1) + 1
+        # The flight-recorder tap (repro.obs.flight) deliberately
+        # survives reset: workers reset their registry every epoch, and
+        # the black box must keep recording across that boundary.
+        self.flight = getattr(self, "flight", None)
         self.origin = time.perf_counter()
         #: one id per measurement window; the multiprocess runtime
         #: propagates the parent's to every worker so merged traces can
@@ -176,12 +180,22 @@ class Registry:
         self.histogram(SPAN_HISTOGRAM_PREFIX + record.name).observe(
             record.duration
         )
+        # The flight ring sees every close, even past the record cap or
+        # while disabled — it is a bounded plane of its own, and the
+        # most recent spans are exactly what a post-mortem needs.
+        if self.flight is not None:
+            self.flight.on_span(record)
         if not self.enabled:
             return
         if len(self.spans) >= self.max_records:
             self.dropped_spans += 1
             return
         self.spans.append(record)
+
+    def current_span(self) -> SpanRecord | None:
+        """The innermost open span, or ``None`` (used by the structured
+        logger to stamp records with their enclosing span)."""
+        return self._stack[-1] if self._stack else None
 
     def record_span(self, name: str, duration: float, *,
                     simulated: bool = True, **attrs) -> SpanRecord:
@@ -326,12 +340,20 @@ class Registry:
     # events / counters / gauges
     # ------------------------------------------------------------------
     def event(self, name: str, **attrs) -> None:
+        record = None
+        if self.flight is not None:
+            # The flight ring records events even past the cap or while
+            # disabled (bounded on its own, like the span tap above).
+            record = EventRecord(name=name, time=self.now(), attrs=attrs)
+            self.flight.on_event(record)
         if not self.enabled:
             return
         if len(self.events) >= self.max_records:
             self.dropped_events += 1
             return
-        self.events.append(EventRecord(name=name, time=self.now(), attrs=attrs))
+        if record is None:
+            record = EventRecord(name=name, time=self.now(), attrs=attrs)
+        self.events.append(record)
 
     def counter(self, name: str) -> Counter:
         c = self.counters.get(name)

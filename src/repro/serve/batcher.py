@@ -16,6 +16,7 @@ requests flat while the client sees an explicit, retryable rejection.
 
 from __future__ import annotations
 
+import itertools
 import threading
 import time
 from collections import deque
@@ -25,6 +26,10 @@ from dataclasses import dataclass, field
 import numpy as np
 
 __all__ = ["ServerOverloaded", "InferenceRequest", "MicroBatcher"]
+
+#: process-wide request-id sequence — unique across batchers, so an
+#: incident bundle can name the requests in flight unambiguously
+_REQUEST_IDS = itertools.count(1)
 
 
 class ServerOverloaded(RuntimeError):
@@ -39,6 +44,9 @@ class InferenceRequest:
     seeds: np.ndarray
     future: Future = field(default_factory=Future)
     enqueue_time: float = field(default_factory=time.perf_counter)
+    #: stamped on the serve.request span and propagated (with its batch
+    #: peers') into serve.batch attrs — per-request tracing
+    request_id: int = field(default_factory=lambda: next(_REQUEST_IDS))
 
 
 class MicroBatcher:

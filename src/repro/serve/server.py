@@ -37,6 +37,7 @@ from concurrent.futures import Future
 import numpy as np
 
 from .. import obs
+from ..obs.flight import write_incident_bundle
 from ..obs.registry import get_registry
 from .batcher import InferenceRequest, MicroBatcher, ServerOverloaded
 from .session import InferenceSession
@@ -133,11 +134,22 @@ class GNNServer:
     window_seconds:
         Width of the rolling SLO window (recent p50/p99 + shed rate in
         :meth:`slo_summary`'s ``"window"`` entry).
+    flight_dir, slo_p99_ms, max_shed_rate, snapshot_interval:
+        Black-box capture: with a ``flight_dir`` set, :meth:`slo_summary`
+        writes an incident bundle when the rolling window's p99 exceeds
+        ``slo_p99_ms`` or its shed rate exceeds ``max_shed_rate``
+        (rate-limited to one bundle per ``snapshot_interval`` seconds).
+        The bundle's ``requests`` section names the request ids in
+        flight when the breach fired.
     """
 
     def __init__(self, session: InferenceSession, num_workers: int = 2,
                  max_batch_size: int = 64, max_delay: float = 0.002,
-                 max_queue_depth: int = 256, window_seconds: float = 60.0):
+                 max_queue_depth: int = 256, window_seconds: float = 60.0,
+                 flight_dir: str | None = None,
+                 slo_p99_ms: float | None = None,
+                 max_shed_rate: float = 0.05,
+                 snapshot_interval: float = 30.0):
         if num_workers < 1:
             raise ValueError("num_workers must be >= 1")
         self.session = session
@@ -146,6 +158,15 @@ class GNNServer:
         self.window = _SloWindow(window_seconds)
         self._threads: list[threading.Thread] = []
         self._started = False
+        self.flight_dir = flight_dir
+        self.slo_p99_ms = slo_p99_ms
+        self.max_shed_rate = float(max_shed_rate)
+        self.snapshot_interval = float(snapshot_interval)
+        self._last_snapshot = 0.0
+        # Per-worker-thread view of the batch being executed (request
+        # descriptors).  Single-writer per key under the GIL, so the
+        # snapshot path reads it without a lock.
+        self._active_batches: dict[str, list] = {}
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -231,8 +252,16 @@ class GNNServer:
 
     def _execute(self, batch: list[InferenceRequest], registry) -> None:
         all_seeds = np.concatenate([r.seeds for r in batch])
+        request_ids = [r.request_id for r in batch]
+        worker = threading.current_thread().name
+        self._active_batches[worker] = [
+            {"request_id": r.request_id, "kind": r.kind,
+             "seeds": int(r.seeds.size)} for r in batch
+        ]
         try:
-            with obs.span(BATCH_SPAN, requests=len(batch), seeds=int(all_seeds.size)):
+            with obs.span(BATCH_SPAN, requests=len(batch),
+                          seeds=int(all_seeds.size),
+                          request_ids=request_ids):
                 uniq, inverse = np.unique(all_seeds, return_inverse=True)
                 rows = self.session.embed(uniq)
         except Exception as exc:  # propagate the failure to every caller
@@ -240,6 +269,7 @@ class GNNServer:
             for request in batch:
                 if not request.future.done():
                     request.future.set_exception(exc)
+            self._active_batches.pop(worker, None)
             return
         offset = 0
         for request in batch:
@@ -258,7 +288,9 @@ class GNNServer:
             registry.record_span(
                 REQUEST_SPAN, latency,
                 simulated=False, kind=request.kind, seeds=int(span_len),
+                request_id=request.request_id,
             )
+        self._active_batches.pop(worker, None)
 
     # ------------------------------------------------------------------
     # SLO accounting
@@ -280,7 +312,7 @@ class GNNServer:
         batch_hist = reg.histogram("span." + BATCH_SPAN)
         requests = reg.counter(REQUESTS_COUNTER).total
         shed = reg.counter(SHED_COUNTER).total
-        return {
+        summary = {
             "requests": int(requests),
             "completed": int(reg.counter(COMPLETED_COUNTER).total),
             "shed": int(shed),
@@ -302,3 +334,50 @@ class GNNServer:
             "window": window,
             "session": self.session.stats(),
         }
+        self._maybe_snapshot(summary)
+        return summary
+
+    def _maybe_snapshot(self, summary: dict) -> str | None:
+        """Write an incident bundle when the rolling window breaches the
+        SLO (p99 over ``slo_p99_ms``) or shed rate spikes past
+        ``max_shed_rate`` — at most one per ``snapshot_interval``."""
+        if self.flight_dir is None:
+            return None
+        window = summary["window"]
+        reason = None
+        kind = None
+        if (self.slo_p99_ms is not None and window["requests"] > 0
+                and window["p99_ms"] > self.slo_p99_ms):
+            kind = "slo_breach"
+            reason = (f"window p99 {window['p99_ms']:.1f}ms over SLO "
+                      f"{self.slo_p99_ms:.1f}ms")
+        elif window["shed"] > 0 and window["shed_rate"] > self.max_shed_rate:
+            kind = "shed_spike"
+            reason = (f"window shed rate {window['shed_rate']:.3f} over "
+                      f"{self.max_shed_rate:.3f}")
+        if kind is None:
+            return None
+        now = time.monotonic()
+        if now - self._last_snapshot < self.snapshot_interval:
+            return None
+        self._last_snapshot = now
+        in_flight = [dict(r) for reqs in list(self._active_batches.values())
+                     for r in reqs]
+        return write_incident_bundle(
+            self.flight_dir, kind, reason=reason,
+            config={
+                "num_workers": self.num_workers,
+                "max_batch_size": self.batcher.max_batch_size,
+                "max_delay": self.batcher.max_delay,
+                "max_queue_depth": self.batcher.max_queue_depth,
+                "slo_p99_ms": self.slo_p99_ms,
+                "max_shed_rate": self.max_shed_rate,
+            },
+            sections={
+                "slo": summary,
+                "requests": {
+                    "in_flight": in_flight,
+                    "queued": len(self.batcher),
+                },
+            },
+        )

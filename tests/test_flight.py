@@ -1,0 +1,534 @@
+"""Flight recorder, structured logging, incident bundles, post-mortem.
+
+Covers the black-box plane end to end: ring/journal mechanics, the
+registry tap surviving ``obs.reset()``, structured-log context
+stamping, ``Registry.event`` record-cap + ``dropped_events`` accounting
+(including ``merge_metrics`` folding a worker snapshot into a near-cap
+parent), incident-bundle contents, serve per-request tracing + SLO
+snapshots, and the real k=2 crash/stall paths with
+``tools/postmortem.py`` naming culprits and victims.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+
+import numpy as np
+import pytest
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "tools")
+)
+
+import monitor  # noqa: E402
+import postmortem  # noqa: E402
+
+from repro import obs  # noqa: E402
+from repro.datasets import load_dataset  # noqa: E402
+from repro.distributed import MultiprocessTrainer  # noqa: E402
+from repro.distributed.fault_tolerance import (  # noqa: E402
+    FaultTolerantTrainer,
+    WorkerFailure,
+)
+from repro.graph import hash_partition  # noqa: E402
+from repro.models import gcn  # noqa: E402
+from repro.obs.flight import (  # noqa: E402
+    FlightRecorder,
+    install_flight,
+    latest_incident,
+    read_journal,
+    uninstall_flight,
+    write_incident_bundle,
+)
+from repro.obs.log import (  # noqa: E402
+    clear_log_context,
+    configure,
+    get_logger,
+    set_log_context,
+)
+from repro.obs.registry import Registry  # noqa: E402
+from repro.serve import GNNServer, InferenceSession  # noqa: E402
+from repro.tensor import Adam, Tensor  # noqa: E402
+
+
+@pytest.fixture(autouse=True)
+def _clean_obs():
+    obs.reset()
+    uninstall_flight()
+    clear_log_context()
+    configure(stream=None, level="debug")
+    yield
+    uninstall_flight()
+    clear_log_context()
+    configure(stream=None, level="debug")
+    obs.reset()
+
+
+@pytest.fixture(scope="module")
+def ds():
+    return load_dataset("reddit", scale="tiny")
+
+
+# ----------------------------------------------------------------------
+# FlightRecorder mechanics
+# ----------------------------------------------------------------------
+class TestFlightRecorder:
+    def test_ring_wraps_oldest_first(self):
+        rec = FlightRecorder(capacity=3)
+        for i in range(5):
+            rec.record("tick", i=i)
+        assert rec.total == 5
+        assert rec.dropped == 2
+        assert [e["i"] for e in rec.entries()] == [2, 3, 4]
+
+    def test_journal_spill_and_readback(self, tmp_path):
+        path = str(tmp_path / "journal-x.jsonl")
+        rec = FlightRecorder(capacity=2, journal_path=path, rank=7)
+        for i in range(4):
+            rec.record("tick", i=i)
+        rec.close()
+        entries = read_journal(path)
+        # The journal keeps everything the ring evicted.
+        assert [e["i"] for e in entries] == [0, 1, 2, 3]
+        assert all(e["rank"] == 7 for e in entries)
+
+    def test_journal_tolerates_truncated_tail(self, tmp_path):
+        path = str(tmp_path / "journal-y.jsonl")
+        rec = FlightRecorder(journal_path=path)
+        rec.record("tick", i=0)
+        rec.close()
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write('{"kind": "tick", "i": 1')  # killed mid-write
+        entries = read_journal(path)
+        assert [e["i"] for e in entries] == [0]
+
+    def test_crash_record_is_last(self, tmp_path):
+        path = str(tmp_path / "journal-z.jsonl")
+        rec = FlightRecorder(journal_path=path)
+        rec.record("tick", i=0)
+        rec.crash("Traceback: boom", reason="test")
+        rec.close()
+        entries = read_journal(path)
+        assert entries[-1]["kind"] == "crash"
+        assert entries[-1]["reason"] == "test"
+        assert "boom" in entries[-1]["traceback"]
+
+    def test_numpy_attrs_journal_cleanly(self, tmp_path):
+        path = str(tmp_path / "journal-np.jsonl")
+        rec = FlightRecorder(journal_path=path)
+        rec.record("tick", value=np.float64(1.5), ids=np.arange(3))
+        rec.close()
+        (entry,) = read_journal(path)
+        assert entry["value"] == 1.5
+        assert entry["ids"] == [0, 1, 2]
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            FlightRecorder(capacity=0)
+
+
+# ----------------------------------------------------------------------
+# Registry tap
+# ----------------------------------------------------------------------
+class TestRegistryTap:
+    def test_span_and_event_forwarded(self):
+        rec = install_flight(FlightRecorder())
+        with obs.span("work", layer=1):
+            pass
+        obs.event("picked", backend="fa")
+        kinds = [e["kind"] for e in rec.entries()]
+        assert kinds == ["span", "event"]
+        span = rec.entries()[0]
+        assert span["name"] == "work"
+        assert span["attrs"] == {"layer": 1}
+
+    def test_tap_survives_reset(self):
+        rec = install_flight(FlightRecorder())
+        obs.reset()
+        assert obs.get_flight() is rec
+        with obs.span("after"):
+            pass
+        assert rec.entries()[-1]["name"] == "after"
+
+    def test_tap_sees_past_disabled_registry(self):
+        rec = install_flight(FlightRecorder())
+        obs.disable()
+        try:
+            with obs.span("hidden"):
+                pass
+            obs.event("hidden.event")
+        finally:
+            obs.enable()
+        reg = obs.get_registry()
+        assert not reg.spans and not reg.events
+        assert [e["kind"] for e in rec.entries()] == ["span", "event"]
+
+    def test_uninstall_stops_forwarding(self):
+        rec = install_flight(FlightRecorder())
+        assert uninstall_flight() is rec
+        obs.event("afterwards")
+        assert rec.entries() == []
+
+
+# ----------------------------------------------------------------------
+# Structured logging
+# ----------------------------------------------------------------------
+class TestStructuredLog:
+    def test_context_and_span_stamped(self):
+        rec = install_flight(FlightRecorder())
+        set_log_context(rank=3, epoch=2)
+        log = get_logger("test.mod")
+        with obs.span("dist.compute", layer=0):
+            payload = log.info("aggregated", vertices=17)
+        assert payload["rank"] == 3
+        assert payload["epoch"] == 2
+        assert payload["span"] == "dist.compute"
+        assert payload["vertices"] == 17
+        assert payload["logger"] == "test.mod"
+        # journaled exactly once, as a log record (not doubly via event)
+        logs = [e for e in rec.entries() if e["kind"] == "log"]
+        assert len(logs) == 1
+        assert logs[0]["message"] == "aggregated"
+
+    def test_folds_into_registry_events(self):
+        log = get_logger("test.mod")
+        log.warning("watch out", code=7)
+        (event,) = obs.get_registry().events
+        assert event.name == "log.warning"
+        assert event.attrs["message"] == "watch out"
+        assert event.attrs["code"] == 7
+
+    def test_threshold_filters(self):
+        configure(level="warning")
+        log = get_logger("test.mod")
+        assert log.debug("quiet") is None
+        assert log.info("quiet") is None
+        assert log.error("loud") is not None
+        events = obs.get_registry().events
+        assert [e.name for e in events] == ["log.error"]
+
+    def test_stream_emits_json_lines(self):
+        import io
+
+        stream = io.StringIO()
+        configure(stream=stream)
+        get_logger("test.mod").info("hello")
+        line = stream.getvalue().strip()
+        parsed = json.loads(line)
+        assert parsed["message"] == "hello"
+        assert "t" in parsed
+
+    def test_clear_context(self):
+        set_log_context(rank=1, epoch=5)
+        clear_log_context("epoch")
+        payload = get_logger("t").info("x")
+        assert payload["rank"] == 1
+        assert "epoch" not in payload
+        clear_log_context()
+        payload = get_logger("t").info("y")
+        assert "rank" not in payload
+
+    def test_unknown_level_rejected(self):
+        with pytest.raises(ValueError):
+            get_logger("t").log("loudest", "x")
+        with pytest.raises(ValueError):
+            configure(level="loudest")
+
+
+# ----------------------------------------------------------------------
+# Registry.event record cap + dropped_events (satellite)
+# ----------------------------------------------------------------------
+class TestEventRecordCap:
+    def test_event_cap_and_dropped_accounting(self):
+        reg = Registry(max_records=3)
+        for i in range(5):
+            reg.event("e", i=i)
+        assert len(reg.events) == 3
+        assert reg.dropped_events == 2
+        assert [e.attrs["i"] for e in reg.events] == [0, 1, 2]
+
+    def test_merge_metrics_into_near_cap_parent(self):
+        # Worker snapshot with 4 events folds into a parent that has
+        # room for exactly 2 more: 2 stored, 2 dropped-and-counted.
+        worker = Registry()
+        for i in range(4):
+            worker.event("w", i=i)
+        snapshot = worker.metrics_snapshot()
+
+        parent = Registry(max_records=5)
+        for i in range(3):
+            parent.event("p", i=i)
+        parent.merge_metrics(snapshot, rank=1)
+        assert len(parent.events) == 5
+        assert parent.dropped_events == 2
+        merged = [e for e in parent.events if e.name == "w"]
+        assert [e.attrs["i"] for e in merged] == [0, 1]
+        assert all(e.attrs["worker"] == 1 for e in merged)
+
+    def test_merge_metrics_disabled_parent_skips_events(self):
+        worker = Registry()
+        worker.event("w")
+        worker.counter("c").add(2)
+        parent = Registry()
+        parent.enabled = False
+        parent.merge_metrics(worker.metrics_snapshot())
+        # O(1) aggregates always merge; events respect enabled.
+        assert parent.counter("c").total == 2
+        assert parent.events == []
+
+    def test_flight_sees_events_past_cap(self):
+        reg = Registry(max_records=1)
+        rec = FlightRecorder()
+        install_flight(rec, reg)
+        reg.event("a")
+        reg.event("b")
+        assert reg.dropped_events == 1
+        assert [e["name"] for e in rec.entries()] == ["a", "b"]
+
+
+# ----------------------------------------------------------------------
+# Incident bundles
+# ----------------------------------------------------------------------
+class TestIncidentBundle:
+    def test_bundle_contents_and_manifest(self, tmp_path):
+        flight_dir = str(tmp_path)
+        rec = install_flight(FlightRecorder(
+            journal_path=os.path.join(flight_dir, "journal-rank0.jsonl"),
+            rank=0))
+        with obs.span("work"):
+            pass
+        bundle = write_incident_bundle(
+            flight_dir, "test_kind", rank=0, reason="because",
+            config={"k": 2}, sections={"stalls": {"events": []}})
+        names = sorted(os.listdir(bundle))
+        assert "manifest.json" in names
+        assert "flight.json" in names
+        assert "metrics.json" in names
+        assert "trace.json" in names
+        assert "stalls.json" in names
+        assert "journal-rank0.jsonl" in names
+        with open(os.path.join(bundle, "manifest.json")) as fh:
+            manifest = json.load(fh)
+        assert manifest["kind"] == "test_kind"
+        assert manifest["rank"] == 0
+        assert manifest["reason"] == "because"
+        assert manifest["config"] == {"k": 2}
+        with open(os.path.join(bundle, "flight.json")) as fh:
+            dump = json.load(fh)
+        assert dump["schema"] == "repro.flight/1"
+        assert any(e["kind"] == "span" for e in dump["entries"])
+        rec.close()
+
+    def test_latest_incident_picks_newest(self, tmp_path):
+        flight_dir = str(tmp_path)
+        write_incident_bundle(flight_dir, "first")
+        second = write_incident_bundle(flight_dir, "second")
+        manifest = latest_incident(flight_dir)
+        assert manifest["kind"] == "second"
+        assert manifest["path"] == second
+
+    def test_latest_incident_empty_dir(self, tmp_path):
+        assert latest_incident(str(tmp_path)) is None
+        assert latest_incident(str(tmp_path / "missing")) is None
+
+    def test_monitor_incident_line(self, tmp_path):
+        flight_dir = str(tmp_path)
+        assert monitor.incident_line(None) is None
+        assert "none" in monitor.incident_line(flight_dir)
+        bundle = write_incident_bundle(flight_dir, "worker_failure", rank=1)
+        line = monitor.incident_line(flight_dir)
+        assert "worker_failure" in line
+        assert "rank 1" in line
+        assert bundle in line
+
+
+# ----------------------------------------------------------------------
+# Serve: per-request tracing + SLO snapshot
+# ----------------------------------------------------------------------
+class TestServeTracing:
+    @pytest.fixture(scope="class")
+    def session(self, ds):
+        model = gcn(ds.feat_dim, 8, ds.num_classes, seed=0)
+        return InferenceSession(model, ds.graph, ds.features)
+
+    def test_request_ids_on_spans(self, session):
+        with GNNServer(session, num_workers=1, max_delay=0.0) as server:
+            server.predict(np.array([0, 1]))
+            server.predict(np.array([2]))
+        reg = obs.get_registry()
+        request_spans = [s for s in reg.spans if s.name == "serve.request"]
+        batch_spans = [s for s in reg.spans if s.name == "serve.batch"]
+        assert request_spans and batch_spans
+        req_ids = {s.attrs["request_id"] for s in request_spans}
+        assert len(req_ids) == len(request_spans)  # unique per request
+        batched_ids = {rid for s in batch_spans
+                       for rid in s.attrs["request_ids"]}
+        assert req_ids == batched_ids  # propagated through coalescing
+
+    def test_slo_breach_writes_bundle(self, session, tmp_path):
+        flight_dir = str(tmp_path)
+        server = GNNServer(session, num_workers=1, max_delay=0.0,
+                           flight_dir=flight_dir, slo_p99_ms=0.0,
+                           snapshot_interval=0.0)
+        with server:
+            server.predict(np.array([0]))
+        summary = server.slo_summary()
+        assert summary["window"]["p99_ms"] > 0.0
+        manifest = latest_incident(flight_dir)
+        assert manifest is not None
+        assert manifest["kind"] == "slo_breach"
+        with open(os.path.join(manifest["path"], "slo.json")) as fh:
+            slo = json.load(fh)
+        assert slo["window"]["requests"] >= 1
+        assert "requests.json" in manifest["files"]
+
+    def test_no_bundle_without_breach(self, session, tmp_path):
+        flight_dir = str(tmp_path)
+        server = GNNServer(session, num_workers=1, max_delay=0.0,
+                           flight_dir=flight_dir, slo_p99_ms=1e9,
+                           snapshot_interval=0.0)
+        with server:
+            server.predict(np.array([0]))
+        server.slo_summary()
+        assert latest_incident(flight_dir) is None
+
+
+# ----------------------------------------------------------------------
+# Post-mortem analyzer (synthetic bundle)
+# ----------------------------------------------------------------------
+class TestPostmortemSynthetic:
+    def _bundle(self, tmp_path, stalled=()):
+        flight_dir = str(tmp_path)
+        # Hand-written journals: rank 1 froze mid-forward, rank 0 parked
+        # at the barrier waiting for it.
+        with open(os.path.join(flight_dir, "journal-rank0.jsonl"), "w") as fh:
+            fh.write(json.dumps({"kind": "phase", "t": 1.0, "rank": 0,
+                                 "phase": "forward", "epoch": 4,
+                                 "layer": 1}) + "\n")
+            fh.write(json.dumps({"kind": "phase", "t": 2.0, "rank": 0,
+                                 "phase": "barrier"}) + "\n")
+        with open(os.path.join(flight_dir, "journal-rank1.jsonl"), "w") as fh:
+            fh.write(json.dumps({"kind": "log", "t": 1.0, "rank": 1,
+                                 "level": "info", "message": "working",
+                                 "phase": "forward", "epoch": 4,
+                                 "layer": 1}) + "\n")
+        return postmortem.load_bundle(write_incident_bundle(
+            flight_dir, "worker_stalled", rank=1,
+            sections={"stalls": {"deadline": 0.5, "events": [
+                {"rank": r, "epoch": 4, "layer": 1, "phase": 2,
+                 "phase_name": "forward", "stalled_seconds": 1.0}
+                for r in stalled
+            ]}}))
+
+    def test_waiting_phase_exemption(self, tmp_path):
+        bundle = self._bundle(tmp_path, stalled=(1,))
+        analysis = postmortem.analyze(bundle)
+        assert analysis["culprits"] == [1]
+        assert analysis["victims"] == [0]
+        rank0 = analysis["ranks"][0]
+        assert rank0["role"] == "victim"
+        assert rank0["last_phase"] == "barrier"
+        rank1 = analysis["ranks"][1]
+        assert rank1["role"] == "culprit"
+        assert rank1["last_phase"] == "forward"
+        assert rank1["last_epoch"] == 4
+        assert rank1["last_layer"] == 1
+
+    def test_render_names_roles(self, tmp_path):
+        bundle = self._bundle(tmp_path, stalled=(1,))
+        text = postmortem.render(postmortem.analyze(bundle), bundle=bundle,
+                                 timeline=5)
+        assert "rank 1: CULPRIT" in text
+        assert "rank 0: VICTIM" in text
+        assert "timeline" in text
+
+
+# ----------------------------------------------------------------------
+# Real k=2 incident paths
+# ----------------------------------------------------------------------
+class TestMultiprocessIncidents:
+    def test_inject_failure_bundle_and_postmortem(self, ds, tmp_path):
+        flight_dir = str(tmp_path)
+        part = hash_partition(ds.graph.num_vertices, 2)
+        model = gcn(ds.feat_dim, 8, ds.num_classes, seed=0)
+        opt = Adam(model.parameters(), lr=0.01)
+        feats = Tensor(ds.features)
+        with MultiprocessTrainer(model, ds.graph, part, seed=0,
+                                 flight_dir=flight_dir) as trainer:
+            trainer.train_epoch(feats, ds.labels, opt, ds.train_mask, 0)
+            trainer.inject_failure(1)
+            with pytest.raises(WorkerFailure) as exc_info:
+                trainer.train_epoch(feats, ds.labels, opt, ds.train_mask, 1)
+            failure = exc_info.value
+            assert failure.worker_id == 1
+            assert failure.bundle is not None
+            assert os.path.isdir(failure.bundle)
+
+            # The dead rank's journal made it into the bundle, ending
+            # with its final log line and the traceback.
+            journal = read_journal(
+                os.path.join(failure.bundle, "journal-rank1.jsonl"))
+            kinds = [e["kind"] for e in journal]
+            assert "span" in kinds
+            assert "log" in kinds
+            assert kinds[-1] == "crash"
+            assert journal[-1]["reason"] == "injected_failure"
+            assert "traceback" in journal[-1]
+            logs = [e for e in journal if e["kind"] == "log"]
+            assert logs[-1]["message"] == "worker dying"
+
+            # Post-mortem names the failed rank as culprit.
+            analysis = postmortem.analyze(
+                postmortem.load_bundle(failure.bundle))
+            assert analysis["kind"] == "worker_failure"
+            assert analysis["rank"] == 1
+            assert 1 in analysis["culprits"]
+            rank1 = analysis["ranks"][1]
+            assert rank1["crash"] is not None
+            assert rank1["last_phase"] is not None
+            assert rank1["last_epoch"] is not None
+
+    def test_inject_stall_bundle_ranks_culprit(self, ds, tmp_path):
+        flight_dir = str(tmp_path)
+        part = hash_partition(ds.graph.num_vertices, 2)
+        model = gcn(ds.feat_dim, 8, ds.num_classes, seed=0)
+        opt = Adam(model.parameters(), lr=0.01)
+        feats = Tensor(ds.features)
+        with MultiprocessTrainer(model, ds.graph, part, seed=0,
+                                 stall_deadline=0.5,
+                                 flight_dir=flight_dir) as trainer:
+            trainer.train_epoch(feats, ds.labels, opt, ds.train_mask, 0)
+            trainer.inject_stall(1, seconds=2.5)
+            trainer.train_epoch(feats, ds.labels, opt, ds.train_mask, 1)
+            assert trainer.stall_events
+        manifest = latest_incident(flight_dir)
+        assert manifest is not None
+        assert manifest["kind"] == "worker_stalled"
+        assert manifest["rank"] == 1
+        analysis = postmortem.analyze(postmortem.load_bundle(manifest["path"]))
+        assert analysis["culprits"] == [1]
+        assert analysis["victims"] == [0]
+        assert analysis["ranks"][1]["last_phase"] == "forward"
+        assert analysis["ranks"][0]["last_phase"] == "barrier"
+
+    def test_fault_tolerant_trainer_attaches_bundle(self, ds, tmp_path):
+        flight_dir = str(tmp_path / "flight")
+        part = hash_partition(ds.graph.num_vertices, 2)
+        model = gcn(ds.feat_dim, 8, ds.num_classes, seed=0)
+        opt = Adam(model.parameters(), lr=0.01)
+        feats = Tensor(ds.features)
+        with MultiprocessTrainer(model, ds.graph, part, seed=0,
+                                 flight_dir=flight_dir) as trainer:
+            ft = FaultTolerantTrainer(trainer, str(tmp_path / "ckpt"),
+                                      interval=1)
+            history = ft.train(feats, ds.labels, opt, 3,
+                               mask=ds.train_mask,
+                               failure_schedule={1: 0})
+            assert len(history) == 3
+            assert len(ft.recoveries) == 1
+            recovery = ft.recoveries[0]
+            assert recovery.worker_id == 0
+            assert recovery.bundle is not None
+            assert os.path.isdir(recovery.bundle)

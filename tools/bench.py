@@ -235,7 +235,8 @@ def run_matrix(scale: str, epochs: int, seed: int,
     return report
 
 
-def run_dist_scaling(scale: str, epochs: int, seed: int) -> dict:
+def run_dist_scaling(scale: str, epochs: int, seed: int,
+                     flight_dir: str | None = None) -> dict:
     """Distributed scaling sweep: wall-clock epoch seconds vs worker count,
     simulated backend next to the real multi-process backend.
 
@@ -264,7 +265,8 @@ def run_dist_scaling(scale: str, epochs: int, seed: int) -> dict:
             if backend == "simulated":
                 trainer = DistributedTrainer(model, ds.graph, part, seed=seed)
             else:
-                trainer = MultiprocessTrainer(model, ds.graph, part, seed=seed)
+                trainer = MultiprocessTrainer(model, ds.graph, part, seed=seed,
+                                              flight_dir=flight_dir)
             optimizer = Adam(model.parameters(), lr=0.01)
             wall, modeled, total_bytes, loss = [], [], 0.0, float("nan")
             try:
@@ -553,6 +555,10 @@ def main(argv: list[str] | None = None) -> int:
                              "the fixed matrix: wall-clock epoch seconds for "
                              f"k in {DIST_WORKER_COUNTS}, simulated vs real "
                              f"multiprocess backend -> {DIST_OUTPUT}")
+    parser.add_argument("--flight-dir", metavar="DIR", default=None,
+                        help="enable the flight recorder for the distributed "
+                             "sweep: per-rank journals and incident bundles "
+                             "land under DIR")
     parser.add_argument("--check-against", metavar="BASELINE",
                         help="compare against a committed baseline report "
                              "and exit 1 on median epoch-time regression")
@@ -571,7 +577,10 @@ def main(argv: list[str] | None = None) -> int:
               f"({'smoke' if args.smoke else 'full'}): "
               f"k in {DIST_WORKER_COUNTS}, scale={scale}, "
               f"{epochs} epochs each")
-        report = run_dist_scaling(scale, epochs, args.seed)
+        if args.flight_dir:
+            os.makedirs(args.flight_dir, exist_ok=True)
+        report = run_dist_scaling(scale, epochs, args.seed,
+                                  flight_dir=args.flight_dir)
         validate_dist_report(report)
         with open(output, "w") as fh:
             json.dump(report, fh, indent=1)

@@ -94,6 +94,7 @@ def build_server(args):
     server = GNNServer(
         session, num_workers=args.workers, max_batch_size=args.batch_size,
         max_delay=args.max_delay_ms / 1e3, max_queue_depth=args.queue_depth,
+        flight_dir=args.flight_dir, slo_p99_ms=args.slo_p99_ms,
     )
     return ds, session, server
 
@@ -205,6 +206,7 @@ def run_workload(args) -> dict:
         session, num_workers=args.workers, max_batch_size=args.batch_size,
         max_delay=args.max_delay_ms / 1e3,
         max_queue_depth=args.overload_queue_depth,
+        flight_dir=args.flight_dir, slo_p99_ms=args.slo_p99_ms,
     )
     overload_seeds = zipf_seeds(
         ds.graph.num_vertices, args.overload_requests, args.zipf, rng
@@ -289,6 +291,12 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--output", default=DEFAULT_OUTPUT,
                         help=f"output JSON path (default {DEFAULT_OUTPUT})")
+    parser.add_argument("--flight-dir", metavar="DIR", default=None,
+                        help="enable the flight recorder: journal to DIR "
+                             "and snapshot incident bundles on SLO breach")
+    parser.add_argument("--slo-p99-ms", type=float, default=None,
+                        help="rolling-window p99 SLO (ms) for breach "
+                             "snapshots; needs --flight-dir")
     args = parser.parse_args(argv)
 
     if args.scale is None:
@@ -298,7 +306,24 @@ def main(argv: list[str] | None = None) -> int:
     if args.overload_requests is None:
         args.overload_requests = 150 if args.smoke else 400
 
-    report = run_workload(args)
+    if args.flight_dir:
+        from repro.obs.flight import FlightRecorder, install_flight
+
+        os.makedirs(args.flight_dir, exist_ok=True)
+        install_flight(FlightRecorder(journal_path=os.path.join(
+            args.flight_dir, "journal-serve.jsonl")))
+
+    try:
+        report = run_workload(args)
+    finally:
+        if args.flight_dir:
+            # Journal writes are asynchronous: drain before the daemon
+            # writer thread dies with the interpreter.
+            from repro.obs.flight import uninstall_flight
+
+            recorder = uninstall_flight()
+            if recorder is not None:
+                recorder.close()
     validate_report(report)
     with open(args.output, "w") as fh:
         json.dump(report, fh, indent=1)

@@ -30,6 +30,7 @@ sys.path.insert(
     0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
 )
 
+from repro.obs.flight import latest_incident  # noqa: E402
 from repro.obs.live import (  # noqa: E402
     ACTIVE_PHASES,
     TelemetrySlab,
@@ -97,6 +98,22 @@ def render_table(samples: list[WorkerSample],
     return "\n".join(lines)
 
 
+def incident_line(flight_dir: str | None) -> str | None:
+    """The "last incident" status line (``None`` when there is none):
+    wall time, kind, rank and bundle path of the newest incident bundle
+    under the flight dir."""
+    if not flight_dir:
+        return None
+    manifest = latest_incident(flight_dir)
+    if manifest is None:
+        return f"last incident: none  ({flight_dir})"
+    rank = manifest.get("rank")
+    rank_s = f"rank {rank}" if rank is not None else "rank -"
+    return (f"last incident: {manifest.get('time', '?')}  "
+            f"{manifest.get('kind', '?')}  {rank_s}  "
+            f"{manifest.get('path', '?')}")
+
+
 def _render_snapshot(path: str, stall_deadline: float) -> int:
     with open(path) as fh:
         snap = json.load(fh)
@@ -112,7 +129,8 @@ def _render_snapshot(path: str, stall_deadline: float) -> int:
 
 
 def _watch_slab(slab: TelemetrySlab, interval: float, iterations: int,
-                stall_deadline: float, clear: bool) -> int:
+                stall_deadline: float, clear: bool,
+                flight_dir: str | None = None) -> int:
     prev: list[WorkerSample] | None = None
     prev_t: float | None = None
     i = 0
@@ -125,6 +143,9 @@ def _watch_slab(slab: TelemetrySlab, interval: float, iterations: int,
         print(f"live telemetry  (k={slab.k}, poll {i + 1})")
         print(render_table(samples, prev=prev, dt=dt,
                            stall_deadline=stall_deadline))
+        incident = incident_line(flight_dir)
+        if incident:
+            print(incident)
         prev, prev_t = samples, now
         i += 1
         if iterations > 0 and i >= iterations:
@@ -153,10 +174,18 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--stall-deadline", type=float, default=5.0,
                         help="seconds of frozen progress before a row is "
                              "marked STALLED? (default 5)")
+    parser.add_argument("--flight-dir", metavar="DIR",
+                        help="flight-recorder directory to watch: appends "
+                             "a 'last incident' status line (time, kind, "
+                             "rank, bundle path) to each refresh")
     args = parser.parse_args(argv)
 
     if args.snapshot:
-        return _render_snapshot(args.snapshot, args.stall_deadline)
+        rc = _render_snapshot(args.snapshot, args.stall_deadline)
+        incident = incident_line(args.flight_dir)
+        if incident:
+            print(incident)
+        return rc
 
     with open(args.slab) as fh:
         descriptor = json.load(fh)
@@ -167,7 +196,8 @@ def main(argv: list[str] | None = None) -> int:
     try:
         iterations = args.iterations if args.watch else 1
         return _watch_slab(slab, args.interval, iterations,
-                           args.stall_deadline, clear=args.watch)
+                           args.stall_deadline, clear=args.watch,
+                           flight_dir=args.flight_dir)
     except KeyboardInterrupt:
         return 0
     finally:
