@@ -56,6 +56,22 @@ def build_parser() -> argparse.ArgumentParser:
     train.add_argument("--lr", type=float, default=0.01)
     train.add_argument("--strategy", choices=("sa", "sa+fa", "ha"), default="ha")
     train.add_argument("--checkpoint", help="save final model state to this .npz")
+    train.add_argument("--ondisk", metavar="DIR",
+                       help="stream from an ondisk dataset directory "
+                            "(repro.ondisk/1) instead of loading in RAM; "
+                            "implies sampled mini-batch training")
+    train.add_argument("--minibatch", action="store_true",
+                       help="sampled mini-batch training (GraphSAGE-style) "
+                            "instead of full-batch")
+    train.add_argument("--batch-size", type=int, default=256,
+                       help="mini-batch seed count (with --minibatch/--ondisk)")
+    train.add_argument("--fanouts", type=int, nargs="+", default=None,
+                       help="per-layer neighbor budgets, bottom layer first")
+    train.add_argument("--prefetch-depth", type=int, default=2,
+                       help="loader batches produced ahead of training "
+                            "(0 = synchronous)")
+    train.add_argument("--loader-workers", type=int, default=2,
+                       help="loader worker threads when prefetching")
 
     compare = sub.add_parser("compare", help="compare engines on one model")
     _dataset_args(compare)
@@ -181,11 +197,60 @@ def _cmd_metrics(args) -> int:
     return 0
 
 
+def _cmd_minibatch_train(args) -> int:
+    """Sampled mini-batch training via the streaming loader
+    (``--minibatch`` or ``--ondisk``)."""
+    from .core.sampling import MiniBatchTrainer
+    from .datasets import load_dataset
+    from .tensor import Adam, Tensor
+
+    if args.ondisk:
+        from .storage import OnDiskDataset
+
+        ds = OnDiskDataset(args.ondisk)
+        print(f"streaming from {ds!r}")
+    else:
+        ds = load_dataset(args.dataset, scale=args.scale)
+    model = _build_model(args, ds)
+    trainer = MiniBatchTrainer(
+        model, ds, batch_size=args.batch_size, fanouts=args.fanouts,
+        strategy=args.strategy, seed=args.seed,
+        prefetch_depth=args.prefetch_depth, num_workers=args.loader_workers,
+    )
+    optimizer = Adam(model.parameters(), lr=args.lr)
+    for epoch in range(args.epochs):
+        stats = trainer.train_epoch(
+            optimizer=optimizer, mask=ds.train_mask, epoch=epoch,
+        )
+        print(f"epoch {epoch:2d}  loss={stats.loss:.4f}  "
+              f"acc={stats.train_accuracy:.3f}  "
+              f"{stats.seconds * 1000:.0f}ms  "
+              f"overlap={stats.overlap_efficiency:.2f}")
+    if not args.ondisk:
+        feats = Tensor(ds.features)
+        val = trainer.evaluate(feats, ds.labels, ds.val_mask)
+        test = trainer.evaluate(feats, ds.labels, ds.test_mask)
+        print(f"\n{model.name} on {ds.name}: val acc {val:.3f}, "
+              f"test acc {test:.3f}")
+    if args.checkpoint:
+        from .storage import checkpoint_metadata, save_checkpoint
+
+        meta = checkpoint_metadata(
+            model, ds.graph,
+            extra={"model": args.model, "dataset": args.dataset},
+        )
+        save_checkpoint(model.state_dict(), args.checkpoint, meta)
+        print(f"checkpoint written to {args.checkpoint}")
+    return 0
+
+
 def _cmd_train(args) -> int:
     from .core import FlexGraphEngine
     from .datasets import load_dataset
     from .tensor import Adam, Tensor
 
+    if args.ondisk or args.minibatch:
+        return _cmd_minibatch_train(args)
     ds = load_dataset(args.dataset, scale=args.scale)
     model = _build_model(args, ds)
     engine = FlexGraphEngine(model, ds.graph, strategy=args.strategy, seed=args.seed)

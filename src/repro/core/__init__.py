@@ -35,6 +35,7 @@ from .engine import EpochStats, FlexGraphEngine, StageTimes
 from .hetero import TypeProjection
 from .hdg import (
     HDG,
+    MemmapHDG,
     build_hdg,
     hdg_from_flat_arrays,
     hdg_from_graph,
@@ -64,7 +65,7 @@ from .selection import (
 
 __all__ = [
     "SchemaTree", "NeighborRecord",
-    "HDG", "build_hdg", "hdg_from_graph", "hdg_from_flat_arrays",
+    "HDG", "MemmapHDG", "build_hdg", "hdg_from_graph", "hdg_from_flat_arrays",
     "hdg_from_instance_arrays", "build_metapath_hdg",
     "GNNLayer", "NAUModel", "SelectionScope",
     "ExecutionStrategy", "hierarchical_aggregate",

@@ -27,6 +27,7 @@ from .schema import NeighborRecord, SchemaTree
 
 __all__ = [
     "HDG",
+    "MemmapHDG",
     "build_hdg",
     "hdg_from_graph",
     "hdg_from_flat_arrays",
@@ -437,6 +438,87 @@ class HDG:
         )
 
 
+class MemmapHDG(HDG):
+    """A flat HDG whose CSC arrays are memory-mapped files.
+
+    The out-of-core path (:mod:`repro.storage.ondisk`) exposes a graph's
+    topology as ``np.memmap`` arrays; wrapping them in a regular
+    :class:`HDG` would defeat the point — ``np.asarray`` copies nothing,
+    but ``_validate`` scans every offset and ``restrict_to_roots`` runs
+    ``np.diff`` over the *whole* offset array per batch.  This subclass
+    keeps the memmaps as-is (no validation pass, the manifest already
+    vouches for the files) and restricts by touching only the selected
+    roots' pages, so per-batch sampling cost is O(batch neighborhoods),
+    independent of graph size.
+
+    Only depth-1 (flat) HDGs can be memmap-backed; that is the layout
+    DNFA models (GCN/SAGE) build via :func:`hdg_from_graph`.
+    """
+
+    def __init__(self, roots: np.ndarray, schema: SchemaTree,
+                 leaf_vertices: np.ndarray, leaf_offsets: np.ndarray,
+                 num_input_vertices: int,
+                 source_files: list[str] | None = None):
+        # Deliberately skip HDG.__init__: its asarray calls would drop
+        # the memmap subclass and its validation reads every page.
+        self.roots = np.asarray(roots, dtype=np.int64)
+        self.schema = schema
+        self.leaf_vertices = leaf_vertices
+        self.leaf_offsets = leaf_offsets
+        self.instance_offsets = None
+        self.leaf_weights = None
+        self.num_input_vertices = int(num_input_vertices)
+        self._fingerprint: str | None = None
+        self._source_files = list(source_files or [])
+
+    def restrict_to_roots(self, root_orders: np.ndarray) -> HDG:
+        """Materialize the selected roots' sub-HDG as a regular in-RAM
+        HDG, reading only the pages those roots' ranges touch."""
+        root_orders = np.asarray(root_orders, dtype=np.int64)
+        starts = np.asarray(self.leaf_offsets[root_orders], dtype=np.int64)
+        ends = np.asarray(self.leaf_offsets[root_orders + 1], dtype=np.int64)
+        counts = ends - starts
+        gather = _ranges_gather(starts, counts)
+        new_offsets = np.zeros(root_orders.size + 1, dtype=np.int64)
+        np.cumsum(counts, out=new_offsets[1:])
+        return HDG(
+            self.roots[root_orders], self.schema,
+            np.asarray(self.leaf_vertices[gather], dtype=np.int64),
+            new_offsets, instance_offsets=None, leaf_weights=None,
+            num_input_vertices=self.num_input_vertices,
+        )
+
+    def fingerprint(self) -> str:
+        """Content-addressing without reading the files: hash the backing
+        paths plus size/mtime.  Falls back to a per-object token when the
+        arrays carry no filename (anonymous memmaps)."""
+        if self._fingerprint is None:
+            import hashlib
+            import os
+
+            h = hashlib.sha256()
+            h.update(np.int64(self.num_input_vertices).tobytes())
+            names = self._source_files or [
+                getattr(arr, "filename", None)
+                for arr in (self.leaf_offsets, self.leaf_vertices)
+            ]
+            stamped = False
+            for name in names:
+                if not name:
+                    continue
+                st = os.stat(name)
+                h.update(str(name).encode())
+                h.update(np.int64(st.st_size).tobytes())
+                h.update(np.float64(st.st_mtime).tobytes())
+                stamped = True
+            if not stamped:
+                import secrets
+
+                h.update(secrets.token_bytes(16))
+            self._fingerprint = h.hexdigest()[:16]
+        return self._fingerprint
+
+
 def _ranges_gather(starts: np.ndarray, counts: np.ndarray) -> np.ndarray:
     """Flat index array covering ``starts[i]..starts[i]+counts[i]`` for all i."""
     total = int(counts.sum())
@@ -559,6 +641,21 @@ def hdg_from_graph(graph, weights: np.ndarray | None = None) -> HDG:
     """
     indptr, indices = graph.csc
     roots = np.arange(graph.num_vertices, dtype=np.int64)
+    if isinstance(indices, np.memmap) or isinstance(indptr, np.memmap):
+        # Out-of-core topology (repro.storage.ondisk): keep the memmaps,
+        # never copy the edge array into RAM.
+        if weights is not None:
+            raise ValueError("memmap-backed graphs do not support edge weights")
+        files = [
+            name for name in (
+                getattr(indptr, "filename", None),
+                getattr(indices, "filename", None),
+            ) if name
+        ]
+        return MemmapHDG(
+            roots, SchemaTree(), indices, indptr,
+            num_input_vertices=graph.num_vertices, source_files=files,
+        )
     return HDG(
         roots,
         SchemaTree(),

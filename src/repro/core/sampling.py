@@ -24,7 +24,6 @@ import numpy as np
 
 from ..graph.graph import Graph
 from ..tensor.loss import accuracy, cross_entropy
-from ..tensor.ops import scatter_rows
 from ..tensor.optim import Optimizer
 from ..tensor.tensor import Tensor
 from .hdg import HDG
@@ -130,13 +129,30 @@ def build_seed_blocks(
 
 @dataclass
 class MiniBatchEpochStats:
-    """Outcome of one sampled mini-batch epoch."""
+    """Outcome of one sampled mini-batch epoch.
+
+    The stage fields break the epoch down by pipeline stage: *sample*,
+    *gather* and *transfer* are production work (overlappable with
+    training when ``prefetch_depth > 0``), *train* is the sequential
+    forward/backward/step, and *wait* is how long the training loop sat
+    idle waiting for the next batch.  ``overlap_efficiency`` is
+    ``1 - wait / (sample + gather + transfer)`` clamped to [0, 1]: 0
+    means production was fully exposed (the synchronous baseline), 1
+    means it hid entirely behind training.
+    """
 
     epoch: int
     loss: float                # mean over batches
     seconds: float
     num_batches: int
     train_accuracy: float | None = None
+    sample_seconds: float = 0.0
+    gather_seconds: float = 0.0
+    transfer_seconds: float = 0.0
+    train_seconds: float = 0.0
+    wait_seconds: float = 0.0
+    overlap_efficiency: float = 0.0
+    prefetch_depth: int = 0
 
 
 class MiniBatchTrainer:
@@ -146,21 +162,40 @@ class MiniBatchTrainer:
     ----------
     model:
         A DNFA or INFA NAU model (flat HDGs).
-    graph:
-        The input graph.
+    data:
+        The input graph, or a dataset carrying one — an in-RAM
+        ``Dataset`` or an out-of-core
+        :class:`~repro.storage.ondisk.OnDiskDataset`.  With a dataset,
+        ``train_epoch`` can be called without ``feats``/``labels`` and
+        features are gathered per batch from the dataset (for ondisk
+        data: only the memmap pages the batch touches).
     batch_size:
         Seed vertices per batch.
     fanouts:
         Per-layer neighbor budgets, bottom layer first; must have one
         entry per model layer.
+    prefetch_depth:
+        Batches produced ahead of the training loop by background
+        workers (see :class:`~repro.loader.StreamingLoader`).  ``0``
+        (default) trains synchronously.  Epoch sampling is seeded per
+        batch from ``(seed, epoch)``, so losses are identical across
+        prefetch depths and worker counts.
+    num_workers:
+        Loader worker threads when ``prefetch_depth > 0``.
+    modeled_transfer_gbps:
+        Optional modeled device-link bandwidth for the loader's
+        transfer stub (see :class:`~repro.loader.StreamingLoader`).
     """
 
-    def __init__(self, model: NAUModel, graph: Graph, batch_size: int = 256,
+    def __init__(self, model: NAUModel, data, batch_size: int = 256,
                  fanouts: list[int] | None = None,
                  strategy: ExecutionStrategy | str = ExecutionStrategy.HA,
-                 seed: int = 0):
+                 seed: int = 0, prefetch_depth: int = 0,
+                 num_workers: int = 2,
+                 modeled_transfer_gbps: float | None = None):
         self.model = model
-        self.graph = graph
+        self._dataset = data if hasattr(data, "graph") else None
+        self.graph: Graph = data.graph if self._dataset is not None else data
         self.batch_size = int(batch_size)
         if self.batch_size <= 0:
             raise ValueError("batch_size must be positive")
@@ -170,6 +205,12 @@ class MiniBatchTrainer:
                 f"need one fanout per layer ({model.num_layers}), got {len(self.fanouts)}"
             )
         self.strategy = ExecutionStrategy.parse(strategy)
+        self.seed = int(seed)
+        self.prefetch_depth = int(prefetch_depth)
+        if self.prefetch_depth < 0:
+            raise ValueError("prefetch_depth must be >= 0")
+        self.num_workers = int(num_workers)
+        self.modeled_transfer_gbps = modeled_transfer_gbps
         self._rng = np.random.default_rng(seed)
         self._model_hdg: HDG | None = None
         self._hdg_epoch = -1
@@ -197,50 +238,109 @@ class MiniBatchTrainer:
         """Per-layer (block HDG, output vertices) via the shared builder."""
         return build_seed_blocks(hdg, seeds, self.fanouts, self._rng)
 
+    def _resolve_source(self, feats, labels):
+        """Normalize ``train_epoch`` input into a loader source."""
+        from ..loader.source import as_source
+
+        if feats is None:
+            if self._dataset is None:
+                raise ValueError(
+                    "train_epoch needs feats unless the trainer was "
+                    "constructed with a dataset"
+                )
+            return as_source(self._dataset, labels)
+        return as_source(feats, labels)
+
     # ------------------------------------------------------------------
     def train_epoch(
         self,
-        feats: Tensor,
-        labels: np.ndarray,
-        optimizer: Optimizer,
+        feats: Tensor | None = None,
+        labels: np.ndarray | None = None,
+        optimizer: Optimizer | None = None,
         mask: np.ndarray | None = None,
         epoch: int = 0,
     ) -> MiniBatchEpochStats:
-        """One pass over the (masked) vertices in sampled mini-batches."""
+        """One pass over the (masked) vertices in sampled mini-batches.
+
+        Batches flow through the staged loader (sample → gather →
+        transfer → train); with ``prefetch_depth > 0`` the first three
+        stages run on background workers while earlier batches train.
+        The per-batch RNG seeds are pre-drawn from ``(seed, epoch)``, so
+        the losses do not depend on prefetch depth or worker count.
+        """
+        from .. import obs
+        from ..loader.pipeline import StreamingLoader, run_local_blocks
+
+        if optimizer is None:
+            raise ValueError("train_epoch needs an optimizer")
         self.model.train()
         t0 = time.perf_counter()
         hdg = self._ensure_hdg(epoch)
         n = self.graph.num_vertices
         pool = np.flatnonzero(mask) if mask is not None else np.arange(n)
-        order = self._rng.permutation(pool)
+        loader = StreamingLoader(
+            self._resolve_source(feats, labels), self.fanouts,
+            batch_size=self.batch_size, prefetch_depth=self.prefetch_depth,
+            num_workers=self.num_workers,
+            modeled_transfer_gbps=self.modeled_transfer_gbps,
+        )
+        batches = iter(loader.epoch_batches(hdg, pool, epoch=epoch, seed=self.seed))
         losses = []
         correct = 0
-        for start in range(0, order.size, self.batch_size):
-            seeds = order[start : start + self.batch_size]
-            blocks = self._build_blocks(hdg, seeds)
-            h = feats
-            for layer, (block, out_vertices) in zip(self.model.layers, blocks):
-                nbr = layer.aggregation(h, block, self.strategy)
-                h_rows = layer.update(h[out_vertices], nbr)
-                # Lift back to full coordinates so the next layer can
-                # gather arbitrary leaf ids.
-                h = scatter_rows(h_rows, out_vertices, n)
-            logits = h[seeds]
-            loss = cross_entropy(logits, labels[seeds])
+        sample_s = gather_s = transfer_s = train_s = wait_s = 0.0
+        while True:
+            t_wait = time.perf_counter()
+            batch = next(batches, None)
+            wait_s += time.perf_counter() - t_wait
+            if batch is None:
+                break
+            t_train = time.perf_counter()
+            h = run_local_blocks(self.model, batch.compact, batch.feats,
+                                 self.strategy)
+            logits = h[batch.seed_rows]
+            loss = cross_entropy(logits, batch.labels)
             optimizer.zero_grad()
             loss.backward()
             optimizer.step()
+            train_s += time.perf_counter() - t_train
             losses.append(loss.item())
             correct += int(
-                (logits.numpy().argmax(axis=1) == labels[seeds]).sum()
+                (logits.numpy().argmax(axis=1) == batch.labels).sum()
             )
-        return MiniBatchEpochStats(
+            sample_s += batch.sample_seconds
+            gather_s += batch.gather_seconds
+            transfer_s += batch.transfer_seconds
+        hidden = sample_s + gather_s + transfer_s
+        overlap = min(max(1.0 - wait_s / hidden, 0.0), 1.0) if hidden > 0 else 0.0
+        seconds = time.perf_counter() - t0
+        stats = MiniBatchEpochStats(
             epoch=epoch,
             loss=float(np.mean(losses)) if losses else 0.0,
-            seconds=time.perf_counter() - t0,
+            seconds=seconds,
             num_batches=len(losses),
-            train_accuracy=correct / max(order.size, 1),
+            train_accuracy=correct / max(pool.size, 1),
+            sample_seconds=sample_s,
+            gather_seconds=gather_s,
+            transfer_seconds=transfer_s,
+            train_seconds=train_s,
+            wait_seconds=wait_s,
+            overlap_efficiency=overlap,
+            prefetch_depth=self.prefetch_depth,
         )
+        obs.epoch_log("minibatch").log(
+            epoch,
+            loss=stats.loss,
+            seconds=seconds,
+            train_accuracy=stats.train_accuracy,
+            sample_seconds=sample_s,
+            gather_seconds=gather_s,
+            transfer_seconds=transfer_s,
+            train_seconds=train_s,
+            wait_seconds=wait_s,
+            overlap_efficiency=overlap,
+            prefetch_depth=self.prefetch_depth,
+        )
+        return stats
 
     def evaluate(self, feats: Tensor, labels: np.ndarray,
                  mask: np.ndarray | None = None) -> float:

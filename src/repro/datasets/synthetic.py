@@ -17,7 +17,11 @@ import numpy as np
 from ..graph.generators import community_graph, heterogeneous_graph, power_law_graph
 from ..graph.graph import Graph
 
-__all__ = ["Dataset", "reddit_like", "fb91_like", "twitter_like", "imdb_like"]
+__all__ = [
+    "Dataset", "reddit_like", "fb91_like", "twitter_like", "imdb_like",
+    "ShardedSyntheticSpec", "edge_chunks", "label_shard", "feature_shard",
+    "class_centers", "mask_shards", "shard_row_range",
+]
 
 
 @dataclass
@@ -135,3 +139,150 @@ def imdb_like(num_movies: int = 600, num_directors: int = 120,
             labels[v] = rng.integers(0, num_labels)
     features = _class_features(labels, feat_dim, num_labels, rng)
     return Dataset("imdb-like", graph, features, labels, *_make_splits(n, rng))
+
+
+# ----------------------------------------------------------------------
+# Shard-by-shard generation (out-of-core datasets)
+# ----------------------------------------------------------------------
+# The generators above materialize the whole graph; these emit it in
+# bounded chunks so ``repro.storage.ondisk`` can write 10^7-10^8-edge
+# datasets without ever holding the edge list, the feature matrix or
+# even one full adjacency array in RAM.  Every chunk/shard is seeded
+# independently (``SeedSequence([seed, tag, index])``) so the stream is
+# deterministic *and* re-playable: the two-pass CSC/CSR build in
+# ``write_synthetic_ondisk`` regenerates identical chunks on each pass.
+
+_EDGE_TAG = 0xED6E
+_LABEL_TAG = 0x1AB5
+_FEAT_TAG = 0xFEA7
+_MASK_TAG = 0x3A5C
+
+
+@dataclass(frozen=True)
+class ShardedSyntheticSpec:
+    """Recipe for a power-law graph dataset generated shard-by-shard.
+
+    Edges are drawn i.i.d. with heavy-tailed endpoints (inverse-CDF
+    sampling of ``P(rank <= k) = (k/n)^(1-s)``), which makes every chunk
+    independent of every other — the property that allows streaming
+    generation.  Destination ranks are rotated by ``n // 2`` so in- and
+    out-hubs are distinct vertices.
+    """
+
+    name: str = "sharded-synthetic"
+    num_vertices: int = 100_000
+    num_edges: int = 1_000_000
+    feat_dim: int = 32
+    num_classes: int = 8
+    seed: int = 0
+    src_exponent: float = 0.55
+    dst_exponent: float = 0.45
+    edges_per_chunk: int = 1_000_000
+    rows_per_shard: int = 65_536
+    train_fraction: float = 0.6
+    val_fraction: float = 0.2
+    feature_dtype: str = "float32"
+    signal: float = 1.0
+
+    @property
+    def num_edge_chunks(self) -> int:
+        return max(1, -(-self.num_edges // self.edges_per_chunk))
+
+    @property
+    def num_row_shards(self) -> int:
+        return max(1, -(-self.num_vertices // self.rows_per_shard))
+
+    @property
+    def avg_degree(self) -> float:
+        return self.num_edges / max(self.num_vertices, 1)
+
+    def to_dict(self) -> dict:
+        from dataclasses import asdict
+
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "ShardedSyntheticSpec":
+        return cls(**d)
+
+
+def _power_law_ranks(u: np.ndarray, n: int, exponent: float) -> np.ndarray:
+    """Map uniforms to ranks with ``P(rank <= k) ~ (k/n)^(1-s)``."""
+    ranks = np.floor(n * u ** (1.0 / (1.0 - exponent))).astype(np.int64)
+    return np.minimum(ranks, n - 1)
+
+
+def shard_row_range(spec: ShardedSyntheticSpec, shard: int) -> tuple[int, int]:
+    """Global ``[row0, row1)`` vertex range of a feature/label shard."""
+    if not 0 <= shard < spec.num_row_shards:
+        raise IndexError(f"shard {shard} out of range (have {spec.num_row_shards})")
+    row0 = shard * spec.rows_per_shard
+    return row0, min(row0 + spec.rows_per_shard, spec.num_vertices)
+
+
+def edge_chunks(spec: ShardedSyntheticSpec):
+    """Yield ``(src, dst)`` int64 chunk pairs, never more than
+    ``edges_per_chunk`` edges at a time.  Deterministic per chunk."""
+    n = spec.num_vertices
+    rotate = n // 2 or 1
+    remaining = spec.num_edges
+    for chunk in range(spec.num_edge_chunks):
+        m = min(spec.edges_per_chunk, remaining)
+        remaining -= m
+        rng = np.random.default_rng(
+            np.random.SeedSequence([spec.seed, _EDGE_TAG, chunk])
+        )
+        src = _power_law_ranks(rng.random(m), n, spec.src_exponent)
+        dst = _power_law_ranks(rng.random(m), n, spec.dst_exponent)
+        # Rotate destination hubs away from source hubs, drop self-loops
+        # by nudging (cheap, keeps the chunk size exact).
+        dst = (dst + rotate) % n
+        loops = src == dst
+        if loops.any():
+            dst[loops] = (dst[loops] + 1) % n
+        yield src, dst
+
+
+def _shard_rng(spec: ShardedSyntheticSpec, tag: int, shard: int) -> np.random.Generator:
+    return np.random.default_rng(np.random.SeedSequence([spec.seed, tag, shard]))
+
+
+def label_shard(spec: ShardedSyntheticSpec, shard: int) -> np.ndarray:
+    """Labels for one row shard (int64, deterministic per shard)."""
+    row0, row1 = shard_row_range(spec, shard)
+    rng = _shard_rng(spec, _LABEL_TAG, shard)
+    return rng.integers(0, spec.num_classes, size=row1 - row0, dtype=np.int64)
+
+
+def class_centers(spec: ShardedSyntheticSpec) -> np.ndarray:
+    """The (num_classes, feat_dim) per-class feature means — tiny, drawn
+    once from the base seed so every shard agrees on them."""
+    rng = np.random.default_rng(np.random.SeedSequence([spec.seed, _FEAT_TAG]))
+    return (rng.standard_normal((spec.num_classes, spec.feat_dim))
+            * spec.signal)
+
+
+def feature_shard(spec: ShardedSyntheticSpec, shard: int,
+                  labels: np.ndarray | None = None,
+                  centers: np.ndarray | None = None) -> np.ndarray:
+    """Features for one row shard: class-mean + noise, like
+    :func:`_class_features` but never wider than the shard."""
+    row0, row1 = shard_row_range(spec, shard)
+    if labels is None:
+        labels = label_shard(spec, shard)
+    if centers is None:
+        centers = class_centers(spec)
+    rng = _shard_rng(spec, _FEAT_TAG, shard)
+    noise = rng.standard_normal((row1 - row0, spec.feat_dim)) * 0.5
+    return (centers[labels] + noise).astype(spec.feature_dtype, copy=False)
+
+
+def mask_shards(spec: ShardedSyntheticSpec, shard: int
+                ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """(train, val, test) boolean masks for one row shard."""
+    row0, row1 = shard_row_range(spec, shard)
+    rng = _shard_rng(spec, _MASK_TAG, shard)
+    u = rng.random(row1 - row0)
+    train = u < spec.train_fraction
+    val = (~train) & (u < spec.train_fraction + spec.val_fraction)
+    return train, val, ~(train | val)

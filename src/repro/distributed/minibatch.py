@@ -54,7 +54,7 @@ class DistributedMiniBatchTrainer:
     def __init__(
         self,
         model: NAUModel,
-        graph: Graph,
+        data,
         partition_labels: np.ndarray,
         batch_size: int = 128,
         fanouts: list[int] | None = None,
@@ -63,9 +63,14 @@ class DistributedMiniBatchTrainer:
         seed: int = 0,
     ):
         self.model = model
-        self.graph = graph
+        # ``data`` is the input graph, or a dataset carrying one — an
+        # in-RAM Dataset or an out-of-core OnDiskDataset.  With a
+        # dataset, train_epoch can run without feats/labels: each
+        # worker's features are gathered per batch from the dataset.
+        self._dataset = data if hasattr(data, "graph") else None
+        self.graph: Graph = data.graph if self._dataset is not None else data
         self.labels_part = np.asarray(partition_labels, dtype=np.int64)
-        if self.labels_part.shape != (graph.num_vertices,):
+        if self.labels_part.shape != (self.graph.num_vertices,):
             raise ValueError("partition labels must cover every vertex")
         self.k = int(self.labels_part.max()) + 1
         self.batch_size = int(batch_size)
@@ -107,13 +112,33 @@ class DistributedMiniBatchTrainer:
     # ------------------------------------------------------------------
     def train_epoch(
         self,
-        feats: Tensor,
-        labels: np.ndarray,
-        optimizer: Optimizer,
+        feats: Tensor | None = None,
+        labels: np.ndarray | None = None,
+        optimizer: Optimizer | None = None,
         mask: np.ndarray | None = None,
         epoch: int = 0,
     ) -> DistributedMiniBatchStats:
-        """One synchronized pass over every worker's masked vertices."""
+        """One synchronized pass over every worker's masked vertices.
+
+        With ``feats=None`` the trainer must have been constructed with
+        a dataset; each worker then gathers its batch's feature rows
+        from the dataset (for ondisk data: only the touched memmap
+        pages) and runs the forward in batch-local coordinates.
+        """
+        if optimizer is None:
+            raise ValueError("train_epoch needs an optimizer")
+        source = None
+        if feats is None:
+            from ..loader.source import as_source
+
+            if self._dataset is None:
+                raise ValueError(
+                    "train_epoch needs feats unless the trainer was "
+                    "constructed with a dataset"
+                )
+            source = as_source(self._dataset, labels)
+        elif labels is None:
+            raise ValueError("train_epoch needs labels when feats is given")
         self.model.train()
         hdg = self._ensure_hdg(epoch)
         n = self.graph.num_vertices
@@ -143,20 +168,33 @@ class DistributedMiniBatchTrainer:
                     continue
                 t0 = time.perf_counter()
                 blocks, input_vertices = self._worker_blocks(hdg, seeds)
-                h = feats
-                for layer, (block, out_vertices) in zip(self.model.layers, blocks):
-                    nbr = layer.aggregation(h, block, self.strategy)
-                    h_rows = layer.update(h[out_vertices], nbr)
-                    h = scatter_rows(h_rows, out_vertices, n)
+                if source is None:
+                    h = feats
+                    for layer, (block, out_vertices) in zip(self.model.layers, blocks):
+                        nbr = layer.aggregation(h, block, self.strategy)
+                        h_rows = layer.update(h[out_vertices], nbr)
+                        h = scatter_rows(h_rows, out_vertices, n)
+                    round_logits.append(h[seeds])
+                    feat_bytes = int(feats.shape[1]) * feats.data.dtype.itemsize
+                else:
+                    from ..loader.pipeline import compact_blocks, run_local_blocks
+
+                    compact = compact_blocks(blocks, seeds)
+                    rows = source.gather_features(compact.input_vertices)
+                    h = run_local_blocks(self.model, compact, Tensor(rows),
+                                         self.strategy)
+                    round_logits.append(h[compact.seed_rows])
+                    feat_bytes = int(source.feat_dim) * rows.dtype.itemsize
                 compute[w] = time.perf_counter() - t0
-                round_logits.append(h[seeds])
-                round_targets.append(labels[seeds])
+                round_targets.append(
+                    labels[seeds] if labels is not None
+                    else source.gather_labels(seeds)
+                )
                 # Remote feature fetches: input-block vertices owned by
                 # other workers, one batched message per source worker.
                 remote = input_vertices[self.labels_part[input_vertices] != w]
                 if remote.size:
                     owners = self.labels_part[remote]
-                    feat_bytes = int(feats.shape[1]) * feats.data.dtype.itemsize
                     for src_w in np.unique(owners):
                         count = int((owners == src_w).sum())
                         comm.send(int(src_w), w, count * feat_bytes, messages=1)

@@ -1,0 +1,365 @@
+"""The staged streaming minibatch pipeline: sample → gather → transfer.
+
+Each epoch is split into per-batch descriptors up front — the seed
+permutation *and* one RNG seed per batch are pre-drawn from the epoch
+seed (``SeedSequence([seed, epoch])``) — so what a batch samples is a
+pure function of ``(seed, epoch, batch index)``.  That is what makes
+the pipeline reproducible: prefetch depth, worker-thread count and
+scheduling jitter cannot change the stream, only *when* each batch is
+produced.
+
+Production runs either inline (``prefetch_depth == 0``; the synchronous
+baseline) or on background worker threads over a bounded in-flight
+budget: a worker must hold one of ``prefetch_depth`` permits before it
+claims the next batch index, and the permit is returned only when the
+training loop consumes that batch.  Claims are handed out in index
+order and batches are emitted in index order (training order equals
+plan order — optimizer steps are sequential and deterministic), so the
+permit bound is also a deadlock-freedom argument: the consumer always
+waits on the smallest outstanding index, whose claimant holds a permit
+and never blocks while producing.
+
+Every stage reports into :mod:`repro.obs`: per-batch
+``loader.sample`` / ``loader.gather`` / ``loader.transfer`` spans,
+``loader.queue_depth`` (ready-but-unconsumed batches) and
+``loader.batches`` / ``loader.bytes_gathered`` counters.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .. import obs
+from ..core.hdg import HDG
+from ..core.sampling import build_seed_blocks
+from ..tensor.ops import scatter_rows
+from ..tensor.tensor import Tensor
+from .source import DataSource, as_source
+
+__all__ = [
+    "BatchPlan",
+    "CompactBlocks",
+    "SampledBatch",
+    "StreamingLoader",
+    "compact_blocks",
+    "plan_epoch",
+    "run_local_blocks",
+]
+
+
+@dataclass(frozen=True)
+class BatchPlan:
+    """What batch ``index`` of an epoch will sample — fixed up front."""
+
+    index: int
+    epoch: int
+    seeds: np.ndarray       # global vertex ids, draw order
+    rng_seed: int           # per-batch sampling seed, pre-drawn
+
+
+def plan_epoch(pool: np.ndarray, batch_size: int, *, seed: int,
+               epoch: int) -> list[BatchPlan]:
+    """Pre-draw the epoch's batch plans from ``(seed, epoch)`` alone.
+
+    The pool permutation and every batch's sampling seed come from one
+    ``SeedSequence([seed, epoch])`` stream, so the plan is identical no
+    matter how many loader workers later execute it.
+    """
+    pool = np.asarray(pool, dtype=np.int64)
+    rng = np.random.default_rng(np.random.SeedSequence([int(seed), int(epoch)]))
+    order = rng.permutation(pool)
+    num_batches = -(-order.size // batch_size) if order.size else 0
+    batch_seeds = rng.integers(0, np.iinfo(np.int64).max, size=num_batches)
+    return [
+        BatchPlan(
+            index=i,
+            epoch=epoch,
+            seeds=order[i * batch_size : (i + 1) * batch_size],
+            rng_seed=int(batch_seeds[i]),
+        )
+        for i in range(num_batches)
+    ]
+
+
+@dataclass
+class CompactBlocks:
+    """Seed blocks relabeled into batch-local coordinates.
+
+    ``input_vertices`` (sorted unique global ids) is the batch's feature
+    universe; every block's leaf/root ids are positions into it, so the
+    whole forward pass runs on arrays of size O(batch) — never O(graph).
+    """
+
+    input_vertices: np.ndarray
+    blocks: list[tuple[HDG, np.ndarray]]   # (local block, local out rows)
+    seed_rows: np.ndarray                  # final-layer rows of the seeds
+
+    @property
+    def num_local(self) -> int:
+        return int(self.input_vertices.size)
+
+
+def compact_blocks(blocks: list[tuple[HDG, np.ndarray]],
+                   seeds: np.ndarray) -> CompactBlocks:
+    """Relabel :func:`build_seed_blocks` output into local coordinates."""
+    first_block, first_out = blocks[0]
+    input_vertices = np.union1d(first_out, first_block.leaf_vertices)
+
+    def local(ids: np.ndarray) -> np.ndarray:
+        return np.searchsorted(input_vertices, ids)
+
+    local_blocks: list[tuple[HDG, np.ndarray]] = []
+    for block, out_vertices in blocks:
+        out_local = local(out_vertices)
+        local_blocks.append((
+            HDG(
+                out_local, block.schema, local(block.leaf_vertices),
+                block.leaf_offsets, instance_offsets=None,
+                leaf_weights=block.leaf_weights,
+                num_input_vertices=input_vertices.size,
+            ),
+            out_local,
+        ))
+    return CompactBlocks(
+        input_vertices=input_vertices,
+        blocks=local_blocks,
+        seed_rows=local(np.asarray(seeds, dtype=np.int64)),
+    )
+
+
+def run_local_blocks(model, compact: CompactBlocks, feats: Tensor,
+                     strategy) -> Tensor:
+    """Layer-wise forward over local-coordinate blocks.
+
+    ``feats`` holds the gathered input rows (one per
+    ``input_vertices``); the result stays in the same local universe —
+    index it with ``compact.seed_rows`` for the seed logits.
+    """
+    h = feats
+    for layer, (block, out_local) in zip(model.layers, compact.blocks):
+        nbr = layer.aggregation(h, block, strategy)
+        h_rows = layer.update(h[out_local], nbr)
+        h = scatter_rows(h_rows, out_local, compact.num_local)
+    return h
+
+
+@dataclass
+class SampledBatch:
+    """One fully staged batch, ready for a train step."""
+
+    index: int
+    epoch: int
+    seeds: np.ndarray
+    compact: CompactBlocks
+    feats: Tensor
+    labels: np.ndarray | None
+    sample_seconds: float = 0.0
+    gather_seconds: float = 0.0
+    transfer_seconds: float = 0.0
+
+    @property
+    def blocks(self) -> list[tuple[HDG, np.ndarray]]:
+        return self.compact.blocks
+
+    @property
+    def seed_rows(self) -> np.ndarray:
+        return self.compact.seed_rows
+
+    @property
+    def stage_seconds(self) -> float:
+        return self.sample_seconds + self.gather_seconds + self.transfer_seconds
+
+
+@dataclass
+class _EpochRun:
+    """Shared state of one threaded epoch."""
+
+    plans: list[BatchPlan]
+    next_index: int = 0
+    results: dict = field(default_factory=dict)
+    stop: threading.Event = field(default_factory=threading.Event)
+
+
+class StreamingLoader:
+    """Background sample/gather/transfer over a bounded prefetch window.
+
+    Parameters
+    ----------
+    source:
+        A :class:`~repro.loader.DataSource` (or anything
+        :func:`as_source` accepts) features and labels are gathered
+        from.
+    fanouts:
+        Per-layer neighbor budgets, bottom layer first (entries may be
+        ``None`` for exact neighborhoods).
+    batch_size:
+        Seed vertices per batch.
+    prefetch_depth:
+        Max batches in flight (claimed but not yet consumed by the
+        training loop).  ``0`` disables the worker threads entirely —
+        batches are produced inline, the synchronous baseline.
+    num_workers:
+        Worker threads executing the staged production (capped by
+        ``prefetch_depth``; ignored when ``prefetch_depth == 0``).
+    transfer:
+        When true, finish each batch with the device-transfer stub (a
+        contiguous copy standing in for an H2D upload, reported under
+        ``loader.transfer``).
+    modeled_transfer_gbps:
+        When set, the transfer stub also *models* the device link: it
+        blocks for ``bytes / (gbps * 1e9)`` seconds per batch, the way
+        :class:`~repro.distributed.comm.SimulatedComm` models network
+        time.  The wait is real blocking (off-GIL), so prefetching
+        genuinely hides it — this is what a CUDA H2D copy overlapped
+        with compute looks like, without a GPU in the loop.  The span is
+        flagged ``simulated`` accordingly.  ``None`` (default) keeps the
+        stub free.
+    """
+
+    def __init__(self, source, fanouts: list, batch_size: int = 256,
+                 prefetch_depth: int = 2, num_workers: int = 2,
+                 transfer: bool = True,
+                 modeled_transfer_gbps: float | None = None,
+                 labels: np.ndarray | None = None):
+        self.source: DataSource = as_source(source, labels)
+        self.fanouts = list(fanouts)
+        self.batch_size = int(batch_size)
+        if self.batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        self.prefetch_depth = int(prefetch_depth)
+        if self.prefetch_depth < 0:
+            raise ValueError("prefetch_depth must be >= 0")
+        self.num_workers = max(1, int(num_workers))
+        self.transfer = bool(transfer)
+        if modeled_transfer_gbps is not None and modeled_transfer_gbps <= 0:
+            raise ValueError("modeled_transfer_gbps must be positive")
+        self.modeled_transfer_gbps = modeled_transfer_gbps
+
+    # ------------------------------------------------------------------
+    # Staged production (runs on a worker thread or inline)
+    # ------------------------------------------------------------------
+    def _produce(self, hdg: HDG, plan: BatchPlan) -> SampledBatch:
+        rng = np.random.default_rng(plan.rng_seed)
+        t0 = time.perf_counter()
+        blocks = build_seed_blocks(hdg, plan.seeds, self.fanouts, rng)
+        compact = compact_blocks(blocks, plan.seeds)
+        sample_s = time.perf_counter() - t0
+
+        t1 = time.perf_counter()
+        rows = self.source.gather_features(compact.input_vertices)
+        labels = self.source.gather_labels(plan.seeds)
+        gather_s = time.perf_counter() - t1
+
+        transfer_s = 0.0
+        if self.transfer:
+            t2 = time.perf_counter()
+            # Device-transfer stub: the contiguous staging copy a real
+            # H2D upload would make; keeps the stage's cost visible.
+            rows = np.ascontiguousarray(rows)
+            if self.modeled_transfer_gbps is not None:
+                # Model the link itself: block for the bytes at the
+                # configured bandwidth.  A real wait, so prefetch can
+                # genuinely hide it behind training.
+                time.sleep(rows.nbytes / (self.modeled_transfer_gbps * 1e9))
+            transfer_s = time.perf_counter() - t2
+
+        reg = obs.get_registry()
+        attrs = {"epoch": plan.epoch, "batch": plan.index}
+        reg.record_span("loader.sample", sample_s, simulated=False, **attrs)
+        reg.record_span("loader.gather", gather_s, simulated=False, **attrs)
+        if self.transfer:
+            reg.record_span("loader.transfer", transfer_s,
+                            simulated=self.modeled_transfer_gbps is not None,
+                            **attrs)
+        obs.counter("loader.batches").add(1)
+        obs.counter("loader.bytes_gathered").add(int(rows.nbytes))
+
+        return SampledBatch(
+            index=plan.index, epoch=plan.epoch, seeds=plan.seeds,
+            compact=compact, feats=Tensor(rows), labels=labels,
+            sample_seconds=sample_s, gather_seconds=gather_s,
+            transfer_seconds=transfer_s,
+        )
+
+    # ------------------------------------------------------------------
+    # Epoch iteration
+    # ------------------------------------------------------------------
+    def epoch_batches(self, hdg: HDG, pool: np.ndarray, *, epoch: int,
+                      seed: int):
+        """Yield the epoch's batches in plan order.
+
+        With ``prefetch_depth == 0`` this is a plain generator; otherwise
+        worker threads run the staged production ahead of the consumer,
+        at most ``prefetch_depth`` batches deep.
+        """
+        plans = plan_epoch(pool, self.batch_size, seed=seed, epoch=epoch)
+        if not plans:
+            return iter(())
+        if self.prefetch_depth == 0:
+            return (self._produce(hdg, plan) for plan in plans)
+        return self._threaded_epoch(hdg, plans)
+
+    def _threaded_epoch(self, hdg: HDG, plans: list[BatchPlan]):
+        run = _EpochRun(plans=plans)
+        claim_lock = threading.Lock()
+        cond = threading.Condition()
+        permits = threading.BoundedSemaphore(self.prefetch_depth)
+        depth_gauge = obs.gauge("loader.queue_depth")
+
+        def worker() -> None:
+            while not run.stop.is_set():
+                # Permit first, then claim: every claimed-but-unconsumed
+                # batch holds a permit, and claims go out in index order
+                # — the consumer's next batch is always being produced.
+                if not permits.acquire(timeout=0.05):
+                    continue
+                with claim_lock:
+                    index = run.next_index
+                    if index >= len(run.plans):
+                        permits.release()
+                        return
+                    run.next_index += 1
+                try:
+                    result = self._produce(hdg, run.plans[index])
+                except BaseException as exc:  # surfaced on the consumer
+                    result = exc
+                with cond:
+                    run.results[index] = result
+                    depth_gauge.set(len(run.results))
+                    cond.notify_all()
+
+        threads = [
+            threading.Thread(target=worker, name=f"loader-{i}", daemon=True)
+            for i in range(min(self.num_workers, self.prefetch_depth))
+        ]
+        for t in threads:
+            t.start()
+
+        def iterate():
+            try:
+                for index in range(len(plans)):
+                    with cond:
+                        while index not in run.results:
+                            if not any(t.is_alive() for t in threads):
+                                raise RuntimeError(
+                                    "loader workers exited without producing "
+                                    f"batch {index}"
+                                )
+                            cond.wait(timeout=0.1)
+                        result = run.results.pop(index)
+                        depth_gauge.set(len(run.results))
+                    permits.release()
+                    if isinstance(result, BaseException):
+                        raise result
+                    yield result
+            finally:
+                run.stop.set()
+                for t in threads:
+                    t.join()
+                depth_gauge.set(0)
+
+        return iterate()

@@ -1,0 +1,97 @@
+"""Feature/label sources — what a streaming loader gathers from.
+
+A :class:`DataSource` is anything that can hand back feature rows and
+labels for an arbitrary set of vertex ids: an in-RAM array pair, a
+:class:`~repro.datasets.synthetic.Dataset`, or an out-of-core
+:class:`~repro.storage.ondisk.OnDiskDataset` (which implements the
+protocol natively — its gathers touch only the memmap pages the rows
+live on).  :func:`as_source` normalizes whatever the trainer was handed.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+
+__all__ = ["DataSource", "InMemorySource", "as_source"]
+
+
+@runtime_checkable
+class DataSource(Protocol):
+    """Row-gatherable feature/label storage."""
+
+    num_vertices: int
+    feat_dim: int
+
+    def gather_features(self, rows: np.ndarray) -> np.ndarray:
+        """Feature rows in the requested order, shape (len(rows), feat_dim)."""
+        ...
+
+    def gather_labels(self, rows: np.ndarray) -> np.ndarray:
+        """Label values in the requested order."""
+        ...
+
+
+class InMemorySource:
+    """A :class:`DataSource` over arrays already resident in RAM."""
+
+    def __init__(self, features, labels: np.ndarray | None = None):
+        # Accept a Tensor without importing the tensor module.
+        data = getattr(features, "data", features)
+        self.features = np.asarray(data)
+        if self.features.ndim != 2:
+            raise ValueError("features must be 2-D (num_vertices, feat_dim)")
+        self.labels = None if labels is None else np.asarray(labels)
+        self.num_vertices = int(self.features.shape[0])
+        self.feat_dim = int(self.features.shape[1])
+
+    @property
+    def feature_dtype(self) -> np.dtype:
+        return self.features.dtype
+
+    def gather_features(self, rows: np.ndarray) -> np.ndarray:
+        return self.features[np.asarray(rows, dtype=np.int64)]
+
+    def gather_labels(self, rows: np.ndarray) -> np.ndarray:
+        if self.labels is None:
+            raise ValueError("this source carries no labels")
+        return self.labels[np.asarray(rows, dtype=np.int64)]
+
+
+def as_source(obj, labels: np.ndarray | None = None) -> DataSource:
+    """Normalize trainer input into a :class:`DataSource`.
+
+    Accepts an existing source (``OnDiskDataset``, ``InMemorySource``),
+    a ``Dataset``, or a raw feature array / ``Tensor`` plus optional
+    ``labels``.  An explicit ``labels`` array overrides whatever the
+    source carries.
+    """
+    if hasattr(obj, "gather_features") and hasattr(obj, "gather_labels"):
+        if labels is None:
+            return obj
+        return _LabelOverride(obj, labels)
+    if hasattr(obj, "features") and hasattr(obj, "graph"):  # Dataset
+        return InMemorySource(obj.features, labels if labels is not None else obj.labels)
+    return InMemorySource(obj, labels)
+
+
+class _LabelOverride:
+    """A source with its labels replaced (trainer was given both a
+    source and an explicit label array)."""
+
+    def __init__(self, base: DataSource, labels: np.ndarray):
+        self._base = base
+        self._labels = np.asarray(labels)
+        self.num_vertices = base.num_vertices
+        self.feat_dim = base.feat_dim
+
+    @property
+    def feature_dtype(self):
+        return getattr(self._base, "feature_dtype", None)
+
+    def gather_features(self, rows: np.ndarray) -> np.ndarray:
+        return self._base.gather_features(rows)
+
+    def gather_labels(self, rows: np.ndarray) -> np.ndarray:
+        return self._labels[np.asarray(rows, dtype=np.int64)]

@@ -1,6 +1,15 @@
 """``repro.storage`` — the Figure 12 storage tier (graph, feature and
-checkpoint persistence; per-worker partition shards)."""
+checkpoint persistence; per-worker partition shards; the out-of-core
+``repro.ondisk/1`` memmap format)."""
 
+from .ondisk import (
+    ONDISK_FORMAT,
+    OnDiskDataset,
+    OnDiskGraph,
+    OnDiskIntegrityError,
+    write_ondisk_dataset,
+    write_synthetic_ondisk,
+)
 from .store import (
     PartitionedStore,
     checkpoint_metadata,
@@ -17,4 +26,7 @@ __all__ = [
     "save_dataset", "load_dataset_from",
     "save_checkpoint", "load_checkpoint", "checkpoint_metadata",
     "PartitionedStore",
+    "ONDISK_FORMAT", "OnDiskIntegrityError",
+    "OnDiskGraph", "OnDiskDataset",
+    "write_ondisk_dataset", "write_synthetic_ondisk",
 ]

@@ -1,0 +1,581 @@
+"""Out-of-core dataset storage — the ``repro.ondisk/1`` format.
+
+FlexGraph's bottom layer (Figure 12) is a storage system that feeds
+graph topology and vertex features to the layers above it.  The
+in-RAM tier (:mod:`repro.storage.store`) caps dataset size at host
+memory; this module is the out-of-core tier: a directory of flat
+binary files under a JSON manifest, designed so that *nothing* is ever
+read in full —
+
+* topology as memory-mapped CSC **and** CSR ``.npy`` pairs
+  (``indptr``/``indices``), so neighbor lookups touch only the pages a
+  batch's vertices live on;
+* features and labels row-sharded into fixed-width ``.npy`` shards,
+  gathered row-wise with positional reads
+  (:meth:`OnDiskDataset.gather_features`) so peak process RSS stays
+  O(batch) — the kernel's page cache does the caching, not the process;
+* a ``manifest.json`` carrying the format version, shapes, dtypes and a
+  SHA-256 content fingerprint per file, verified on demand
+  (:meth:`OnDiskDataset.verify`) so a truncated or corrupted shard
+  fails loudly instead of training on garbage.
+
+Writers come in two flavors: :func:`write_ondisk_dataset` converts an
+in-RAM :class:`~repro.datasets.synthetic.Dataset`, and
+:func:`write_synthetic_ondisk` *generates* a dataset shard-by-shard
+from a :class:`~repro.datasets.synthetic.ShardedSyntheticSpec` —
+a two-pass counting-then-filling CSC/CSR build that regenerates edge
+chunks instead of buffering them, so 10^7-10^8-edge graphs are written
+with O(num_vertices) peak memory.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import mmap
+import os
+
+import numpy as np
+
+from ..datasets.synthetic import (
+    Dataset,
+    ShardedSyntheticSpec,
+    class_centers,
+    edge_chunks,
+    feature_shard,
+    label_shard,
+    mask_shards,
+    shard_row_range,
+)
+from ..graph.graph import Graph
+
+__all__ = [
+    "ONDISK_FORMAT",
+    "OnDiskIntegrityError",
+    "OnDiskGraph",
+    "OnDiskDataset",
+    "write_ondisk_dataset",
+    "write_synthetic_ondisk",
+]
+
+ONDISK_FORMAT = "repro.ondisk/1"
+
+MANIFEST_NAME = "manifest.json"
+_TOPOLOGY_FILES = (
+    "topology/csc.indptr.npy",
+    "topology/csc.indices.npy",
+    "topology/csr.indptr.npy",
+    "topology/csr.indices.npy",
+)
+_HASH_BLOCK = 1 << 23  # 8 MiB
+
+
+class OnDiskIntegrityError(ValueError):
+    """A file's content no longer matches its manifest fingerprint."""
+
+
+# ----------------------------------------------------------------------
+# Manifest plumbing
+# ----------------------------------------------------------------------
+
+def _file_sha256(path: str) -> str:
+    h = hashlib.sha256()
+    with open(path, "rb") as f:
+        while True:
+            block = f.read(_HASH_BLOCK)
+            if not block:
+                break
+            h.update(block)
+    return h.hexdigest()
+
+
+def _file_entry(root: str, rel: str) -> dict:
+    path = os.path.join(root, rel)
+    entry = {"sha256": _file_sha256(path), "bytes": os.path.getsize(path)}
+    if rel.endswith(".npy"):
+        arr = np.load(path, mmap_mode="r")
+        entry["dtype"] = str(arr.dtype)
+        entry["shape"] = list(arr.shape)
+        del arr
+    return entry
+
+
+def _check_format(manifest: dict, root: str) -> None:
+    fmt = manifest.get("format")
+    if fmt != ONDISK_FORMAT:
+        raise ValueError(
+            f"{root}: on-disk format {fmt!r} not supported "
+            f"(expected {ONDISK_FORMAT!r})"
+        )
+
+
+def _write_manifest(root: str, meta: dict, rel_files: list[str]) -> dict:
+    manifest = dict(meta)
+    manifest["format"] = ONDISK_FORMAT
+    manifest["files"] = {rel: _file_entry(root, rel) for rel in sorted(rel_files)}
+    # The graph fingerprint is derived from the CSC content hashes the
+    # manifest already carries — no extra pass over the edges.
+    g = hashlib.sha256()
+    g.update(np.int64(manifest["num_vertices"]).tobytes())
+    for rel in ("topology/csc.indptr.npy", "topology/csc.indices.npy"):
+        g.update(manifest["files"][rel]["sha256"].encode())
+    manifest["graph_fingerprint"] = g.hexdigest()[:16]
+    with open(os.path.join(root, MANIFEST_NAME), "w") as f:
+        json.dump(manifest, f, indent=2, sort_keys=True)
+    return manifest
+
+
+def _feature_shard_rel(shard: int) -> str:
+    return f"features/shard-{shard:05d}.npy"
+
+
+def _open_memmap(path: str) -> np.ndarray:
+    """``np.load(mmap_mode="r")`` plus ``MADV_RANDOM``.
+
+    Batch lookups fault pages in *sorted* vertex order, which the
+    kernel's readahead heuristic mistakes for a sequential scan — it
+    then pulls the gaps in too, making whole files resident and
+    defeating the O(batch) residency this format exists for.  Advising
+    random access keeps faults to exactly the touched pages.
+    """
+    arr = np.load(path, mmap_mode="r")
+    base = getattr(arr, "_mmap", None)
+    if base is not None and hasattr(base, "madvise") and hasattr(mmap, "MADV_RANDOM"):
+        base.madvise(mmap.MADV_RANDOM)
+    return arr
+
+
+# ----------------------------------------------------------------------
+# Readers
+# ----------------------------------------------------------------------
+
+class OnDiskGraph:
+    """Graph-compatible adjacency over memory-mapped CSR/CSC files.
+
+    Implements the :class:`~repro.graph.graph.Graph` lookup surface the
+    sampling and training tiers use (``csr``/``csc``, neighbor and
+    degree queries, ``vertex_types``, ``fingerprint``) without ever
+    materializing an edge array; ``hdg_from_graph`` recognizes the
+    memmapped CSC and builds a :class:`~repro.core.hdg.MemmapHDG`, so
+    DNFA models sample straight off the files.
+    """
+
+    def __init__(self, root: str, manifest: dict):
+        self.root = root
+        self._manifest = manifest
+        self.num_vertices = int(manifest["num_vertices"])
+        self.num_edges = int(manifest["num_edges"])
+        mm = lambda rel: _open_memmap(os.path.join(root, rel))  # noqa: E731
+        self._csc_indptr = mm("topology/csc.indptr.npy")
+        self._csc_indices = mm("topology/csc.indices.npy")
+        self._csr_indptr = mm("topology/csr.indptr.npy")
+        self._csr_indices = mm("topology/csr.indices.npy")
+        self.vertex_types = mm("vertex_types.npy")
+        self.num_types = int(manifest.get("num_types", 1))
+        self.type_names = list(
+            manifest.get("type_names") or [f"type{i}" for i in range(self.num_types)]
+        )
+
+    # -- Graph lookup surface ------------------------------------------
+    @property
+    def csr(self) -> tuple[np.ndarray, np.ndarray]:
+        """(indptr, indices) over out-edges — memmapped."""
+        return self._csr_indptr, self._csr_indices
+
+    @property
+    def csc(self) -> tuple[np.ndarray, np.ndarray]:
+        """(indptr, indices) over in-edges — memmapped."""
+        return self._csc_indptr, self._csc_indices
+
+    def out_neighbors(self, v: int) -> np.ndarray:
+        return self._csr_indices[self._csr_indptr[v] : self._csr_indptr[v + 1]]
+
+    def in_neighbors(self, v: int) -> np.ndarray:
+        return self._csc_indices[self._csc_indptr[v] : self._csc_indptr[v + 1]]
+
+    def out_degree(self, v: int | None = None):
+        if v is None:
+            return np.diff(self._csr_indptr)
+        return int(self._csr_indptr[v + 1] - self._csr_indptr[v])
+
+    def in_degree(self, v: int | None = None):
+        if v is None:
+            return np.diff(self._csc_indptr)
+        return int(self._csc_indptr[v + 1] - self._csc_indptr[v])
+
+    def degrees_of(self, vertices: np.ndarray, in_edges: bool = True) -> np.ndarray:
+        """Degrees of a vertex subset, touching only their indptr pages
+        (``out_degree(None)`` would scan the whole array)."""
+        vertices = np.asarray(vertices, dtype=np.int64)
+        indptr = self._csc_indptr if in_edges else self._csr_indptr
+        return np.asarray(indptr[vertices + 1], dtype=np.int64) - np.asarray(
+            indptr[vertices], dtype=np.int64
+        )
+
+    def fingerprint(self) -> str:
+        """The manifest's content-derived structural fingerprint."""
+        return str(self._manifest["graph_fingerprint"])
+
+    @property
+    def nbytes(self) -> int:
+        """On-disk bytes of the adjacency files (nothing is resident
+        until touched)."""
+        files = self._manifest["files"]
+        return sum(files[rel]["bytes"] for rel in _TOPOLOGY_FILES)
+
+    def __repr__(self) -> str:
+        return (
+            f"OnDiskGraph(num_vertices={self.num_vertices}, "
+            f"num_edges={self.num_edges}, root={self.root!r})"
+        )
+
+
+class OnDiskDataset:
+    """A graph learning task whose arrays live on disk.
+
+    Mirrors :class:`~repro.datasets.synthetic.Dataset`'s surface
+    (``graph``/``labels``/masks/``num_classes``/``feat_dim``) but the
+    topology and labels are memmaps and features are gathered row-wise
+    from shards — peak resident memory is O(batch), not O(dataset).
+    Implements the :class:`repro.loader.DataSource` protocol directly,
+    so it plugs straight into :class:`repro.loader.StreamingLoader` and
+    both mini-batch trainers.
+    """
+
+    def __init__(self, root: str):
+        self.root = root
+        manifest_path = os.path.join(root, MANIFEST_NAME)
+        if not os.path.exists(manifest_path):
+            raise FileNotFoundError(f"no {MANIFEST_NAME} under {root}")
+        with open(manifest_path) as f:
+            self.manifest = json.load(f)
+        _check_format(self.manifest, root)
+        self._check_layout()
+        self.name = str(self.manifest.get("name", os.path.basename(root)))
+        self.graph = OnDiskGraph(root, self.manifest)
+        self.feat_dim = int(self.manifest["feat_dim"])
+        self.num_classes = int(self.manifest["num_classes"])
+        self.rows_per_shard = int(self.manifest["rows_per_shard"])
+        self.num_feature_shards = int(self.manifest["num_feature_shards"])
+        self.feature_dtype = np.dtype(self.manifest["feature_dtype"])
+        self.labels = _open_memmap(os.path.join(root, "labels.npy"))
+        # Split masks are one byte per vertex — always safe to load.
+        self.train_mask = np.load(os.path.join(root, "masks/train.npy"))
+        self.val_mask = np.load(os.path.join(root, "masks/val.npy"))
+        self.test_mask = np.load(os.path.join(root, "masks/test.npy"))
+        self._shard_files: dict[int, tuple] = {}
+
+    # -- DataSource protocol -------------------------------------------
+    @property
+    def num_vertices(self) -> int:
+        return self.graph.num_vertices
+
+    def _shard_reader(self, shard: int) -> tuple:
+        """(open file, data offset) for one feature shard.
+
+        Features are gathered with positional reads rather than a
+        memmap: memmap gathers fault whole readahead/fault-around
+        windows into the *process* (page granularity is 16+ pages on
+        stock Linux), so a scattered batch can make entire shards
+        resident.  ``pread`` copies exactly the requested rows; the
+        kernel keeps its page cache to itself and peak RSS stays
+        O(batch).
+        """
+        entry = self._shard_files.get(shard)
+        if entry is None:
+            f = open(os.path.join(self.root, _feature_shard_rel(shard)), "rb")
+            version = np.lib.format.read_magic(f)
+            if version == (1, 0):
+                shape, fortran, dtype = np.lib.format.read_array_header_1_0(f)
+            elif version == (2, 0):
+                shape, fortran, dtype = np.lib.format.read_array_header_2_0(f)
+            else:
+                raise OnDiskIntegrityError(
+                    f"{self.root}: feature shard {shard} has unsupported "
+                    f".npy version {version}"
+                )
+            if fortran or dtype != self.feature_dtype or shape[1:] != (self.feat_dim,):
+                raise OnDiskIntegrityError(
+                    f"{self.root}: feature shard {shard} header "
+                    f"(dtype={dtype}, shape={shape}, fortran={fortran}) does "
+                    f"not match manifest (dtype={self.feature_dtype}, "
+                    f"feat_dim={self.feat_dim})"
+                )
+            entry = (f, f.tell())
+            self._shard_files[shard] = entry
+        return entry
+
+    def _pread_rows(self, shard: int, first_local: int, count: int) -> np.ndarray:
+        row_nbytes = self.feat_dim * self.feature_dtype.itemsize
+        f, data0 = self._shard_reader(shard)
+        nbytes = count * row_nbytes
+        buf = os.pread(f.fileno(), nbytes, data0 + first_local * row_nbytes)
+        if len(buf) != nbytes:
+            raise OnDiskIntegrityError(
+                f"{self.root}: short read in feature shard {shard} "
+                f"(wanted {nbytes} bytes at row {first_local}, got {len(buf)})"
+            )
+        return np.frombuffer(buf, dtype=self.feature_dtype).reshape(
+            count, self.feat_dim
+        )
+
+    def gather_features(self, rows: np.ndarray) -> np.ndarray:
+        """Feature rows (in the requested order) read out of the shards.
+
+        Per shard, a *dense* request (needed rows cover ≥¼ of their
+        span) is served by one positional read of the whole span and a
+        vectorized slice; a *sparse* one by per-run reads over
+        consecutive row groups.  Either way the transient buffer is
+        bounded by 4× the useful bytes — residency stays O(batch).
+        """
+        rows = np.asarray(rows, dtype=np.int64)
+        out = np.empty((rows.size, self.feat_dim), dtype=self.feature_dtype)
+        if rows.size == 0:
+            return out
+        order = np.argsort(rows, kind="stable")
+        sorted_rows = rows[order]
+        shard_of = sorted_rows // self.rows_per_shard
+        for shard in np.unique(shard_of):
+            sel = np.flatnonzero(shard_of == shard)
+            local = sorted_rows[sel] - int(shard) * self.rows_per_shard
+            lo, hi = int(local[0]), int(local[-1]) + 1
+            if hi - lo <= 4 * local.size:
+                span = self._pread_rows(int(shard), lo, hi - lo)
+                out[order[sel]] = span[local - lo]
+            else:
+                breaks = np.flatnonzero(np.diff(local) != 1) + 1
+                starts = np.concatenate(([0], breaks))
+                ends = np.concatenate((breaks, [local.size]))
+                for s, e in zip(starts, ends):
+                    run = self._pread_rows(int(shard), int(local[s]), e - s)
+                    out[order[sel[s:e]]] = run
+        return out
+
+    def gather_labels(self, rows: np.ndarray) -> np.ndarray:
+        rows = np.asarray(rows, dtype=np.int64)
+        return np.asarray(self.labels[rows], dtype=self.labels.dtype)
+
+    # -- Integrity ------------------------------------------------------
+    def _check_layout(self) -> None:
+        """Cheap open-time check: every manifest file exists with the
+        recorded size (full hashing is :meth:`verify`)."""
+        for rel, entry in self.manifest["files"].items():
+            path = os.path.join(self.root, rel)
+            if not os.path.exists(path):
+                raise OnDiskIntegrityError(f"{self.root}: missing file {rel!r}")
+            actual = os.path.getsize(path)
+            if actual != entry["bytes"]:
+                raise OnDiskIntegrityError(
+                    f"{self.root}: {rel!r} is {actual} bytes, manifest "
+                    f"records {entry['bytes']} (truncated or overwritten?)"
+                )
+
+    def verify(self) -> None:
+        """Recompute every file's SHA-256 and compare with the manifest.
+
+        Raises :class:`OnDiskIntegrityError` naming the first corrupted
+        file; one full sequential read per file, no decompression.
+        """
+        for rel, entry in sorted(self.manifest["files"].items()):
+            actual = _file_sha256(os.path.join(self.root, rel))
+            if actual != entry["sha256"]:
+                raise OnDiskIntegrityError(
+                    f"{self.root}: content fingerprint mismatch for {rel!r} "
+                    f"(manifest {entry['sha256'][:12]}…, file {actual[:12]}…) — "
+                    "shard corrupted; regenerate the dataset"
+                )
+
+    # -- Escape hatch ---------------------------------------------------
+    def materialize(self) -> Dataset:
+        """Load everything into an in-RAM :class:`Dataset` (small
+        datasets, parity tests, exact full-graph evaluation)."""
+        n = self.num_vertices
+        indptr = np.asarray(self.graph._csc_indptr, dtype=np.int64)
+        indices = np.asarray(self.graph._csc_indices, dtype=np.int64)
+        dst = np.repeat(np.arange(n, dtype=np.int64), np.diff(indptr))
+        graph = Graph(
+            n, indices, dst,
+            vertex_types=np.asarray(self.graph.vertex_types, dtype=np.int64),
+            type_names=self.graph.type_names,
+        )
+        return Dataset(
+            name=self.name,
+            graph=graph,
+            features=self.gather_features(np.arange(n, dtype=np.int64)),
+            labels=np.asarray(self.labels),
+            train_mask=self.train_mask.copy(),
+            val_mask=self.val_mask.copy(),
+            test_mask=self.test_mask.copy(),
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"OnDiskDataset({self.name!r}, vertices={self.num_vertices}, "
+            f"edges={self.graph.num_edges}, feat_dim={self.feat_dim}, "
+            f"shards={self.num_feature_shards}, root={self.root!r})"
+        )
+
+
+# ----------------------------------------------------------------------
+# Writers
+# ----------------------------------------------------------------------
+
+def _prepare_root(root: str) -> None:
+    for sub in ("topology", "features", "masks"):
+        os.makedirs(os.path.join(root, sub), exist_ok=True)
+
+
+def _save(root: str, rel: str, arr: np.ndarray) -> str:
+    np.save(os.path.join(root, rel.removesuffix(".npy")), arr)
+    return rel
+
+
+def write_ondisk_dataset(dataset: Dataset, root: str,
+                         rows_per_shard: int = 4096) -> dict:
+    """Convert an in-RAM :class:`Dataset` to the on-disk layout.
+
+    Feature/label dtypes are preserved exactly.  Returns the manifest.
+    """
+    if rows_per_shard <= 0:
+        raise ValueError("rows_per_shard must be positive")
+    _prepare_root(root)
+    graph = dataset.graph
+    n = graph.num_vertices
+    rel_files: list[str] = []
+    csc_indptr, csc_indices = graph.csc
+    csr_indptr, csr_indices = graph.csr
+    rel_files.append(_save(root, "topology/csc.indptr.npy", np.asarray(csc_indptr, dtype=np.int64)))
+    rel_files.append(_save(root, "topology/csc.indices.npy", np.asarray(csc_indices, dtype=np.int64)))
+    rel_files.append(_save(root, "topology/csr.indptr.npy", np.asarray(csr_indptr, dtype=np.int64)))
+    rel_files.append(_save(root, "topology/csr.indices.npy", np.asarray(csr_indices, dtype=np.int64)))
+    rel_files.append(_save(root, "vertex_types.npy", np.asarray(graph.vertex_types, dtype=np.int64)))
+    rel_files.append(_save(root, "labels.npy", dataset.labels))
+    rel_files.append(_save(root, "masks/train.npy", dataset.train_mask.astype(bool)))
+    rel_files.append(_save(root, "masks/val.npy", dataset.val_mask.astype(bool)))
+    rel_files.append(_save(root, "masks/test.npy", dataset.test_mask.astype(bool)))
+    num_shards = max(1, -(-n // rows_per_shard))
+    for shard in range(num_shards):
+        row0 = shard * rows_per_shard
+        row1 = min(row0 + rows_per_shard, n)
+        rel_files.append(
+            _save(root, _feature_shard_rel(shard), dataset.features[row0:row1])
+        )
+    meta = {
+        "name": dataset.name,
+        "num_vertices": n,
+        "num_edges": graph.num_edges,
+        "feat_dim": int(dataset.features.shape[1]),
+        "num_classes": int(dataset.num_classes),
+        "feature_dtype": str(dataset.features.dtype),
+        "label_dtype": str(dataset.labels.dtype),
+        "rows_per_shard": rows_per_shard,
+        "num_feature_shards": num_shards,
+        "num_types": int(graph.num_types),
+        "type_names": list(graph.type_names),
+    }
+    return _write_manifest(root, meta, rel_files)
+
+
+def _streamed_adjacency(root: str, spec: ShardedSyntheticSpec,
+                        by_dst: bool) -> tuple[str, str]:
+    """Two-pass out-of-core CSC (``by_dst``) or CSR build.
+
+    Pass 1 counts degrees (one O(num_vertices) int64 array); pass 2
+    regenerates the identical edge chunks and scatters each chunk's
+    endpoints into a preallocated ``.npy`` memmap at per-vertex write
+    cursors.  Nothing edge-sized ever lives in RAM beyond one chunk.
+    """
+    n, m = spec.num_vertices, spec.num_edges
+    counts = np.zeros(n, dtype=np.int64)
+    for src, dst in edge_chunks(spec):
+        np.add.at(counts, dst if by_dst else src, 1)
+    indptr = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(counts, out=indptr[1:])
+    kind = "csc" if by_dst else "csr"
+    indptr_rel = f"topology/{kind}.indptr.npy"
+    indices_rel = f"topology/{kind}.indices.npy"
+    _save(root, indptr_rel, indptr)
+    indices = np.lib.format.open_memmap(
+        os.path.join(root, indices_rel), mode="w+", dtype=np.int64, shape=(m,)
+    )
+    cursors = indptr[:-1].copy()
+    for src, dst in edge_chunks(spec):
+        key, val = (dst, src) if by_dst else (src, dst)
+        order = np.argsort(key, kind="stable")
+        key_sorted = key[order]
+        # Rank within each equal-key run -> position = cursor + rank.
+        change = np.flatnonzero(np.diff(key_sorted)) + 1
+        run_starts = np.zeros(key_sorted.size, dtype=np.int64)
+        run_starts[change] = change
+        run_starts = np.maximum.accumulate(run_starts)
+        rank = np.arange(key_sorted.size, dtype=np.int64) - run_starts
+        positions = cursors[key_sorted] + rank
+        indices[positions] = val[order]
+        uniq, per_key = np.unique(key_sorted, return_counts=True)
+        cursors[uniq] += per_key
+    indices.flush()
+    del indices
+    return indptr_rel, indices_rel
+
+
+def write_synthetic_ondisk(root: str, spec: ShardedSyntheticSpec) -> dict:
+    """Generate a :class:`ShardedSyntheticSpec` dataset directly to disk.
+
+    Edge chunks, feature shards, labels and masks are produced and
+    written one shard at a time; peak memory is O(num_vertices) for the
+    degree/cursor arrays plus one chunk/shard buffer.  Returns the
+    manifest.
+    """
+    _prepare_root(root)
+    n = spec.num_vertices
+    rel_files: list[str] = []
+    rel_files.extend(_streamed_adjacency(root, spec, by_dst=True))
+    rel_files.extend(_streamed_adjacency(root, spec, by_dst=False))
+    rel_files.append(_save(root, "vertex_types.npy", np.zeros(n, dtype=np.int64)))
+
+    labels_mm = np.lib.format.open_memmap(
+        os.path.join(root, "labels.npy"), mode="w+", dtype=np.int64, shape=(n,)
+    )
+    masks = {
+        rel: np.lib.format.open_memmap(
+            os.path.join(root, f"masks/{rel}.npy"), mode="w+",
+            dtype=bool, shape=(n,),
+        )
+        for rel in ("train", "val", "test")
+    }
+    centers = class_centers(spec)
+    for shard in range(spec.num_row_shards):
+        row0, row1 = shard_row_range(spec, shard)
+        labels = label_shard(spec, shard)
+        labels_mm[row0:row1] = labels
+        train, val, test = mask_shards(spec, shard)
+        masks["train"][row0:row1] = train
+        masks["val"][row0:row1] = val
+        masks["test"][row0:row1] = test
+        rel_files.append(
+            _save(root, _feature_shard_rel(shard),
+                  feature_shard(spec, shard, labels=labels, centers=centers))
+        )
+    labels_mm.flush()
+    del labels_mm
+    for mm in masks.values():
+        mm.flush()
+    del masks
+    rel_files.append("labels.npy")
+    rel_files.extend(f"masks/{rel}.npy" for rel in ("train", "val", "test"))
+
+    meta = {
+        "name": spec.name,
+        "num_vertices": n,
+        "num_edges": spec.num_edges,
+        "feat_dim": spec.feat_dim,
+        "num_classes": spec.num_classes,
+        "feature_dtype": spec.feature_dtype,
+        "label_dtype": "int64",
+        "rows_per_shard": spec.rows_per_shard,
+        "num_feature_shards": spec.num_row_shards,
+        "num_types": 1,
+        "type_names": ["type0"],
+        "generator": spec.to_dict(),
+    }
+    return _write_manifest(root, meta, rel_files)

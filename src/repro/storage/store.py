@@ -192,6 +192,8 @@ class PartitionedStore:
             raise ValueError("partition labels must cover every vertex")
         if labels.size and (labels.min() < 0 or labels.max() >= k):
             raise ValueError("partition label out of range")
+        features = np.asarray(dataset.features)
+        class_labels = np.asarray(dataset.labels)
         for worker in range(k):
             owned = np.flatnonzero(labels == worker)
             np.savez_compressed(
@@ -199,8 +201,8 @@ class PartitionedStore:
                 format_version=np.int64(_FORMAT_VERSION),
                 worker=np.int64(worker),
                 owned_vertices=owned,
-                features=dataset.features[owned],
-                labels=dataset.labels[owned],
+                features=features[owned],
+                labels=class_labels[owned],
                 train_mask=dataset.train_mask[owned],
             )
         with open(self.manifest_path, "w") as f:
@@ -210,6 +212,10 @@ class PartitionedStore:
                     "k": k,
                     "num_vertices": dataset.graph.num_vertices,
                     "dataset": dataset.name,
+                    # Exact on-disk dtypes; read_shard refuses a shard
+                    # whose arrays came back promoted or truncated.
+                    "feature_dtype": str(features.dtype),
+                    "label_dtype": str(class_labels.dtype),
                 },
                 f,
             )
@@ -223,10 +229,26 @@ class PartitionedStore:
         return np.load(os.path.join(self.root, "partition_labels.npy"))
 
     def read_shard(self, worker: int) -> dict[str, np.ndarray]:
-        """Load one worker's shard as a dict of arrays."""
+        """Load one worker's shard as a dict of arrays.
+
+        Dtypes are validated against the manifest: features and labels
+        must come back exactly as written — a silent float64 promotion
+        (or any other drift) raises instead of doubling feature memory.
+        """
         path = self._shard_path(worker)
         if not os.path.exists(path):
             raise FileNotFoundError(f"no shard for worker {worker} under {self.root}")
         with np.load(path) as data:
             _check_version(int(data["format_version"]), path)
-            return {key: data[key] for key in data.files if key != "format_version"}
+            shard = {key: data[key] for key in data.files if key != "format_version"}
+        if os.path.exists(self.manifest_path):
+            manifest = self.read_manifest()
+            for field, key in (("features", "feature_dtype"),
+                               ("labels", "label_dtype")):
+                want = manifest.get(key)
+                if want is not None and str(shard[field].dtype) != want:
+                    raise ValueError(
+                        f"{path}: {field} dtype {shard[field].dtype} does not "
+                        f"match manifest dtype {want}"
+                    )
+        return shard

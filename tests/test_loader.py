@@ -1,0 +1,196 @@
+"""Tests for the staged streaming dataloader (``repro.loader``)."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core.hdg import hdg_from_graph
+from repro.core.sampling import MiniBatchTrainer
+from repro.datasets import load_dataset
+from repro.loader import (
+    InMemorySource,
+    StreamingLoader,
+    as_source,
+    compact_blocks,
+    plan_epoch,
+)
+from repro.models import gcn
+from repro.storage import OnDiskDataset, write_ondisk_dataset
+from repro.tensor import Tensor
+from repro.tensor.optim import Adam
+
+
+@pytest.fixture
+def ds():
+    return load_dataset("reddit", scale="tiny")
+
+
+class TestPlanEpoch:
+    def test_covers_pool_exactly_once(self):
+        pool = np.arange(100)
+        plans = plan_epoch(pool, 32, seed=1, epoch=0)
+        assert len(plans) == 4  # ceil(100 / 32)
+        seen = np.concatenate([p.seeds for p in plans])
+        np.testing.assert_array_equal(np.sort(seen), pool)
+
+    def test_deterministic_per_epoch(self):
+        pool = np.arange(50)
+        a = plan_epoch(pool, 16, seed=3, epoch=2)
+        b = plan_epoch(pool, 16, seed=3, epoch=2)
+        for pa, pb in zip(a, b):
+            np.testing.assert_array_equal(pa.seeds, pb.seeds)
+            assert pa.rng_seed == pb.rng_seed
+        # ... but different across epochs and seeds
+        c = plan_epoch(pool, 16, seed=3, epoch=3)
+        assert any(
+            not np.array_equal(pa.seeds, pc.seeds) for pa, pc in zip(a, c)
+        )
+
+    def test_empty_pool(self):
+        assert plan_epoch(np.array([], dtype=np.int64), 8, seed=0, epoch=0) == []
+
+
+class TestCompactBlocks:
+    def test_local_ids_map_back(self, ds):
+        from repro.core.sampling import build_seed_blocks
+
+        hdg = hdg_from_graph(ds.graph)
+        seeds = np.array([3, 11, 42])
+        rng = np.random.default_rng(0)
+        blocks = build_seed_blocks(hdg, seeds, [4, 4], rng)
+        compact = compact_blocks(blocks, seeds)
+        iv = compact.input_vertices
+        assert np.array_equal(iv, np.unique(iv))  # sorted unique
+        np.testing.assert_array_equal(iv[compact.seed_rows], seeds)
+        for (local_block, out_local), (block, out) in zip(
+            compact.blocks, blocks
+        ):
+            np.testing.assert_array_equal(iv[out_local], out)
+            np.testing.assert_array_equal(
+                iv[local_block.leaf_vertices], block.leaf_vertices
+            )
+            np.testing.assert_array_equal(
+                local_block.leaf_offsets, block.leaf_offsets
+            )
+
+
+class TestStreamingLoader:
+    def _loader(self, ds, **kw):
+        src = InMemorySource(ds.features, ds.labels)
+        return StreamingLoader(src, [4, 4], batch_size=32, **kw)
+
+    def test_stream_identical_across_prefetch_depths(self, ds):
+        hdg = hdg_from_graph(ds.graph)
+        pool = np.flatnonzero(ds.train_mask)
+
+        def collect(prefetch, workers):
+            loader = self._loader(
+                ds, prefetch_depth=prefetch, num_workers=workers
+            )
+            return list(loader.epoch_batches(hdg, pool, epoch=0, seed=9))
+
+        sync = collect(0, 1)
+        for prefetch, workers in [(1, 1), (2, 2), (4, 3)]:
+            streamed = collect(prefetch, workers)
+            assert len(streamed) == len(sync)
+            for a, b in zip(sync, streamed):
+                assert a.index == b.index
+                np.testing.assert_array_equal(a.seeds, b.seeds)
+                np.testing.assert_array_equal(
+                    a.compact.input_vertices, b.compact.input_vertices
+                )
+                np.testing.assert_array_equal(a.feats.data, b.feats.data)
+                np.testing.assert_array_equal(a.labels, b.labels)
+
+    def test_clean_shutdown_leaves_no_threads(self, ds):
+        hdg = hdg_from_graph(ds.graph)
+        pool = np.flatnonzero(ds.train_mask)
+        before = threading.active_count()
+        loader = self._loader(ds, prefetch_depth=3, num_workers=2)
+        it = loader.epoch_batches(hdg, pool, epoch=0, seed=0)
+        next(it)       # consume one batch ...
+        it.close()     # ... then abandon the epoch
+        assert threading.active_count() == before
+
+    def test_worker_exception_propagates(self, ds):
+        class Exploding(InMemorySource):
+            def gather_features(self, rows):
+                raise RuntimeError("disk on fire")
+
+        hdg = hdg_from_graph(ds.graph)
+        pool = np.flatnonzero(ds.train_mask)
+        loader = StreamingLoader(
+            Exploding(ds.features, ds.labels), [4, 4], batch_size=32,
+            prefetch_depth=2, num_workers=2,
+        )
+        with pytest.raises(RuntimeError, match="disk on fire"):
+            list(loader.epoch_batches(hdg, pool, epoch=0, seed=0))
+
+    def test_as_source_accepts_dataset(self, ds):
+        src = as_source(ds)
+        rows = np.array([1, 5, 9])
+        np.testing.assert_array_equal(src.gather_features(rows), ds.features[rows])
+        np.testing.assert_array_equal(src.gather_labels(rows), ds.labels[rows])
+
+
+class TestTrainerParity:
+    def _losses(self, data, ds, prefetch, workers, feats=None, labels=None,
+                epochs=2):
+        model = gcn(ds.feat_dim, 8, ds.num_classes, seed=0)
+        trainer = MiniBatchTrainer(
+            model, data, batch_size=64, fanouts=[5, 5], seed=4,
+            prefetch_depth=prefetch, num_workers=workers,
+        )
+        opt = Adam(model.parameters(), 0.01)
+        stats = [
+            trainer.train_epoch(feats, labels, opt, ds.train_mask, e)
+            for e in range(epochs)
+        ]
+        return stats
+
+    def test_streaming_losses_match_synchronous(self, ds):
+        feats = Tensor(ds.features)
+        sync = self._losses(ds.graph, ds, 0, 1, feats, ds.labels)
+        for prefetch, workers in [(2, 2), (4, 3)]:
+            streamed = self._losses(
+                ds.graph, ds, prefetch, workers, feats, ds.labels
+            )
+            for a, b in zip(sync, streamed):
+                assert a.loss == b.loss  # bitwise, not approx
+                assert a.num_batches == b.num_batches
+                assert a.train_accuracy == b.train_accuracy
+
+    def test_ondisk_streaming_matches_in_ram(self, tmp_path, ds):
+        root = str(tmp_path / "ondisk")
+        write_ondisk_dataset(ds, root, rows_per_shard=64)
+        od = OnDiskDataset(root)
+        ram = self._losses(ds.graph, ds, 0, 1, Tensor(ds.features), ds.labels)
+        ood = self._losses(od, ds, 2, 2)
+        for a, b in zip(ram, ood):
+            assert a.loss == b.loss
+
+    def test_stage_stats_populated(self, ds):
+        stats = self._losses(
+            ds.graph, ds, 2, 2, Tensor(ds.features), ds.labels, epochs=1
+        )[0]
+        assert stats.prefetch_depth == 2
+        assert stats.sample_seconds > 0
+        assert stats.gather_seconds >= 0
+        assert stats.train_seconds > 0
+        assert 0.0 <= stats.overlap_efficiency <= 1.0
+
+    def test_dataset_trainer_without_explicit_arrays(self, ds):
+        stats = self._losses(ds, ds, 0, 1, epochs=1)[0]
+        ref = self._losses(
+            ds.graph, ds, 0, 1, Tensor(ds.features), ds.labels, epochs=1
+        )[0]
+        assert stats.loss == ref.loss
+
+    def test_trainer_without_dataset_requires_feats(self, ds):
+        model = gcn(ds.feat_dim, 8, ds.num_classes, seed=0)
+        trainer = MiniBatchTrainer(model, ds.graph, fanouts=[5, 5])
+        with pytest.raises(ValueError, match="feats"):
+            trainer.train_epoch(
+                optimizer=Adam(model.parameters(), 0.01), mask=ds.train_mask
+            )

@@ -1,0 +1,212 @@
+"""Tests for the out-of-core dataset format (``repro.storage.ondisk``)
+and the shard-by-shard synthetic generators."""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.core.hdg import MemmapHDG, hdg_from_graph
+from repro.datasets import load_dataset
+from repro.datasets.synthetic import (
+    ShardedSyntheticSpec,
+    edge_chunks,
+    feature_shard,
+    label_shard,
+    mask_shards,
+    shard_row_range,
+)
+from repro.storage import (
+    ONDISK_FORMAT,
+    OnDiskDataset,
+    OnDiskIntegrityError,
+    write_ondisk_dataset,
+    write_synthetic_ondisk,
+)
+
+
+@pytest.fixture
+def ds():
+    return load_dataset("reddit", scale="tiny")
+
+
+@pytest.fixture
+def ondisk(tmp_path, ds):
+    root = str(tmp_path / "ondisk")
+    write_ondisk_dataset(ds, root, rows_per_shard=64)
+    return OnDiskDataset(root)
+
+
+class TestOnDiskRoundtrip:
+    def test_manifest_format_and_fingerprints(self, ondisk):
+        manifest = json.loads(
+            open(os.path.join(ondisk.root, "manifest.json")).read()
+        )
+        assert manifest["format"] == ONDISK_FORMAT
+        assert manifest["files"]
+        for entry in manifest["files"].values():
+            assert len(entry["sha256"]) == 64
+            assert entry["bytes"] > 0
+
+    def test_gather_parity_with_in_ram(self, ondisk, ds):
+        rng = np.random.default_rng(0)
+        rows = rng.choice(ds.graph.num_vertices, size=57, replace=False)
+        np.testing.assert_array_equal(
+            ondisk.gather_features(rows), ds.features[rows]
+        )
+        np.testing.assert_array_equal(
+            ondisk.gather_labels(rows), ds.labels[rows]
+        )
+        # dtypes survive exactly
+        assert ondisk.gather_features(rows).dtype == ds.features.dtype
+        assert ondisk.gather_labels(rows).dtype == ds.labels.dtype
+
+    def test_topology_parity(self, ondisk, ds):
+        for v in (0, 1, ds.graph.num_vertices - 1):
+            np.testing.assert_array_equal(
+                np.sort(ondisk.graph.in_neighbors(v)),
+                np.sort(ds.graph.in_neighbors(v)),
+            )
+            np.testing.assert_array_equal(
+                np.sort(ondisk.graph.out_neighbors(v)),
+                np.sort(ds.graph.out_neighbors(v)),
+            )
+        assert ondisk.graph.num_edges == ds.graph.num_edges
+
+    def test_masks_and_metadata(self, ondisk, ds):
+        np.testing.assert_array_equal(ondisk.train_mask, ds.train_mask)
+        np.testing.assert_array_equal(ondisk.val_mask, ds.val_mask)
+        np.testing.assert_array_equal(ondisk.test_mask, ds.test_mask)
+        assert ondisk.feat_dim == ds.feat_dim
+        assert ondisk.num_classes == ds.num_classes
+        assert ondisk.num_vertices == ds.graph.num_vertices
+
+    def test_materialize_round_trip(self, ondisk, ds):
+        back = ondisk.materialize()
+        np.testing.assert_array_equal(back.features, ds.features)
+        np.testing.assert_array_equal(back.labels, ds.labels)
+        assert back.graph.num_edges == ds.graph.num_edges
+
+    def test_verify_passes_on_clean_tree(self, ondisk):
+        ondisk.verify()  # must not raise
+
+
+class TestIntegrity:
+    def test_corrupted_feature_shard_raises(self, ondisk):
+        path = os.path.join(ondisk.root, "features", "shard-00000.npy")
+        data = bytearray(open(path, "rb").read())
+        data[-1] ^= 0xFF
+        open(path, "wb").write(bytes(data))
+        with pytest.raises(OnDiskIntegrityError, match="shard-00000"):
+            ondisk.verify()
+
+    def test_corrupted_topology_raises(self, ondisk):
+        path = os.path.join(ondisk.root, "topology", "csc.indices.npy")
+        data = bytearray(open(path, "rb").read())
+        data[-1] ^= 0xFF
+        open(path, "wb").write(bytes(data))
+        with pytest.raises(OnDiskIntegrityError, match="csc.indices"):
+            ondisk.verify()
+
+    def test_truncated_shard_caught_at_open(self, tmp_path, ds):
+        root = str(tmp_path / "ondisk")
+        write_ondisk_dataset(ds, root, rows_per_shard=64)
+        path = os.path.join(root, "features", "shard-00001.npy")
+        data = open(path, "rb").read()
+        open(path, "wb").write(data[: len(data) // 2])
+        with pytest.raises(OnDiskIntegrityError):
+            OnDiskDataset(root)
+
+    def test_unknown_format_rejected(self, tmp_path, ds):
+        root = str(tmp_path / "ondisk")
+        write_ondisk_dataset(ds, root, rows_per_shard=64)
+        mpath = os.path.join(root, "manifest.json")
+        manifest = json.loads(open(mpath).read())
+        manifest["format"] = "repro.ondisk/999"
+        open(mpath, "w").write(json.dumps(manifest))
+        with pytest.raises(ValueError, match="format"):
+            OnDiskDataset(root)
+
+
+class TestMemmapHDG:
+    def test_hdg_from_ondisk_graph_is_memmap(self, ondisk):
+        hdg = hdg_from_graph(ondisk.graph)
+        assert isinstance(hdg, MemmapHDG)
+
+    def test_restrict_parity_with_in_ram(self, ondisk, ds):
+        mm = hdg_from_graph(ondisk.graph)
+        ram = hdg_from_graph(ds.graph)
+        roots = np.array([0, 3, 17, ds.graph.num_vertices - 1])
+        a = mm.restrict_to_roots(roots)
+        b = ram.restrict_to_roots(roots)
+        np.testing.assert_array_equal(a.leaf_vertices, b.leaf_vertices)
+        np.testing.assert_array_equal(a.leaf_offsets, b.leaf_offsets)
+        np.testing.assert_array_equal(a.roots, b.roots)
+
+    def test_fingerprint_stable(self, ondisk):
+        hdg = hdg_from_graph(ondisk.graph)
+        assert hdg.fingerprint() == hdg.fingerprint()
+
+
+class TestShardedGenerator:
+    SPEC = ShardedSyntheticSpec(
+        name="gen-test", num_vertices=2000, num_edges=30_000, feat_dim=8,
+        num_classes=4, seed=5, edges_per_chunk=7000, rows_per_shard=512,
+    )
+
+    def test_edge_chunks_deterministic(self):
+        a = [chunk for chunk in edge_chunks(self.SPEC)]
+        b = [chunk for chunk in edge_chunks(self.SPEC)]
+        assert len(a) == self.SPEC.num_edge_chunks
+        for (sa, da), (sb, db) in zip(a, b):
+            np.testing.assert_array_equal(sa, sb)
+            np.testing.assert_array_equal(da, db)
+
+    def test_chunks_cover_requested_edges(self):
+        total = sum(src.size for src, _ in edge_chunks(self.SPEC))
+        assert total == self.SPEC.num_edges
+
+    def test_degree_distribution_heavy_tailed(self):
+        n = self.SPEC.num_vertices
+        deg = np.zeros(n, dtype=np.int64)
+        for _src, dst in edge_chunks(self.SPEC):
+            np.add.at(deg, dst, 1)
+        mean = deg.mean()
+        assert mean == pytest.approx(self.SPEC.avg_degree)
+        # power-law-ish: the max hub dwarfs the mean and the top 1% of
+        # vertices holds several times its proportional share of edges
+        assert deg.max() > 10 * mean
+        top = np.sort(deg)[-max(n // 100, 1):].sum()
+        assert top / deg.sum() > 0.04
+
+    def test_shard_helpers_consistent(self):
+        lo, hi = shard_row_range(self.SPEC, 1)
+        assert (lo, hi) == (512, 1024)
+        labels = label_shard(self.SPEC, 1)
+        assert labels.shape == (hi - lo,)
+        feats = feature_shard(self.SPEC, 1, labels)
+        assert feats.shape == (hi - lo, self.SPEC.feat_dim)
+        assert str(feats.dtype) == self.SPEC.feature_dtype
+        train, val, test = mask_shards(self.SPEC, 1)
+        assert not np.any(train & val) and not np.any(train & test)
+
+    def test_write_synthetic_ondisk_round_trip(self, tmp_path):
+        root = str(tmp_path / "gen")
+        write_synthetic_ondisk(root, self.SPEC)
+        od = OnDiskDataset(root)
+        od.verify()
+        assert od.num_vertices == self.SPEC.num_vertices
+        assert od.graph.num_edges == self.SPEC.num_edges
+        # CSC matches the edge stream exactly
+        deg = np.zeros(self.SPEC.num_vertices, dtype=np.int64)
+        for _src, dst in edge_chunks(self.SPEC):
+            np.add.at(deg, dst, 1)
+        np.testing.assert_array_equal(od.graph.in_degree(), deg)
+        # features come back shard-identical
+        lo, hi = shard_row_range(self.SPEC, 0)
+        labels = label_shard(self.SPEC, 0)
+        np.testing.assert_array_equal(
+            od.gather_features(np.arange(lo, hi)),
+            feature_shard(self.SPEC, 0, labels),
+        )

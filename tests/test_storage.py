@@ -182,3 +182,54 @@ class TestPartitionedStore:
         bad[0] = 9
         with pytest.raises(ValueError):
             store.write_shards(ds, bad, 2)
+
+    def _narrow_dataset(self, ds):
+        from dataclasses import replace
+
+        return replace(
+            ds,
+            features=ds.features.astype(np.float32),
+            labels=ds.labels.astype(np.int32),
+        )
+
+    def test_shards_preserve_exact_dtypes(self, tmp_path, ds):
+        narrow = self._narrow_dataset(ds)
+        store = PartitionedStore(str(tmp_path / "shards"))
+        labels = hash_partition(narrow.graph.num_vertices, 3)
+        store.write_shards(narrow, labels, 3)
+        manifest = store.read_manifest()
+        assert manifest["feature_dtype"] == "float32"
+        assert manifest["label_dtype"] == "int32"
+        for worker in range(3):
+            shard = store.read_shard(worker)
+            # Exact round-trip: no silent float64/int64 promotion.
+            assert shard["features"].dtype == np.float32
+            assert shard["labels"].dtype == np.int32
+
+    def test_dtype_drift_raises(self, tmp_path, ds):
+        import json
+
+        narrow = self._narrow_dataset(ds)
+        store = PartitionedStore(str(tmp_path / "shards"))
+        labels = hash_partition(narrow.graph.num_vertices, 2)
+        store.write_shards(narrow, labels, 2)
+        manifest = store.read_manifest()
+        manifest["feature_dtype"] = "float64"
+        with open(store.manifest_path, "w") as f:
+            json.dump(manifest, f)
+        with pytest.raises(ValueError, match="dtype"):
+            store.read_shard(0)
+
+    def test_shard_version_mismatch_raises(self, tmp_path, ds):
+        store = PartitionedStore(str(tmp_path / "shards"))
+        labels = hash_partition(ds.graph.num_vertices, 2)
+        store.write_shards(ds, labels, 2)
+        path = store._shard_path(0)
+        with np.load(path) as data:
+            arrays = {k: data[k] for k in data.files}
+        arrays["format_version"] = np.int64(999)
+        np.savez_compressed(path, **arrays)
+        with pytest.raises(ValueError, match="format version"):
+            store.read_shard(0)
+        # the untouched shard still reads fine
+        store.read_shard(1)

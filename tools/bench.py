@@ -66,11 +66,17 @@ SCHEMA = "repro.bench/2"
 #: schema versions validate_report accepts; /1 lacks the work-profile keys
 ACCEPTED_SCHEMAS = ("repro.bench/1", "repro.bench/2")
 DIST_SCHEMA = "repro.dist-bench/1"
+ONDISK_SCHEMA = "repro.ondisk-bench/1"
 REPO_ROOT = os.path.abspath(
     os.path.join(os.path.dirname(os.path.abspath(__file__)), "..")
 )
 DEFAULT_OUTPUT = os.path.join(REPO_ROOT, "BENCH_epoch_time.json")
 DIST_OUTPUT = os.path.join(REPO_ROOT, "BENCH_dist_scaling.json")
+ONDISK_OUTPUT = os.path.join(REPO_ROOT, "BENCH_ondisk_stream.json")
+#: (num_vertices, num_edges, feat_dim) of the --ondisk streaming bench
+ONDISK_SIZES = {"tiny": (20_000, 200_000, 32), "small": (60_000, 1_200_000, 64)}
+#: modeled H2D-link bandwidth of the --ondisk bench's transfer stub
+ONDISK_TRANSFER_GBPS = 0.5
 #: worker counts the --distributed scaling sweep measures
 DIST_WORKER_COUNTS = (1, 2, 4)
 #: default regression tolerance of the --check-against gate
@@ -334,6 +340,141 @@ def validate_dist_report(report: dict) -> None:
             )
 
 
+def run_ondisk_stream(scale: str, epochs: int, seed: int,
+                      root: str | None = None) -> dict:
+    """Streaming-loader benchmark over an out-of-core synthetic dataset.
+
+    Generates a shard-by-shard ``repro.ondisk/1`` dataset (never
+    materializing it in RAM), then trains identical sampled epochs with
+    prefetch off (the synchronous baseline) and prefetch 2 (two loader
+    workers producing batch N+1 while batch N trains).  Reports per-mode
+    epoch medians, the measured overlap ratio, and the speedup — plus a
+    loss-parity check, since the pre-drawn per-batch seeds make the two
+    streams bitwise identical.
+
+    The loader's device-transfer stub models the H2D link at
+    ``ONDISK_TRANSFER_GBPS`` (a real blocking wait per batch, like
+    SimulatedComm's modeled network time): with prefetch off the
+    training loop eats every transfer, with prefetch on the transfers
+    hide behind compute — the overlap a GPU pipeline would show.
+    """
+    import shutil
+    import tempfile
+
+    from repro import models
+    from repro.core.sampling import MiniBatchTrainer
+    from repro.datasets.synthetic import ShardedSyntheticSpec
+    from repro.storage import OnDiskDataset, write_synthetic_ondisk
+    from repro.tensor import Adam
+
+    num_vertices, num_edges, feat_dim = ONDISK_SIZES[scale]
+    tmp = None
+    if root is None:
+        tmp = tempfile.mkdtemp(prefix="ondisk-bench-")
+        root = os.path.join(tmp, "ds")
+    try:
+        spec = ShardedSyntheticSpec(
+            name=f"stream-{scale}", num_vertices=num_vertices,
+            num_edges=num_edges, feat_dim=feat_dim, num_classes=16,
+            seed=seed, edges_per_chunk=max(num_edges // 8, 1),
+            rows_per_shard=8192,
+        )
+        t0 = time.perf_counter()
+        write_synthetic_ondisk(root, spec)
+        generate_seconds = time.perf_counter() - t0
+        ds = OnDiskDataset(root)
+        print(f"  generated {ds!r} in {generate_seconds:.2f}s")
+        rows = []
+        for prefetch, workers in ((0, 0), (2, 2)):
+            model = models.gcn(ds.feat_dim, 16, ds.num_classes, seed=seed)
+            trainer = MiniBatchTrainer(
+                model, ds, batch_size=512, fanouts=[10, 10], seed=seed,
+                prefetch_depth=prefetch, num_workers=workers,
+                modeled_transfer_gbps=ONDISK_TRANSFER_GBPS,
+            )
+            optimizer = Adam(model.parameters(), lr=0.01)
+            wall, overlaps, losses = [], [], []
+            for epoch in range(epochs):
+                stats = trainer.train_epoch(
+                    optimizer=optimizer, mask=ds.train_mask, epoch=epoch,
+                )
+                wall.append(stats.seconds)
+                overlaps.append(stats.overlap_efficiency)
+                losses.append(stats.loss)
+            row = {
+                "name": f"ondisk-stream-prefetch{prefetch}",
+                "model": "gcn",
+                "dataset": spec.name,
+                "scale": scale,
+                "kind": "ondisk-stream",
+                "prefetch_depth": prefetch,
+                "num_workers": workers,
+                "epochs": epochs,
+                "median_epoch_seconds": statistics.median(wall),
+                "p90_epoch_seconds": _percentile(wall, 90),
+                "time_basis": "wall",
+                "overlap_efficiency": statistics.median(overlaps),
+                "final_loss": losses[-1],
+            }
+            rows.append(row)
+            print(f"  {row['name']:<24} median "
+                  f"{row['median_epoch_seconds']:.4f}s  "
+                  f"overlap {row['overlap_efficiency']:.2f}  "
+                  f"loss {row['final_loss']:.4f}")
+        speedup = (rows[0]["median_epoch_seconds"]
+                   / max(rows[1]["median_epoch_seconds"], 1e-12))
+        print(f"  prefetch speedup: {speedup:.2f}x")
+        return {
+            "schema": ONDISK_SCHEMA,
+            "mode": "smoke" if scale == "tiny" else "full",
+            "scale": scale,
+            "calibration_seconds": calibration_seconds(),
+            "dataset": {"num_vertices": num_vertices,
+                        "num_edges": num_edges,
+                        "feat_dim": feat_dim,
+                        "generate_seconds": generate_seconds,
+                        "ondisk_bytes": _tree_bytes(root)},
+            "modeled_transfer_gbps": ONDISK_TRANSFER_GBPS,
+            "prefetch_speedup": speedup,
+            "configs": rows,
+        }
+    finally:
+        if tmp is not None:
+            shutil.rmtree(tmp, ignore_errors=True)
+
+
+def _tree_bytes(root: str) -> int:
+    total = 0
+    for dirpath, _dirnames, filenames in os.walk(root):
+        for name in filenames:
+            total += os.path.getsize(os.path.join(dirpath, name))
+    return total
+
+
+def validate_ondisk_report(report: dict) -> None:
+    """Raise ValueError when the ondisk-stream report violates its schema."""
+    if report.get("schema") != ONDISK_SCHEMA:
+        raise ValueError(f"bad schema: {report.get('schema')!r}")
+    rows = {r.get("prefetch_depth"): r for r in report.get("configs", [])}
+    for prefetch in (0, 2):
+        row = rows.get(prefetch)
+        if row is None:
+            raise ValueError(f"missing ondisk-stream row prefetch={prefetch}")
+        if row["median_epoch_seconds"] <= 0:
+            raise ValueError(f"row {row['name']!r} has non-positive median")
+        if not 0.0 <= row["overlap_efficiency"] <= 1.0:
+            raise ValueError(f"row {row['name']!r} overlap out of range")
+    # Pre-drawn per-batch seeds: the streams are identical, so losses
+    # must match bitwise, not approximately.
+    if rows[0]["final_loss"] != rows[2]["final_loss"]:
+        raise ValueError(
+            f"prefetch changed the training stream: loss "
+            f"{rows[0]['final_loss']!r} != {rows[2]['final_loss']!r}"
+        )
+    if report.get("prefetch_speedup", 0) <= 0:
+        raise ValueError("missing or non-positive prefetch_speedup")
+
+
 #: synthetic kernel-microbench shapes per scale: (edges, destinations, dim)
 KERNEL_SIZES = {"tiny": (2_000, 200, 16), "small": (20_000, 2_000, 32)}
 #: reducers measured by --kernels, planned and unplanned
@@ -555,6 +696,14 @@ def main(argv: list[str] | None = None) -> int:
                              "the fixed matrix: wall-clock epoch seconds for "
                              f"k in {DIST_WORKER_COUNTS}, simulated vs real "
                              f"multiprocess backend -> {DIST_OUTPUT}")
+    parser.add_argument("--ondisk", action="store_true",
+                        help="run the out-of-core streaming-loader bench "
+                             "instead of the fixed matrix: prefetch-off vs "
+                             "prefetch-2 epoch medians and overlap ratio "
+                             f"-> {ONDISK_OUTPUT}")
+    parser.add_argument("--ondisk-root", metavar="DIR", default=None,
+                        help="reuse/keep the generated ondisk dataset at DIR "
+                             "instead of a throwaway temp directory")
     parser.add_argument("--flight-dir", metavar="DIR", default=None,
                         help="enable the flight recorder for the distributed "
                              "sweep: per-rank journals and incident bundles "
@@ -569,6 +718,21 @@ def main(argv: list[str] | None = None) -> int:
 
     scale = "tiny" if args.smoke else "small"
     epochs = args.epochs if args.epochs is not None else (3 if args.smoke else 5)
+
+    if args.ondisk:
+        output = (args.output if args.output != DEFAULT_OUTPUT
+                  else ONDISK_OUTPUT)
+        print(f"ondisk streaming bench "
+              f"({'smoke' if args.smoke else 'full'}): scale={scale}, "
+              f"{epochs} epochs per prefetch mode")
+        report = run_ondisk_stream(scale, epochs, args.seed,
+                                   root=args.ondisk_root)
+        validate_ondisk_report(report)
+        with open(output, "w") as fh:
+            json.dump(report, fh, indent=1)
+            fh.write("\n")
+        print(f"ondisk stream report written to {output}")
+        return 0
 
     if args.distributed:
         output = (args.output if args.output != DEFAULT_OUTPUT
