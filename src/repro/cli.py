@@ -70,6 +70,11 @@ def build_parser() -> argparse.ArgumentParser:
     train.add_argument("--prefetch-depth", type=int, default=2,
                        help="loader batches produced ahead of training "
                             "(0 = synchronous)")
+    train.add_argument("--feature-dtype",
+                       choices=("float32", "float16", "int8"), default=None,
+                       help="store features quantized and dequantize on "
+                            "gather (minibatch path; with --ondisk the "
+                            "dataset's own codec must already match)")
     train.add_argument("--loader-workers", type=int, default=2,
                        help="loader worker threads when prefetching")
 
@@ -121,6 +126,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="micro-batch max delay window")
     serve.add_argument("--queue-depth", type=int, default=256,
                        help="admission bound (requests beyond it are shed)")
+    serve.add_argument("--feature-dtype",
+                       choices=("float32", "float16", "int8"), default=None,
+                       help="pin features quantized (dequantize on gather) "
+                            "and store embedding-cache rows in the same "
+                            "codec")
     serve.add_argument("--slo-p99-ms", type=float, default=None,
                        help="rolling-window p99 SLO in ms; with "
                             "--flight-dir set, breaches snapshot an "
@@ -204,11 +214,24 @@ def _cmd_minibatch_train(args) -> int:
     from .datasets import load_dataset
     from .tensor import Adam, Tensor
 
+    feature_dtype = getattr(args, "feature_dtype", None)
     if args.ondisk:
         from .storage import OnDiskDataset
 
         ds = OnDiskDataset(args.ondisk)
         print(f"streaming from {ds!r}")
+        # An ondisk dataset carries its storage codec in the manifest;
+        # --feature-dtype must agree with it, not re-quantize it.
+        if feature_dtype is not None:
+            stored = ds.feature_codec or str(ds.feature_dtype)
+            if feature_dtype != stored:
+                raise SystemExit(
+                    f"--feature-dtype {feature_dtype} conflicts with the "
+                    f"ondisk dataset's storage codec {stored!r}; regenerate "
+                    "the dataset with tools/make_ondisk.py --quantize "
+                    f"{feature_dtype}"
+                )
+            feature_dtype = None  # already quantized on disk
     else:
         ds = load_dataset(args.dataset, scale=args.scale)
     model = _build_model(args, ds)
@@ -216,6 +239,7 @@ def _cmd_minibatch_train(args) -> int:
         model, ds, batch_size=args.batch_size, fanouts=args.fanouts,
         strategy=args.strategy, seed=args.seed,
         prefetch_depth=args.prefetch_depth, num_workers=args.loader_workers,
+        feature_dtype=feature_dtype,
     )
     optimizer = Adam(model.parameters(), lr=args.lr)
     for epoch in range(args.epochs):
@@ -251,6 +275,11 @@ def _cmd_train(args) -> int:
 
     if args.ondisk or args.minibatch:
         return _cmd_minibatch_train(args)
+    if getattr(args, "feature_dtype", None) is not None:
+        raise SystemExit(
+            "--feature-dtype requires the gather-based path; add "
+            "--minibatch (or --ondisk)"
+        )
     ds = load_dataset(args.dataset, scale=args.scale)
     model = _build_model(args, ds)
     engine = FlexGraphEngine(model, ds.graph, strategy=args.strategy, seed=args.seed)
@@ -396,6 +425,7 @@ def _cmd_serve(args) -> int:
     session = InferenceSession(
         model, ds.graph, ds.features,
         checkpoint=args.checkpoint, seed=args.seed,
+        feature_dtype=args.feature_dtype, cache_dtype=args.feature_dtype,
     )
 
     # Zipfian seed popularity: a small hot set dominates, which is what

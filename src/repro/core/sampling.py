@@ -185,6 +185,12 @@ class MiniBatchTrainer:
     modeled_transfer_gbps:
         Optional modeled device-link bandwidth for the loader's
         transfer stub (see :class:`~repro.loader.StreamingLoader`).
+    feature_dtype:
+        ``"float32"``/``"float16"``/``"int8"`` stores in-RAM features
+        quantized (:class:`~repro.loader.QuantizedSource`, dequantize on
+        gather).  Only valid for raw arrays and in-RAM datasets — an
+        :class:`~repro.storage.ondisk.OnDiskDataset` carries its own
+        storage codec and re-quantizing it here raises.
     """
 
     def __init__(self, model: NAUModel, data, batch_size: int = 256,
@@ -192,7 +198,8 @@ class MiniBatchTrainer:
                  strategy: ExecutionStrategy | str = ExecutionStrategy.HA,
                  seed: int = 0, prefetch_depth: int = 0,
                  num_workers: int = 2,
-                 modeled_transfer_gbps: float | None = None):
+                 modeled_transfer_gbps: float | None = None,
+                 feature_dtype: str | None = None):
         self.model = model
         self._dataset = data if hasattr(data, "graph") else None
         self.graph: Graph = data.graph if self._dataset is not None else data
@@ -211,6 +218,12 @@ class MiniBatchTrainer:
             raise ValueError("prefetch_depth must be >= 0")
         self.num_workers = int(num_workers)
         self.modeled_transfer_gbps = modeled_transfer_gbps
+        if feature_dtype is not None:
+            from ..tensor.quant import resolve_codec
+
+            feature_dtype = resolve_codec(feature_dtype)
+        self.feature_dtype = feature_dtype
+        self._source_cache: tuple | None = None
         self._rng = np.random.default_rng(seed)
         self._model_hdg: HDG | None = None
         self._hdg_epoch = -1
@@ -248,8 +261,15 @@ class MiniBatchTrainer:
                     "train_epoch needs feats unless the trainer was "
                     "constructed with a dataset"
                 )
-            return as_source(self._dataset, labels)
-        return as_source(feats, labels)
+            feats = self._dataset
+        # Cache the source across epochs: a quantized tier encodes the
+        # full feature table once, not once per train_epoch call.
+        key = (id(feats), id(labels))
+        if self._source_cache is None or self._source_cache[0] != key:
+            self._source_cache = (key, as_source(
+                feats, labels, feature_dtype=self.feature_dtype
+            ))
+        return self._source_cache[1]
 
     # ------------------------------------------------------------------
     def train_epoch(

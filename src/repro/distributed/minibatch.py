@@ -184,7 +184,12 @@ class DistributedMiniBatchTrainer:
                     h = run_local_blocks(self.model, compact, Tensor(rows),
                                          self.strategy)
                     round_logits.append(h[compact.seed_rows])
-                    feat_bytes = int(source.feat_dim) * rows.dtype.itemsize
+                    # Remote fetches move the storage tier's wire format
+                    # (quantized codes + scales for a quantized source),
+                    # not the dequantized compute rows.
+                    wire_per_row = getattr(source, "wire_bytes_per_row", None)
+                    feat_bytes = (int(wire_per_row) if wire_per_row is not None
+                                  else int(source.feat_dim) * rows.dtype.itemsize)
                 compute[w] = time.perf_counter() - t0
                 round_targets.append(
                     labels[seeds] if labels is not None

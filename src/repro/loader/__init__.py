@@ -16,10 +16,10 @@ from .pipeline import (
     plan_epoch,
     run_local_blocks,
 )
-from .source import DataSource, InMemorySource, as_source
+from .source import DataSource, InMemorySource, QuantizedSource, as_source
 
 __all__ = [
-    "DataSource", "InMemorySource", "as_source",
+    "DataSource", "InMemorySource", "QuantizedSource", "as_source",
     "BatchPlan", "CompactBlocks", "SampledBatch",
     "StreamingLoader",
     "compact_blocks", "plan_epoch", "run_local_blocks",

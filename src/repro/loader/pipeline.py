@@ -218,14 +218,22 @@ class StreamingLoader:
         with compute looks like, without a GPU in the loop.  The span is
         flagged ``simulated`` accordingly.  ``None`` (default) keeps the
         stub free.
+    feature_dtype:
+        ``"float32"``/``"float16"``/``"int8"`` wraps raw features in an
+        in-RAM :class:`~repro.loader.QuantizedSource` (dequantize on
+        gather); ``None`` keeps them exact.  Gather traffic is reported
+        both as compute bytes (``loader.bytes_gathered``) and storage
+        wire bytes (``loader.wire_bytes``).
     """
 
     def __init__(self, source, fanouts: list, batch_size: int = 256,
                  prefetch_depth: int = 2, num_workers: int = 2,
                  transfer: bool = True,
                  modeled_transfer_gbps: float | None = None,
-                 labels: np.ndarray | None = None):
-        self.source: DataSource = as_source(source, labels)
+                 labels: np.ndarray | None = None,
+                 feature_dtype: str | None = None):
+        self.source: DataSource = as_source(source, labels,
+                                            feature_dtype=feature_dtype)
         self.fanouts = list(fanouts)
         self.batch_size = int(batch_size)
         if self.batch_size <= 0:
@@ -277,6 +285,13 @@ class StreamingLoader:
                             **attrs)
         obs.counter("loader.batches").add(1)
         obs.counter("loader.bytes_gathered").add(int(rows.nbytes))
+        # Wire bytes: what the storage tier actually moved for this
+        # gather (quantized codes + sidecars for a quantized source);
+        # equals bytes_gathered only for unquantized storage.
+        wire_per_row = getattr(self.source, "wire_bytes_per_row", None)
+        wire = (int(wire_per_row) * int(compact.input_vertices.size)
+                if wire_per_row is not None else int(rows.nbytes))
+        obs.counter("loader.wire_bytes").add(wire)
 
         return SampledBatch(
             index=plan.index, epoch=plan.epoch, seeds=plan.seeds,

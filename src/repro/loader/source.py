@@ -14,7 +14,9 @@ from typing import Protocol, runtime_checkable
 
 import numpy as np
 
-__all__ = ["DataSource", "InMemorySource", "as_source"]
+from ..tensor.quant import dequantize_rows, quantize_rows, resolve_codec
+
+__all__ = ["DataSource", "InMemorySource", "QuantizedSource", "as_source"]
 
 
 @runtime_checkable
@@ -59,21 +61,90 @@ class InMemorySource:
         return self.labels[np.asarray(rows, dtype=np.int64)]
 
 
-def as_source(obj, labels: np.ndarray | None = None) -> DataSource:
+class QuantizedSource:
+    """An in-RAM :class:`DataSource` holding its features quantized.
+
+    Features are encoded once up front (``int8`` with per-row scales,
+    or ``float16``/``float32``) and dequantized per gather into
+    ``compute_dtype`` — the resident footprint and the bytes a gather
+    moves shrink to the wire format (``wire_bytes_per_row``), the same
+    trade the quantized on-disk tier makes.
+    """
+
+    def __init__(self, features, labels: np.ndarray | None = None,
+                 codec: str = "int8", compute_dtype=None):
+        data = np.asarray(getattr(features, "data", features))
+        if data.ndim != 2:
+            raise ValueError("features must be 2-D (num_vertices, feat_dim)")
+        self.codec = resolve_codec(codec)
+        self.quantized = quantize_rows(data, self.codec)
+        self.compute_dtype = np.dtype(
+            compute_dtype if compute_dtype is not None
+            else (np.float32 if self.codec == "int8" else self.codec)
+        )
+        if self.compute_dtype.kind != "f":
+            raise ValueError(
+                f"compute_dtype must be a float dtype, got {self.compute_dtype}"
+            )
+        self.labels = None if labels is None else np.asarray(labels)
+        self.num_vertices = self.quantized.num_rows
+        self.feat_dim = self.quantized.dim
+
+    @property
+    def feature_dtype(self) -> np.dtype:
+        return self.compute_dtype
+
+    @property
+    def wire_bytes_per_row(self) -> int:
+        return self.quantized.wire_bytes_per_row
+
+    @property
+    def nbytes(self) -> int:
+        return self.quantized.nbytes
+
+    def gather_features(self, rows: np.ndarray) -> np.ndarray:
+        rows = np.asarray(rows, dtype=np.int64)
+        return dequantize_rows(self.quantized, rows=rows,
+                               out_dtype=self.compute_dtype)
+
+    def gather_labels(self, rows: np.ndarray) -> np.ndarray:
+        if self.labels is None:
+            raise ValueError("this source carries no labels")
+        return self.labels[np.asarray(rows, dtype=np.int64)]
+
+
+def as_source(obj, labels: np.ndarray | None = None,
+              feature_dtype: str | None = None) -> DataSource:
     """Normalize trainer input into a :class:`DataSource`.
 
     Accepts an existing source (``OnDiskDataset``, ``InMemorySource``),
     a ``Dataset``, or a raw feature array / ``Tensor`` plus optional
     ``labels``.  An explicit ``labels`` array overrides whatever the
     source carries.
+
+    ``feature_dtype`` (``"float32"``/``"float16"``/``"int8"``) requests
+    an in-RAM quantized tier: raw arrays and ``Dataset`` features are
+    wrapped in a :class:`QuantizedSource`.  An object that is already a
+    source must carry its own storage codec — asking to re-quantize it
+    here raises rather than silently double-encoding.
     """
     if hasattr(obj, "gather_features") and hasattr(obj, "gather_labels"):
+        if feature_dtype is not None:
+            raise ValueError(
+                "feature_dtype cannot re-quantize an existing source "
+                f"({type(obj).__name__}); build it with the codec instead"
+            )
         if labels is None:
             return obj
         return _LabelOverride(obj, labels)
     if hasattr(obj, "features") and hasattr(obj, "graph"):  # Dataset
-        return InMemorySource(obj.features, labels if labels is not None else obj.labels)
-    return InMemorySource(obj, labels)
+        feats = obj.features
+        got_labels = labels if labels is not None else obj.labels
+    else:
+        feats, got_labels = obj, labels
+    if feature_dtype is not None:
+        return QuantizedSource(feats, got_labels, codec=feature_dtype)
+    return InMemorySource(feats, got_labels)
 
 
 class _LabelOverride:

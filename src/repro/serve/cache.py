@@ -29,13 +29,63 @@ import numpy as np
 
 from .. import obs
 from ..core.hdg import HDG
+from ..tensor.quant import resolve_codec
 
 __all__ = [
     "GraphVersion",
     "EmbeddingCache",
     "HDGBlockCache",
     "expand_affected",
+    "block_nbytes",
 ]
+
+
+def block_nbytes(block) -> int:
+    """Recursive resident-byte accounting over every array a block holds.
+
+    ``HDG.nbytes`` knows only the arrays the base class declares; block
+    subclasses (and composite blocks holding mappings or per-level
+    sub-structures) carry additional arrays that a flat ``block.nbytes``
+    silently omits — so a byte-budgeted cache admits more than its
+    budget.  This walks ``__slots__``/``__dict__``/containers, summing
+    each distinct ndarray once.  Memory-mapped arrays count 0: their
+    pages belong to the kernel, not the cache's budget.
+    """
+    seen: set[int] = set()
+    total = 0
+    stack = [block]
+    while stack:
+        obj = stack.pop()
+        if obj is None or id(obj) in seen:
+            continue
+        seen.add(id(obj))
+        if isinstance(obj, np.memmap):
+            continue
+        if isinstance(obj, np.ndarray):
+            if not obj.flags["OWNDATA"] and isinstance(obj.base, np.memmap):
+                continue
+            total += int(obj.nbytes)
+            continue
+        if isinstance(obj, (list, tuple, set, frozenset)):
+            stack.extend(obj)
+            continue
+        if isinstance(obj, dict):
+            stack.extend(obj.values())
+            continue
+        if isinstance(obj, (int, float, complex, bool, str, bytes, np.dtype)):
+            continue
+        slots: list[str] = []
+        for klass in type(obj).__mro__:
+            declared = getattr(klass, "__slots__", ())
+            slots.extend((declared,) if isinstance(declared, str) else declared)
+        attrs = getattr(obj, "__dict__", None)
+        if not slots and attrs is None:
+            continue
+        for name in slots:
+            stack.append(getattr(obj, name, None))
+        if attrs is not None:
+            stack.extend(attrs.values())
+    return total
 
 
 class GraphVersion:
@@ -91,13 +141,22 @@ class EmbeddingCache:
         Byte budget across all layers; least-recently-used rows are
         evicted once exceeded.  ``0`` disables caching (every lookup
         misses, stores are dropped).
+    store_dtype:
+        ``None`` (default) keeps rows exactly as computed.  ``"float32"``
+        / ``"float16"`` / ``"int8"`` store rows in that codec and decode
+        on hit (int8 is per-row symmetric with one float32 scale per
+        entry), so the same byte budget holds ~4×–8× the vertices — the
+        direct warm-hit-rate lever under Zipfian request popularity.
+        Decoded rows come back in the dtype rows were first stored in;
+        int8 hits carry the codec's documented ~0.4%-of-row-range error.
     """
 
-    def __init__(self, max_bytes: int = 64 * 1024 * 1024):
+    def __init__(self, max_bytes: int = 64 * 1024 * 1024,
+                 store_dtype: str | None = None):
         self.max_bytes = int(max_bytes)
-        self._entries: OrderedDict[tuple[int, int], tuple[int, np.ndarray]] = (
-            OrderedDict()
-        )
+        self.store_dtype = None if store_dtype is None else resolve_codec(store_dtype)
+        self._out_dtype: np.dtype | None = None
+        self._entries: OrderedDict[tuple[int, int], tuple] = OrderedDict()
         self.current_bytes = 0
         self.hits = 0
         self.misses = 0
@@ -108,9 +167,35 @@ class EmbeddingCache:
         return len(self._entries)
 
     # ------------------------------------------------------------------
+    def _encode_row(self, row: np.ndarray) -> tuple[np.ndarray, float | None]:
+        """(payload, scale): the stored form of one row."""
+        if self.store_dtype is None:
+            return np.ascontiguousarray(row), None
+        if self.store_dtype != "int8":
+            return np.ascontiguousarray(row, dtype=self.store_dtype), None
+        absmax = float(np.max(np.abs(row))) if row.size else 0.0
+        scale = absmax / 127.0 if absmax > 0.0 else 1.0
+        codes = np.rint(np.asarray(row) / scale).astype(np.int8)
+        return codes, scale
+
+    def _decode_row(self, entry: tuple) -> np.ndarray:
+        _, payload, scale = entry
+        if self.store_dtype is None:
+            return payload
+        out_dtype = self._out_dtype or np.dtype(np.float32)
+        if scale is None:
+            return payload.astype(out_dtype)
+        return payload.astype(out_dtype) * out_dtype.type(scale)
+
+    @staticmethod
+    def _entry_nbytes(entry: tuple) -> int:
+        # int8 entries pay for their float32 scale sidecar.
+        return int(entry[1].nbytes) + (4 if entry[2] is not None else 0)
+
     def lookup(self, layer: int, vertices: np.ndarray) -> tuple[np.ndarray, list]:
         """``(hit_mask, rows)``: per-vertex hit flags and the hit rows
-        (aligned with ``vertices[hit_mask]``)."""
+        (aligned with ``vertices[hit_mask]``), decoded on hit when the
+        cache stores a quantized dtype."""
         vertices = np.asarray(vertices, dtype=np.int64)
         hit_mask = np.zeros(vertices.size, dtype=bool)
         rows: list[np.ndarray] = []
@@ -119,7 +204,7 @@ class EmbeddingCache:
             if entry is not None:
                 self._entries.move_to_end((layer, v))
                 hit_mask[i] = True
-                rows.append(entry[1])
+                rows.append(self._decode_row(entry))
         hits = int(hit_mask.sum())
         misses = vertices.size - hits
         self.hits += hits
@@ -135,17 +220,22 @@ class EmbeddingCache:
         if self.max_bytes <= 0:
             return
         vertices = np.asarray(vertices, dtype=np.int64)
+        if self.store_dtype is not None and self._out_dtype is None and len(rows):
+            first = np.asarray(rows[0])
+            self._out_dtype = (first.dtype if first.dtype.kind == "f"
+                               else np.dtype(np.float32))
         for i, v in enumerate(vertices.tolist()):
             key = (layer, v)
             old = self._entries.pop(key, None)
             if old is not None:
-                self.current_bytes -= old[1].nbytes
-            row = np.ascontiguousarray(rows[i])
-            self._entries[key] = (version, row)
-            self.current_bytes += row.nbytes
+                self.current_bytes -= self._entry_nbytes(old)
+            payload, scale = self._encode_row(np.asarray(rows[i]))
+            entry = (version, payload, scale)
+            self._entries[key] = entry
+            self.current_bytes += self._entry_nbytes(entry)
         while self.current_bytes > self.max_bytes and self._entries:
-            _, (_, row) = self._entries.popitem(last=False)
-            self.current_bytes -= row.nbytes
+            _, stale = self._entries.popitem(last=False)
+            self.current_bytes -= self._entry_nbytes(stale)
             self.evictions += 1
             obs.counter("serve.cache.embed.evictions").add(1)
 
@@ -155,7 +245,7 @@ class EmbeddingCache:
         for v in np.asarray(vertices, dtype=np.int64).tolist():
             entry = self._entries.pop((layer, v), None)
             if entry is not None:
-                self.current_bytes -= entry[1].nbytes
+                self.current_bytes -= self._entry_nbytes(entry)
                 evicted += 1
         self.invalidations += evicted
         if evicted:
@@ -177,6 +267,7 @@ class EmbeddingCache:
             "entries": len(self._entries),
             "bytes": self.current_bytes,
             "max_bytes": self.max_bytes,
+            "store_dtype": self.store_dtype or "exact",
             "hits": self.hits,
             "misses": self.misses,
             "hit_rate": self.hit_rate,
@@ -231,7 +322,10 @@ class HDGBlockCache:
         old = self._entries.pop(key, None)
         if old is not None:
             self.current_bytes -= old[0]
-        nbytes = int(block.nbytes)
+        # Recursive accounting: block subclasses carry arrays the base
+        # HDG.nbytes does not know about, and undercounting lets the
+        # cache blow past its byte budget.
+        nbytes = block_nbytes(block)
         self._entries[key] = (nbytes, block)
         self.current_bytes += nbytes
         while self.current_bytes > self.max_bytes and self._entries:

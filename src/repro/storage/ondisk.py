@@ -48,6 +48,13 @@ from ..datasets.synthetic import (
     shard_row_range,
 )
 from ..graph.graph import Graph
+from ..obs.profile import record_op
+from ..tensor.quant import (
+    decode_int8,
+    quantize_rows,
+    resolve_codec,
+    wire_bytes_per_row as _codec_row_bytes,
+)
 
 __all__ = [
     "ONDISK_FORMAT",
@@ -127,6 +134,18 @@ def _write_manifest(root: str, meta: dict, rel_files: list[str]) -> dict:
 
 def _feature_shard_rel(shard: int) -> str:
     return f"features/shard-{shard:05d}.npy"
+
+
+def _scale_shard_rel(shard: int) -> str:
+    """Per-row float32 scale sidecar for an int8-quantized feature shard."""
+    return f"features/scale-{shard:05d}.npy"
+
+
+_CODEC_STORAGE = {
+    "float32": np.dtype(np.float32),
+    "float16": np.dtype(np.float16),
+    "int8": np.dtype(np.int8),
+}
 
 
 def _open_memmap(path: str) -> np.ndarray:
@@ -258,6 +277,7 @@ class OnDiskDataset:
         self.rows_per_shard = int(self.manifest["rows_per_shard"])
         self.num_feature_shards = int(self.manifest["num_feature_shards"])
         self.feature_dtype = np.dtype(self.manifest["feature_dtype"])
+        self._init_codec()
         self.labels = _open_memmap(os.path.join(root, "labels.npy"))
         # Split masks are one byte per vertex — always safe to load.
         self.train_mask = np.load(os.path.join(root, "masks/train.npy"))
@@ -265,10 +285,77 @@ class OnDiskDataset:
         self.test_mask = np.load(os.path.join(root, "masks/test.npy"))
         self._shard_files: dict[int, tuple] = {}
 
+    def _init_codec(self) -> None:
+        """Resolve the optional quantized-feature codec from the manifest.
+
+        Without a ``feature_codec`` key the dataset is a legacy exact
+        store: gathers return the storage dtype untouched.  With one,
+        the storage dtype must match the codec (int8 additionally needs
+        one ``features/scale-*.npy`` float32 sidecar per shard) and
+        gathers dequantize into ``compute_dtype``.  Every mismatch is an
+        :class:`OnDiskIntegrityError` — silently training on
+        misdecoded features is the failure mode this guards against.
+        """
+        codec = self.manifest.get("feature_codec")
+        self._scale_cache: dict[int, np.ndarray] = {}
+        if codec is None:
+            self.feature_codec = None
+            self.compute_dtype = self.feature_dtype
+            return
+        try:
+            self.feature_codec = resolve_codec(codec)
+        except ValueError as exc:
+            raise OnDiskIntegrityError(f"{self.root}: {exc}") from exc
+        storage = _CODEC_STORAGE[self.feature_codec]
+        if storage != self.feature_dtype:
+            raise OnDiskIntegrityError(
+                f"{self.root}: feature_codec {self.feature_codec!r} stores "
+                f"{storage}, but manifest feature_dtype is {self.feature_dtype}"
+            )
+        if self.feature_codec == "int8":
+            self.compute_dtype = np.dtype(
+                self.manifest.get("compute_dtype", "float32")
+            )
+            if self.compute_dtype.kind != "f":
+                raise OnDiskIntegrityError(
+                    f"{self.root}: compute_dtype must be a float dtype, "
+                    f"got {self.compute_dtype}"
+                )
+            for shard in range(self.num_feature_shards):
+                if _scale_shard_rel(shard) not in self.manifest["files"]:
+                    raise OnDiskIntegrityError(
+                        f"{self.root}: int8 features but no scale sidecar "
+                        f"{_scale_shard_rel(shard)!r} in the manifest — "
+                        "dataset was not written by --quantize int8?"
+                    )
+        else:
+            self.compute_dtype = self.feature_dtype
+
     # -- DataSource protocol -------------------------------------------
     @property
     def num_vertices(self) -> int:
         return self.graph.num_vertices
+
+    @property
+    def wire_bytes_per_row(self) -> int:
+        """Bytes one gathered row moves in the stored (wire) format."""
+        if self.feature_codec is not None:
+            return _codec_row_bytes(self.feature_codec, self.feat_dim)
+        return self.feat_dim * self.feature_dtype.itemsize
+
+    def _shard_scales(self, shard: int) -> np.ndarray:
+        """The float32 per-row scale sidecar of one int8 shard (cached;
+        sidecars are 4 bytes/row, ~0.1% of what the fp32 rows were)."""
+        scales = self._scale_cache.get(shard)
+        if scales is None:
+            scales = np.load(os.path.join(self.root, _scale_shard_rel(shard)))
+            if scales.dtype != np.float32 or scales.ndim != 1:
+                raise OnDiskIntegrityError(
+                    f"{self.root}: scale sidecar for shard {shard} must be "
+                    f"1-D float32, got {scales.dtype} {scales.shape}"
+                )
+            self._scale_cache[shard] = scales
+        return scales
 
     def _shard_reader(self, shard: int) -> tuple:
         """(open file, data offset) for one feature shard.
@@ -327,28 +414,58 @@ class OnDiskDataset:
         vectorized slice; a *sparse* one by per-run reads over
         consecutive row groups.  Either way the transient buffer is
         bounded by 4× the useful bytes — residency stays O(batch).
+
+        Quantized datasets pread rows in the storage dtype and decode
+        into ``compute_dtype`` on the way out, so for int8 both the
+        transient buffer and the page traffic are ~4× smaller than an
+        fp32 store; the ``feature.gather`` profiler op records the
+        wire-format bytes actually read.
         """
         rows = np.asarray(rows, dtype=np.int64)
-        out = np.empty((rows.size, self.feat_dim), dtype=self.feature_dtype)
+        quant = self.feature_codec == "int8"
+        out = np.empty((rows.size, self.feat_dim), dtype=self.compute_dtype)
         if rows.size == 0:
             return out
+        wire = 0
         order = np.argsort(rows, kind="stable")
         sorted_rows = rows[order]
         shard_of = sorted_rows // self.rows_per_shard
         for shard in np.unique(shard_of):
             sel = np.flatnonzero(shard_of == shard)
             local = sorted_rows[sel] - int(shard) * self.rows_per_shard
+            scales = self._shard_scales(int(shard)) if quant else None
             lo, hi = int(local[0]), int(local[-1]) + 1
             if hi - lo <= 4 * local.size:
                 span = self._pread_rows(int(shard), lo, hi - lo)
-                out[order[sel]] = span[local - lo]
+                wire += span.nbytes
+                picked = span[local - lo]
+                if quant:
+                    wire += local.size * 4
+                    out[order[sel]] = decode_int8(
+                        picked, scales[local], out_dtype=self.compute_dtype
+                    )
+                else:
+                    out[order[sel]] = picked
             else:
                 breaks = np.flatnonzero(np.diff(local) != 1) + 1
                 starts = np.concatenate(([0], breaks))
                 ends = np.concatenate((breaks, [local.size]))
                 for s, e in zip(starts, ends):
                     run = self._pread_rows(int(shard), int(local[s]), e - s)
-                    out[order[sel[s:e]]] = run
+                    wire += run.nbytes
+                    if quant:
+                        wire += (e - s) * 4
+                        out[order[sel[s:e]]] = decode_int8(
+                            run, scales[local[s:e]], out_dtype=self.compute_dtype
+                        )
+                    else:
+                        out[order[sel[s:e]]] = run
+        record_op(
+            "feature.gather",
+            flops=2.0 * out.size if quant else 0.0,
+            bytes_read=wire,
+            bytes_written=out.nbytes,
+        )
         return out
 
     def gather_labels(self, rows: np.ndarray) -> np.ndarray:
@@ -430,14 +547,42 @@ def _save(root: str, rel: str, arr: np.ndarray) -> str:
     return rel
 
 
+def _write_feature_shard(root: str, shard: int, rows: np.ndarray,
+                         codec: str | None, rel_files: list[str]) -> None:
+    """Write one feature shard, quantizing (plus scale sidecar) if asked."""
+    if codec is None:
+        rel_files.append(_save(root, _feature_shard_rel(shard), rows))
+        return
+    q = quantize_rows(rows, codec)
+    rel_files.append(_save(root, _feature_shard_rel(shard), q.codes))
+    if q.scales is not None:
+        rel_files.append(_save(root, _scale_shard_rel(shard), q.scales))
+
+
+def _codec_meta(codec: str | None, exact_dtype) -> dict:
+    """Manifest keys describing the feature codec of a written dataset."""
+    if codec is None:
+        return {"feature_dtype": str(np.dtype(exact_dtype))}
+    storage = _CODEC_STORAGE[codec]
+    meta = {"feature_dtype": str(storage), "feature_codec": codec}
+    if codec == "int8":
+        meta["compute_dtype"] = "float32"
+    return meta
+
+
 def write_ondisk_dataset(dataset: Dataset, root: str,
-                         rows_per_shard: int = 4096) -> dict:
+                         rows_per_shard: int = 4096,
+                         quantize: str | None = None) -> dict:
     """Convert an in-RAM :class:`Dataset` to the on-disk layout.
 
-    Feature/label dtypes are preserved exactly.  Returns the manifest.
+    Feature/label dtypes are preserved exactly unless ``quantize`` names
+    a codec (``int8``/``float16``/``float32``), in which case feature
+    shards are stored in that codec (int8 with per-row float32 scale
+    sidecars) and gathers dequantize on read.  Returns the manifest.
     """
     if rows_per_shard <= 0:
         raise ValueError("rows_per_shard must be positive")
+    codec = None if quantize is None else resolve_codec(quantize)
     _prepare_root(root)
     graph = dataset.graph
     n = graph.num_vertices
@@ -457,22 +602,21 @@ def write_ondisk_dataset(dataset: Dataset, root: str,
     for shard in range(num_shards):
         row0 = shard * rows_per_shard
         row1 = min(row0 + rows_per_shard, n)
-        rel_files.append(
-            _save(root, _feature_shard_rel(shard), dataset.features[row0:row1])
-        )
+        _write_feature_shard(root, shard, dataset.features[row0:row1],
+                             codec, rel_files)
     meta = {
         "name": dataset.name,
         "num_vertices": n,
         "num_edges": graph.num_edges,
         "feat_dim": int(dataset.features.shape[1]),
         "num_classes": int(dataset.num_classes),
-        "feature_dtype": str(dataset.features.dtype),
         "label_dtype": str(dataset.labels.dtype),
         "rows_per_shard": rows_per_shard,
         "num_feature_shards": num_shards,
         "num_types": int(graph.num_types),
         "type_names": list(graph.type_names),
     }
+    meta.update(_codec_meta(codec, dataset.features.dtype))
     return _write_manifest(root, meta, rel_files)
 
 
@@ -518,14 +662,17 @@ def _streamed_adjacency(root: str, spec: ShardedSyntheticSpec,
     return indptr_rel, indices_rel
 
 
-def write_synthetic_ondisk(root: str, spec: ShardedSyntheticSpec) -> dict:
+def write_synthetic_ondisk(root: str, spec: ShardedSyntheticSpec,
+                           quantize: str | None = None) -> dict:
     """Generate a :class:`ShardedSyntheticSpec` dataset directly to disk.
 
     Edge chunks, feature shards, labels and masks are produced and
     written one shard at a time; peak memory is O(num_vertices) for the
-    degree/cursor arrays plus one chunk/shard buffer.  Returns the
-    manifest.
+    degree/cursor arrays plus one chunk/shard buffer.  ``quantize``
+    stores feature shards in a codec (int8 adds per-row scale
+    sidecars).  Returns the manifest.
     """
+    codec = None if quantize is None else resolve_codec(quantize)
     _prepare_root(root)
     n = spec.num_vertices
     rel_files: list[str] = []
@@ -552,9 +699,10 @@ def write_synthetic_ondisk(root: str, spec: ShardedSyntheticSpec) -> dict:
         masks["train"][row0:row1] = train
         masks["val"][row0:row1] = val
         masks["test"][row0:row1] = test
-        rel_files.append(
-            _save(root, _feature_shard_rel(shard),
-                  feature_shard(spec, shard, labels=labels, centers=centers))
+        _write_feature_shard(
+            root, shard,
+            feature_shard(spec, shard, labels=labels, centers=centers),
+            codec, rel_files,
         )
     labels_mm.flush()
     del labels_mm
@@ -570,7 +718,6 @@ def write_synthetic_ondisk(root: str, spec: ShardedSyntheticSpec) -> dict:
         "num_edges": spec.num_edges,
         "feat_dim": spec.feat_dim,
         "num_classes": spec.num_classes,
-        "feature_dtype": spec.feature_dtype,
         "label_dtype": "int64",
         "rows_per_shard": spec.rows_per_shard,
         "num_feature_shards": spec.num_row_shards,
@@ -578,4 +725,5 @@ def write_synthetic_ondisk(root: str, spec: ShardedSyntheticSpec) -> dict:
         "type_names": ["type0"],
         "generator": spec.to_dict(),
     }
+    meta.update(_codec_meta(codec, spec.feature_dtype))
     return _write_manifest(root, meta, rel_files)

@@ -24,6 +24,7 @@ import numpy as np
 
 from ..datasets.synthetic import Dataset
 from ..graph.graph import Graph
+from ..tensor.quant import dequantize_rows, quantize_rows, resolve_codec
 
 __all__ = [
     "save_graph",
@@ -185,8 +186,17 @@ class PartitionedStore:
     def manifest_path(self) -> str:
         return os.path.join(self.root, "manifest.json")
 
-    def write_shards(self, dataset: Dataset, labels: np.ndarray, k: int) -> None:
-        """Split ``dataset`` into ``k`` worker shards by partition labels."""
+    def write_shards(self, dataset: Dataset, labels: np.ndarray, k: int,
+                     quantize: str | None = None) -> None:
+        """Split ``dataset`` into ``k`` worker shards by partition labels.
+
+        With ``quantize`` (``int8``/``float16``/``float32``) each
+        worker's feature block is stored in that codec — int8 rides with
+        a per-row float32 ``feature_scales`` sidecar — so a shard's
+        feature bytes shrink ~4× and remote feature fetches move the
+        wire format.  :meth:`read_shard` dequantizes on read by default.
+        """
+        codec = None if quantize is None else resolve_codec(quantize)
         labels = np.asarray(labels, dtype=np.int64)
         if labels.shape != (dataset.graph.num_vertices,):
             raise ValueError("partition labels must cover every vertex")
@@ -194,31 +204,41 @@ class PartitionedStore:
             raise ValueError("partition label out of range")
         features = np.asarray(dataset.features)
         class_labels = np.asarray(dataset.labels)
+        stored_dtype = features.dtype
         for worker in range(k):
             owned = np.flatnonzero(labels == worker)
-            np.savez_compressed(
-                self._shard_path(worker),
-                format_version=np.int64(_FORMAT_VERSION),
-                worker=np.int64(worker),
-                owned_vertices=owned,
-                features=features[owned],
-                labels=class_labels[owned],
-                train_mask=dataset.train_mask[owned],
-            )
+            payload = {
+                "format_version": np.int64(_FORMAT_VERSION),
+                "worker": np.int64(worker),
+                "owned_vertices": owned,
+                "labels": class_labels[owned],
+                "train_mask": dataset.train_mask[owned],
+            }
+            if codec is None:
+                payload["features"] = features[owned]
+            else:
+                q = quantize_rows(features[owned], codec)
+                payload["features"] = q.codes
+                stored_dtype = q.codes.dtype
+                if q.scales is not None:
+                    payload["feature_scales"] = q.scales
+            np.savez_compressed(self._shard_path(worker), **payload)
+        manifest = {
+            "format_version": _FORMAT_VERSION,
+            "k": k,
+            "num_vertices": dataset.graph.num_vertices,
+            "dataset": dataset.name,
+            # Exact on-disk dtypes; read_shard refuses a shard
+            # whose arrays came back promoted or truncated.
+            "feature_dtype": str(stored_dtype),
+            "label_dtype": str(class_labels.dtype),
+        }
+        if codec is not None:
+            manifest["feature_codec"] = codec
+            if codec == "int8":
+                manifest["compute_dtype"] = "float32"
         with open(self.manifest_path, "w") as f:
-            json.dump(
-                {
-                    "format_version": _FORMAT_VERSION,
-                    "k": k,
-                    "num_vertices": dataset.graph.num_vertices,
-                    "dataset": dataset.name,
-                    # Exact on-disk dtypes; read_shard refuses a shard
-                    # whose arrays came back promoted or truncated.
-                    "feature_dtype": str(features.dtype),
-                    "label_dtype": str(class_labels.dtype),
-                },
-                f,
-            )
+            json.dump(manifest, f)
         np.save(os.path.join(self.root, "partition_labels.npy"), labels)
 
     def read_manifest(self) -> dict:
@@ -228,12 +248,18 @@ class PartitionedStore:
     def read_partition_labels(self) -> np.ndarray:
         return np.load(os.path.join(self.root, "partition_labels.npy"))
 
-    def read_shard(self, worker: int) -> dict[str, np.ndarray]:
+    def read_shard(self, worker: int,
+                   dequantize: bool = True) -> dict[str, np.ndarray]:
         """Load one worker's shard as a dict of arrays.
 
         Dtypes are validated against the manifest: features and labels
         must come back exactly as written — a silent float64 promotion
         (or any other drift) raises instead of doubling feature memory.
+
+        Quantized shards (manifest ``feature_codec``) are decoded into
+        the compute dtype by default; ``dequantize=False`` hands back
+        the raw codes plus the ``feature_scales`` sidecar for callers
+        that forward the wire format (e.g. remote feature serving).
         """
         path = self._shard_path(worker)
         if not os.path.exists(path):
@@ -251,4 +277,21 @@ class PartitionedStore:
                         f"{path}: {field} dtype {shard[field].dtype} does not "
                         f"match manifest dtype {want}"
                     )
+            codec = manifest.get("feature_codec")
+            if codec is not None:
+                codec = resolve_codec(codec)
+                if codec == "int8" and "feature_scales" not in shard:
+                    raise ValueError(
+                        f"{path}: manifest says int8 features but the shard "
+                        "has no feature_scales sidecar"
+                    )
+                if dequantize and codec != "float32":
+                    from ..tensor.quant import QuantizedRows
+
+                    q = QuantizedRows(codec, shard["features"],
+                                      shard.pop("feature_scales", None))
+                    compute = np.dtype(manifest.get(
+                        "compute_dtype", "float32" if codec == "int8" else codec
+                    ))
+                    shard["features"] = dequantize_rows(q, out_dtype=compute)
         return shard

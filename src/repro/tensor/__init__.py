@@ -26,10 +26,20 @@ from .ops import (
     tensor,
     zeros,
 )
-from .optim import SGD, Adam, Optimizer
+from .optim import SGD, Adam, Optimizer, SparseEmbeddingOptimizer
+from .quant import (
+    FEATURE_DTYPES,
+    QuantizedRows,
+    dequantize_rows,
+    int8_error_bound,
+    quantize_rows,
+    resolve_codec,
+    wire_bytes_per_row,
+)
 from .plans import (
     PlanCache,
     ReductionPlan,
+    accumulation_dtype,
     get_plan_cache,
     index_plan_key,
     segment_plan_key,
@@ -62,12 +72,15 @@ __all__ = [
     "softmax", "log_softmax", "dropout", "scatter_rows",
     "scatter_add", "scatter_mean", "scatter_max", "scatter_min",
     "scatter_softmax", "segment_reduce_csr",
-    "ReductionPlan", "PlanCache", "get_plan_cache", "set_plan_cache",
+    "ReductionPlan", "PlanCache", "accumulation_dtype",
+    "get_plan_cache", "set_plan_cache",
     "index_plan_key", "segment_plan_key",
     "materialized_bytes", "peak_materialized_bytes",
     "reset_materialized_bytes", "release_materialized_bytes",
     "Module", "Parameter", "Linear", "Embedding", "LSTMCell", "ReLU", "Dropout", "Sequential",
-    "Optimizer", "SGD", "Adam",
+    "Optimizer", "SGD", "Adam", "SparseEmbeddingOptimizer",
+    "FEATURE_DTYPES", "QuantizedRows", "quantize_rows", "dequantize_rows",
+    "int8_error_bound", "resolve_codec", "wire_bytes_per_row",
     "LRScheduler", "StepLR", "CosineAnnealingLR", "WarmupLR", "EarlyStopping",
     "cross_entropy", "nll_loss", "mse_loss",
     "binary_cross_entropy_with_logits", "accuracy",

@@ -146,23 +146,44 @@ class Embedding(Module):
     """
 
     def __init__(self, num_embeddings: int, dim: int,
-                 rng: np.random.Generator | None = None):
+                 rng: np.random.Generator | None = None, sparse_grad: bool = False):
         super().__init__()
         if num_embeddings <= 0 or dim <= 0:
             raise ValueError("num_embeddings and dim must be positive")
         rng = rng or np.random.default_rng(0)
         self.num_embeddings = num_embeddings
         self.dim = dim
+        self.sparse_grad = bool(sparse_grad)
         self.weight = Parameter(rng.standard_normal((num_embeddings, dim)) / math.sqrt(dim))
 
     def forward(self, ids=None) -> Tensor:
-        """Rows for ``ids`` (default: the whole table, for full-batch GNNs)."""
+        """Rows for ``ids`` (default: the whole table, for full-batch GNNs).
+
+        With ``sparse_grad=True`` the backward pass records ``(ids,
+        grad_rows)`` on ``weight.sparse_grads`` instead of scattering
+        into a dense ``(num_embeddings, dim)`` gradient, so a minibatch
+        step stays O(batch) — ``SparseEmbeddingOptimizer`` consumes the
+        records.
+        """
         if ids is None:
             return self.weight
         ids = np.asarray(ids, dtype=np.int64)
         if ids.size and (ids.min() < 0 or ids.max() >= self.num_embeddings):
             raise IndexError("embedding id out of range")
-        return self.weight[ids]
+        if not self.sparse_grad:
+            return self.weight[ids]
+        weight = self.weight
+        out_data = weight.data[ids]
+
+        def backward(g):
+            pending = getattr(weight, "sparse_grads", None)
+            if pending is None:
+                pending = []
+                weight.sparse_grads = pending
+            pending.append((ids, np.asarray(g)))
+            return (None,)
+
+        return Tensor._make(out_data, (weight,), backward)
 
 
 class LSTMCell(Module):

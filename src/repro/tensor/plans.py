@@ -33,6 +33,7 @@ from ..obs.profile import record_op
 __all__ = [
     "ReductionPlan",
     "PlanCache",
+    "accumulation_dtype",
     "get_plan_cache",
     "set_plan_cache",
     "index_plan_key",
@@ -47,6 +48,19 @@ PLAN_HIT_COUNTER = "plan.cache.hit"
 PLAN_MISS_COUNTER = "plan.cache.miss"
 PLAN_BUILD_COUNTER = "plan.cache.build"
 PLAN_EVICTION_COUNTER = "plan.cache.evictions"
+
+
+def accumulation_dtype(dtype) -> np.dtype:
+    """Accumulator dtype for a reduction over ``dtype`` values.
+
+    float16 values accumulate in float32: half precision loses ulps
+    after a few hundred additions (and overflows at 65504), and scipy's
+    SpMM has no fp16 kernel.  Every other float dtype accumulates
+    natively.  The quantized feature tier stores fp16/int8 but all
+    reductions run through this mapping, so compute stays well-behaved.
+    """
+    dtype = np.dtype(dtype)
+    return np.dtype(np.float32) if dtype == np.float16 else dtype
 
 
 def index_plan_key(base, length: int, dim_size: int) -> tuple:
@@ -186,8 +200,10 @@ class ReductionPlan:
 
     def matrix(self, dtype) -> _sp.csr_matrix:
         """``(n, num_rows)`` CSR reduction matrix: ``matrix @ value`` sums
-        each segment.  Memoized per dtype."""
-        key = np.dtype(dtype).str
+        each segment.  Memoized per dtype; float16 requests resolve to
+        the float32 matrix (fp16 accumulates in fp32, see
+        :func:`accumulation_dtype`)."""
+        key = accumulation_dtype(dtype).str
         m = self._matrices.get(key)
         if m is None:
             if self.gather is not None:
@@ -195,7 +211,8 @@ class ReductionPlan:
             else:
                 indices = np.arange(self.total, dtype=np.int64)
             m = _sp.csr_matrix(
-                (np.ones(self.total, dtype=dtype), indices, self.offsets),
+                (np.ones(self.total, dtype=accumulation_dtype(dtype)),
+                 indices, self.offsets),
                 shape=(self.n, self.num_rows),
             )
             self._matrices[key] = m
@@ -205,7 +222,7 @@ class ReductionPlan:
     def matrix_t(self, dtype) -> _sp.csr_matrix:
         """CSC transpose of :meth:`matrix`, re-expressed as CSR so the
         backward SpMM never converts on the hot path.  Memoized per dtype."""
-        key = np.dtype(dtype).str
+        key = accumulation_dtype(dtype).str
         m = self._matrices_t.get(key)
         if m is None:
             m = self.matrix(dtype).T.tocsr()
@@ -215,18 +232,19 @@ class ReductionPlan:
 
     def safe_counts(self, dtype) -> np.ndarray:
         """``max(counts, 1)`` in ``dtype`` — the mean divisor.  Computed in
-        the value dtype so float32 models stay float32 end-to-end."""
-        key = np.dtype(dtype).str
+        the value dtype so float32 models stay float32 end-to-end (fp16
+        routes to fp32 — counts above 2048 are not exact in half)."""
+        key = accumulation_dtype(dtype).str
         c = self._safe_counts.get(key)
         if c is None:
-            c = np.maximum(self.counts, 1).astype(dtype)
+            c = np.maximum(self.counts, 1).astype(accumulation_dtype(dtype))
             self._safe_counts[key] = c
             self._grew(c.nbytes)
         return c
 
     def inv_counts(self, dtype) -> np.ndarray:
         """``1 / max(counts, 1)`` in ``dtype`` — the mean backward scale."""
-        key = np.dtype(dtype).str
+        key = accumulation_dtype(dtype).str
         c = self._inv_counts.get(key)
         if c is None:
             c = 1.0 / self.safe_counts(dtype)

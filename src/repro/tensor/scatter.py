@@ -37,6 +37,7 @@ from ..obs import counter as _obs_counter
 from ..obs.profile import record_op
 from .plans import (
     ReductionPlan,
+    accumulation_dtype,
     get_plan_cache,
     index_plan_key,
     segment_plan_key,
@@ -155,12 +156,14 @@ def scatter_add(value: Tensor, index: np.ndarray | None = None,
     plan = _resolve_index_plan(value, index, dim_size, plan, plan_key,
                                "scatter_add")
     n = plan.n
+    dtype = value.data.dtype
+    acc = accumulation_dtype(dtype)
     _record_materialization(value.data.nbytes)
     if plan.total == 0:
-        out_data = np.zeros((n,) + value.shape[1:], dtype=value.data.dtype)
+        out_data = np.zeros((n,) + value.shape[1:], dtype=dtype)
     else:
-        flat = value.data.reshape(plan.num_rows, -1)
-        out_data = (plan.matrix(value.data.dtype) @ flat).reshape(
+        flat = value.data.reshape(plan.num_rows, -1).astype(acc, copy=False)
+        out_data = (plan.matrix(acc) @ flat).astype(dtype, copy=False).reshape(
             (n,) + value.shape[1:]
         )
     # one add per scattered element
@@ -184,23 +187,28 @@ def scatter_mean(value: Tensor, index: np.ndarray | None = None,
                                "scatter_mean")
     n = plan.n
     dtype = value.data.dtype
+    acc = accumulation_dtype(dtype)
     _record_materialization(value.data.nbytes)
     if plan.total == 0:
         out_data = np.zeros((n,) + value.shape[1:], dtype=dtype)
     else:
-        flat = value.data.reshape(plan.num_rows, -1)
-        out_flat = plan.matrix(dtype) @ flat
-        # Divisor stays in value.dtype so float32 models remain float32.
-        out_flat /= plan.safe_counts(dtype)[:, None]
-        out_data = out_flat.reshape((n,) + value.shape[1:])
+        flat = value.data.reshape(plan.num_rows, -1).astype(acc, copy=False)
+        out_flat = plan.matrix(acc) @ flat
+        # Divisor stays in the accumulator dtype: the value dtype for
+        # float32/float64 models, float32 for fp16 inputs.
+        out_flat /= plan.safe_counts(acc)[:, None]
+        out_data = out_flat.astype(dtype, copy=False).reshape((n,) + value.shape[1:])
     # add + normalize: ~2 FLOPs per scattered element
     record_op("scatter_mean", flops=2.0 * value.data.size,
               bytes_read=value.data.nbytes + plan.index.nbytes,
               bytes_written=out_data.nbytes)
 
     def backward(g):
-        scale = plan.inv_counts(dtype)[plan.index]
-        return (g[plan.index] * scale.reshape((-1,) + (1,) * (value.ndim - 1)),)
+        scale = plan.inv_counts(acc)[plan.index]
+        grad = g[plan.index].astype(acc, copy=False) * scale.reshape(
+            (-1,) + (1,) * (value.ndim - 1)
+        )
+        return (grad.astype(dtype, copy=False),)
 
     return Tensor._make(out_data, (value,), backward)
 
@@ -272,6 +280,7 @@ def scatter_softmax(value: Tensor, index: np.ndarray | None = None,
     plan = _resolve_index_plan(value, index, dim_size, plan, plan_key,
                                "scatter_softmax")
     dtype = value.data.dtype
+    acc = accumulation_dtype(dtype)
     _record_materialization(value.data.nbytes)
     if plan.total == 0:
         out_data = np.zeros_like(value.data)
@@ -279,7 +288,9 @@ def scatter_softmax(value: Tensor, index: np.ndarray | None = None,
     else:
         order = plan.gather
         reps = plan.counts[plan.nonempty]
-        sv = value.data[order]
+        # exp/sum run in the accumulator dtype (fp32 for fp16 inputs);
+        # only the normalized result is narrowed back.
+        sv = value.data[order].astype(acc, copy=False)
         # Stabilize per group: subtract group max (sorted-domain sweep).
         shifted = sv - np.repeat(
             np.maximum.reduceat(sv, plan.starts, axis=0), reps, axis=0
@@ -297,13 +308,14 @@ def scatter_softmax(value: Tensor, index: np.ndarray | None = None,
     def backward(g):
         if plan.total == 0:
             return (np.zeros_like(value.data),)
-        gs = (g * out_data)[plan.gather]
+        gs = (g.astype(acc, copy=False) * out_data.astype(acc, copy=False))[plan.gather]
         dot = np.repeat(
             np.add.reduceat(gs, plan.starts, axis=0), reps, axis=0
         )
-        dot_rows = np.empty_like(value.data)
+        dot_rows = np.empty(value.shape, dtype=acc)
         dot_rows[plan.gather] = dot
-        return (out_data * (g - dot_rows),)
+        grad = out_data.astype(acc, copy=False) * (g.astype(acc, copy=False) - dot_rows)
+        return (grad.astype(dtype, copy=False),)
 
     return Tensor._make(out_data, (value,), backward)
 
@@ -394,17 +406,18 @@ def segment_reduce_csr(
 
         return Tensor._make(out_data, (value,), backward_empty)
 
+    acc = accumulation_dtype(dtype)
     if reducer in ("sum", "mean"):
         # Fused reduction as one sparse-matrix / dense-matrix product: the
         # (offsets, sources) pair *is* the CSR of the reduction matrix, so
         # no per-edge tensor enters the tape — this is the analogue of the
         # SIMD vertex reduce the paper implements in libgrape-lite.
-        matrix = plan.matrix(dtype)
-        flat = value.data.reshape(plan.num_rows, -1)
+        matrix = plan.matrix(acc)
+        flat = value.data.reshape(plan.num_rows, -1).astype(acc, copy=False)
         out_flat = matrix @ flat
         if reducer == "mean":
-            out_flat = out_flat / plan.safe_counts(dtype)[:, None]
-        out_data = out_flat.reshape(out_shape)
+            out_flat = out_flat / plan.safe_counts(acc)[:, None]
+        out_data = out_flat.astype(dtype, copy=False).reshape(out_shape)
         # SpMM convention: 2 FLOPs (multiply+add) per reduced element;
         # reads stream one source row per edge plus the CSR structure.
         dim = flat.shape[1]
@@ -417,13 +430,13 @@ def segment_reduce_csr(
         )
         # Transpose prebuilt at forward time (CSC of the forward matrix,
         # stored as CSR) so backward never converts per call.
-        matrix_t = plan.matrix_t(dtype)
+        matrix_t = plan.matrix_t(acc)
 
         def backward(g):
-            g_flat = g.reshape(n, -1)
+            g_flat = g.reshape(n, -1).astype(acc, copy=False)
             if reducer == "mean":
-                g_flat = g_flat / plan.safe_counts(dtype)[:, None]
-            return ((matrix_t @ g_flat).reshape(value.shape),)
+                g_flat = g_flat / plan.safe_counts(acc)[:, None]
+            return ((matrix_t @ g_flat).astype(dtype, copy=False).reshape(value.shape),)
 
         return Tensor._make(out_data, (value,), backward)
 

@@ -1,0 +1,412 @@
+"""Quantized feature/embedding tier: codecs, dequantize-on-gather parity
+across every storage backend, the sparse-gradient embedding optimizer,
+and byte-budget accounting in the serve caches."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.loader import QuantizedSource, StreamingLoader, as_source
+from repro.serve.cache import EmbeddingCache, HDGBlockCache, block_nbytes
+from repro.storage import OnDiskDataset, PartitionedStore, write_ondisk_dataset
+from repro.storage.ondisk import OnDiskIntegrityError
+from repro.tensor import (
+    SGD,
+    Adam,
+    Embedding,
+    SparseEmbeddingOptimizer,
+    Tensor,
+)
+from repro.tensor.quant import (
+    FEATURE_DTYPES,
+    QuantizedRows,
+    dequantize_rows,
+    int8_error_bound,
+    quantize_rows,
+    resolve_codec,
+    wire_bytes_per_row,
+)
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    from repro.datasets import load_dataset
+
+    return load_dataset("reddit", scale="tiny")
+
+
+def _rows(n=50, dim=16, seed=0, dtype=np.float64):
+    rng = np.random.default_rng(seed)
+    return (rng.standard_normal((n, dim)) * rng.uniform(0.1, 10, (n, 1))
+            ).astype(dtype)
+
+
+# ---------------------------------------------------------------------------
+# Codec round trips and bounds
+# ---------------------------------------------------------------------------
+class TestCodecs:
+    def test_int8_round_trip_within_bound(self):
+        rows = _rows()
+        q = quantize_rows(rows, "int8")
+        back = dequantize_rows(q, out_dtype=np.float64)
+        bound = int8_error_bound(rows)[:, None]
+        assert np.all(np.abs(back - rows) <= bound + 1e-12)
+
+    def test_int8_bound_is_tight_scale_over_two(self):
+        rows = _rows()
+        np.testing.assert_allclose(
+            int8_error_bound(rows), np.abs(rows).max(axis=1) / 254.0)
+
+    def test_int8_zero_rows_round_trip_exactly(self):
+        rows = np.zeros((3, 8))
+        q = quantize_rows(rows, "int8")
+        np.testing.assert_array_equal(q.scales, np.ones(3, dtype=np.float32))
+        np.testing.assert_array_equal(dequantize_rows(q), np.zeros((3, 8)))
+
+    def test_float16_round_trip_relative_bound(self):
+        rows = _rows()
+        q = quantize_rows(rows, "float16")
+        back = dequantize_rows(q, out_dtype=np.float64)
+        assert np.all(np.abs(back - rows) <= np.abs(rows) * 2.0 ** -10 + 1e-12)
+
+    def test_float32_codec_is_identity(self):
+        rows = _rows(dtype=np.float32)
+        q = quantize_rows(rows, "float32")
+        assert q.scales is None
+        np.testing.assert_array_equal(
+            dequantize_rows(q, out_dtype=np.float32), rows)
+
+    def test_row_subset_decode(self):
+        rows = _rows()
+        q = quantize_rows(rows, "int8")
+        sub = dequantize_rows(q, rows=np.array([3, 1, 3]))
+        full = dequantize_rows(q)
+        np.testing.assert_array_equal(sub, full[[3, 1, 3]])
+
+    def test_wire_bytes_per_row(self):
+        assert wire_bytes_per_row("float32", 16) == 64
+        assert wire_bytes_per_row("float16", 16) == 32
+        assert wire_bytes_per_row("int8", 16) == 20  # codes + fp32 scale
+
+    def test_resolve_codec_rejects_unknown(self):
+        with pytest.raises(ValueError, match="unknown feature codec"):
+            resolve_codec("bf16")
+        assert [resolve_codec(c) for c in FEATURE_DTYPES] == list(FEATURE_DTYPES)
+
+    def test_container_validates_shapes(self):
+        with pytest.raises(ValueError, match="scale sidecar"):
+            QuantizedRows("int8", np.zeros((2, 4), dtype=np.int8))
+        with pytest.raises(ValueError, match="does not match"):
+            QuantizedRows("int8", np.zeros((2, 4), dtype=np.int8),
+                          np.zeros(3, dtype=np.float32))
+        with pytest.raises(ValueError, match="no scale sidecar"):
+            QuantizedRows("float16", np.zeros((2, 4), dtype=np.float16),
+                          np.zeros(2, dtype=np.float32))
+
+
+# ---------------------------------------------------------------------------
+# Gather parity: in-RAM, on-disk, partitioned shards
+# ---------------------------------------------------------------------------
+class TestGatherParity:
+    def test_quantized_source_parity(self):
+        rows = _rows(80, 12)
+        labels = np.arange(80) % 5
+        src = QuantizedSource(rows, labels, codec="int8")
+        idx = np.array([0, 7, 7, 79, 3])
+        got = src.gather_features(idx)
+        assert got.dtype == np.float32
+        bound = int8_error_bound(rows)[idx][:, None]
+        assert np.all(np.abs(got - rows[idx]) <= bound + 1e-6)
+        np.testing.assert_array_equal(src.gather_labels(idx), labels[idx])
+        assert src.wire_bytes_per_row == 16
+        assert src.nbytes < rows.nbytes / 4
+
+    def test_as_source_feature_dtype(self):
+        rows = _rows(10, 4)
+        src = as_source(rows, np.zeros(10), feature_dtype="float16")
+        assert isinstance(src, QuantizedSource)
+        assert src.gather_features(np.arange(10)).dtype == np.float16
+
+    def test_as_source_refuses_requantizing_a_source(self):
+        rows = _rows(10, 4)
+        base = as_source(rows, np.zeros(10))
+        with pytest.raises(ValueError, match="cannot re-quantize"):
+            as_source(base, feature_dtype="int8")
+
+    @pytest.mark.parametrize("codec", ["float16", "int8"])
+    def test_ondisk_parity(self, dataset, tmp_path, codec):
+        root = str(tmp_path / codec)
+        write_ondisk_dataset(dataset, root, rows_per_shard=64,
+                             quantize=codec)
+        ds = OnDiskDataset(root)
+        assert ds.feature_codec == codec
+        idx = np.array([0, 63, 64, 65, 199, 1])  # spans shard boundaries
+        got = ds.gather_features(idx)
+        exact = np.asarray(dataset.features)[idx]
+        if codec == "int8":
+            assert got.dtype == np.float32
+            bound = int8_error_bound(exact)[:, None]
+        else:
+            assert got.dtype == np.float16
+            bound = np.abs(exact) * 2.0 ** -10 + 1e-6
+        assert np.all(np.abs(got - exact) <= bound + 1e-6)
+        assert ds.wire_bytes_per_row == wire_bytes_per_row(
+            codec, dataset.features.shape[1])
+
+    def test_ondisk_manifest_codec_mismatch_is_loud(self, dataset, tmp_path):
+        import json
+
+        root = str(tmp_path / "broken")
+        write_ondisk_dataset(dataset, root, rows_per_shard=64,
+                             quantize="int8")
+        manifest_path = os.path.join(root, "manifest.json")
+        with open(manifest_path) as fh:
+            manifest = json.load(fh)
+        manifest["feature_codec"] = "float16"
+        with open(manifest_path, "w") as fh:
+            json.dump(manifest, fh)
+        with pytest.raises(OnDiskIntegrityError):
+            OnDiskDataset(root)
+
+    @pytest.mark.parametrize("codec", ["float16", "int8"])
+    def test_partitioned_store_parity(self, dataset, tmp_path, codec):
+        store = PartitionedStore(str(tmp_path / "shards"))
+        part = np.arange(dataset.graph.num_vertices) % 2
+        store.write_shards(dataset, part, 2, quantize=codec)
+        shard = store.read_shard(0)
+        owned = np.flatnonzero(part == 0)
+        exact = np.asarray(dataset.features)[owned]
+        got = shard["features"]
+        if codec == "int8":
+            assert got.dtype == np.float32
+            bound = int8_error_bound(exact)[:, None]
+        else:
+            assert got.dtype == np.float16
+            bound = np.abs(exact) * 2.0 ** -10 + 1e-6
+        assert np.all(np.abs(got - exact) <= bound + 1e-6)
+        raw = store.read_shard(0, dequantize=False)
+        assert raw["features"].dtype == np.dtype(codec if codec != "int8"
+                                                 else np.int8)
+
+    def test_loader_wire_bytes_counter(self, dataset):
+        from repro import obs
+        from repro.core import FlexGraphEngine
+        from repro.models import gcn
+
+        obs.reset()
+        model = gcn(dataset.feat_dim, 8, dataset.num_classes, seed=0)
+        hdg = FlexGraphEngine(model, dataset.graph, seed=0).hdg_for_layer(0)
+        loader = StreamingLoader(dataset, [5, 5], batch_size=64,
+                                 prefetch_depth=0, feature_dtype="int8")
+        for _ in loader.epoch_batches(hdg, np.arange(128), epoch=0, seed=0):
+            pass
+        wire = obs.counter("loader.wire_bytes").total
+        compute = obs.counter("loader.bytes_gathered").total
+        assert 0 < wire < compute / 3
+
+
+# ---------------------------------------------------------------------------
+# Sparse-gradient embedding optimizer
+# ---------------------------------------------------------------------------
+class TestSparseEmbeddingOptimizer:
+    def _embeddings(self, n=20, dim=6, seed=0):
+        dense = Embedding(n, dim, rng=np.random.default_rng(seed))
+        sparse = Embedding(n, dim, rng=np.random.default_rng(seed),
+                           sparse_grad=True)
+        np.testing.assert_array_equal(dense.weight.data, sparse.weight.data)
+        return dense, sparse
+
+    @pytest.mark.parametrize("method", ["sgd", "adam"])
+    def test_bitwise_parity_with_dense_when_all_rows_touched(self, method):
+        dense, sparse = self._embeddings()
+        dense_opt = (SGD if method == "sgd" else Adam)(
+            dense.parameters(), lr=0.05)
+        sparse_opt = SparseEmbeddingOptimizer(
+            [sparse], lr=0.05, method=method)
+        # duplicate ids in-batch: coalescing must match dense np.add.at
+        ids = np.concatenate([np.arange(20), np.array([0, 0, 7])])
+        for step in range(4):
+            for module, opt in ((dense, dense_opt), (sparse, sparse_opt)):
+                opt.zero_grad()
+                out = module(ids)
+                ((out * out).sum()).backward()
+                opt.step()
+            np.testing.assert_array_equal(dense.weight.data,
+                                          sparse.weight.data)
+
+    @pytest.mark.parametrize("method", ["sgd", "adam"])
+    def test_partial_touch_updates_only_touched_rows(self, method):
+        _, sparse = self._embeddings()
+        before = sparse.weight.data.copy()
+        opt = SparseEmbeddingOptimizer([sparse], lr=0.1, method=method)
+        ids = np.array([2, 5, 5, 11])
+        out = sparse(ids)
+        out.sum().backward()
+        opt.step()
+        touched = np.zeros(20, dtype=bool)
+        touched[[2, 5, 11]] = True
+        assert not np.array_equal(sparse.weight.data[touched],
+                                  before[touched])
+        np.testing.assert_array_equal(sparse.weight.data[~touched],
+                                      before[~touched])
+
+    def test_sparse_grad_avoids_dense_tables(self):
+        _, sparse = self._embeddings(n=1000, dim=4)
+        out = sparse(np.array([1, 2, 3]))
+        out.sum().backward()
+        assert sparse.weight.grad is None
+        (ids, grad), = sparse.weight.sparse_grads
+        assert grad.shape == (3, 4)
+
+    def test_state_dict_round_trip(self):
+        _, sparse = self._embeddings()
+        opt = SparseEmbeddingOptimizer([sparse], lr=0.05, method="adam")
+        out = sparse(np.array([0, 3]))
+        out.sum().backward()
+        opt.step()
+        state = opt.state_dict()
+        _, fresh = self._embeddings()
+        opt2 = SparseEmbeddingOptimizer([fresh], lr=0.05, method="adam")
+        opt2.load_state_dict(state)
+        for key, value in opt.state_dict().items():
+            np.testing.assert_array_equal(value, opt2.state_dict()[key])
+
+    def test_rejects_bad_params(self):
+        from repro.tensor.nn import Parameter
+
+        with pytest.raises(TypeError, match="Embedding modules"):
+            SparseEmbeddingOptimizer([Tensor(np.zeros(3))], lr=0.1)
+        with pytest.raises(ValueError, match="2-D"):
+            SparseEmbeddingOptimizer([Parameter(np.zeros(3))], lr=0.1)
+
+
+# ---------------------------------------------------------------------------
+# Serve tier: quantized embedding cache and recursive block accounting
+# ---------------------------------------------------------------------------
+class TestQuantizedServeTier:
+    def test_int8_cache_round_trip_within_bound(self):
+        cache = EmbeddingCache(1 << 20, store_dtype="int8")
+        rows = _rows(32, 8, dtype=np.float32)
+        ids = np.arange(32)
+        cache.store(0, ids, rows, version=1)
+        hit_mask, hit_rows = cache.lookup(0, ids)
+        assert hit_mask.all()
+        got = np.stack(hit_rows)
+        assert got.dtype == np.float32
+        bound = int8_error_bound(rows)[:, None]
+        assert np.all(np.abs(got - rows) <= bound + 1e-6)
+        assert cache.stats()["store_dtype"] == "int8"
+
+    def test_int8_cache_holds_more_entries_at_same_budget(self):
+        dim = 32
+        budget = 64 * dim * 4  # 64 fp32 rows
+        exact = EmbeddingCache(budget)
+        quant = EmbeddingCache(budget, store_dtype="int8")
+        rng = np.random.default_rng(0)
+        for v in range(256):
+            row = rng.standard_normal((1, dim)).astype(np.float32)
+            exact.store(0, np.array([v]), row, version=1)
+            quant.store(0, np.array([v]), row, version=1)
+        assert quant.stats()["entries"] > 3 * exact.stats()["entries"]
+        assert quant.stats()["bytes"] <= budget
+        assert exact.stats()["bytes"] <= budget
+
+    def test_block_nbytes_counts_composite_blocks(self):
+        class Block:
+            __slots__ = ("a", "parts", "meta")
+
+            def __init__(self):
+                self.a = np.zeros(100, dtype=np.int64)
+                self.parts = [np.zeros(50, dtype=np.float32),
+                              np.zeros(10)]
+                self.meta = {"idx": np.arange(7)}
+
+        block = Block()
+        expected = (block.a.nbytes + block.parts[0].nbytes
+                    + block.parts[1].nbytes + block.meta["idx"].nbytes)
+        assert block_nbytes(block) == expected
+
+    def test_block_nbytes_counts_shared_arrays_once(self):
+        shared = np.zeros(64)
+        assert block_nbytes([shared, shared, (shared,)]) == shared.nbytes
+
+    def test_block_cache_budget_bounds_composite_blocks(self):
+        class Block:
+            __slots__ = ("a", "extra")
+
+            def __init__(self):
+                self.a = np.zeros(64, dtype=np.int64)      # 512 B
+                self.extra = [np.zeros(192, dtype=np.int64)]  # 1536 B unseen
+                                                              # by a.nbytes
+
+        per_block = block_nbytes(Block())
+        cache = HDGBlockCache(2 * per_block)
+        for i in range(6):
+            cache.put(0, 1, None, np.array([i], dtype=np.int64), Block())
+        stats = cache.stats()
+        # Regression: flat block.nbytes accounting admitted 8 blocks
+        # into a 2-block budget; the recursive walk keeps it honest.
+        assert stats["entries"] == 2
+        assert stats["bytes"] <= 2 * per_block
+
+    def test_session_quantized_features_and_cache(self, dataset):
+        from repro.models import gcn
+        from repro.serve import InferenceSession
+
+        model = gcn(dataset.feat_dim, 8, dataset.num_classes, seed=0)
+        exact = InferenceSession(model, dataset.graph, dataset.features,
+                                 seed=0)
+        quant = InferenceSession(model, dataset.graph, dataset.features,
+                                 seed=0, feature_dtype="int8",
+                                 cache_dtype="int8")
+        seeds = np.arange(16)
+        ref = exact.embed(seeds)
+        got = quant.embed(seeds)
+        rel = np.abs(got - ref).max() / (np.abs(ref).max() + 1e-12)
+        assert rel < 0.05
+        warm = quant.embed(seeds)
+        stats = quant.stats()["embed_cache"]
+        assert stats["store_dtype"] == "int8"
+        assert stats["hits"] > 0
+        rel_warm = np.abs(warm - got).max() / (np.abs(got).max() + 1e-12)
+        assert rel_warm < 0.02
+
+
+# ---------------------------------------------------------------------------
+# End-to-end training parity
+# ---------------------------------------------------------------------------
+class TestTrainingParity:
+    def test_minibatch_trainer_feature_dtype_losses_track(self, dataset):
+        from repro.core.sampling import MiniBatchTrainer
+        from repro.models import gcn
+
+        losses = {}
+        for codec in (None, "int8"):
+            model = gcn(dataset.feat_dim, 8, dataset.num_classes, seed=0)
+            trainer = MiniBatchTrainer(model, dataset, batch_size=64,
+                                       fanouts=[5, 5], seed=0,
+                                       feature_dtype=codec)
+            opt = Adam(model.parameters(), lr=0.01)
+            losses[codec] = [
+                trainer.train_epoch(optimizer=opt, mask=dataset.train_mask,
+                                    epoch=epoch).loss
+                for epoch in range(2)
+            ]
+        for exact, quant in zip(losses[None], losses["int8"]):
+            assert abs(quant - exact) <= 0.01 * max(abs(exact), 1.0)
+
+    def test_trainer_refuses_requantizing_ondisk(self, dataset, tmp_path):
+        from repro.core.sampling import MiniBatchTrainer
+        from repro.models import gcn
+
+        root = str(tmp_path / "ds")
+        write_ondisk_dataset(dataset, root, rows_per_shard=64,
+                             quantize="int8")
+        ds = OnDiskDataset(root)
+        model = gcn(ds.feat_dim, 8, ds.num_classes, seed=0)
+        trainer = MiniBatchTrainer(model, ds, batch_size=64, fanouts=[5, 5],
+                                   seed=0, feature_dtype="float16")
+        with pytest.raises(ValueError, match="re-quantize"):
+            trainer.train_epoch(optimizer=Adam(model.parameters(), lr=0.01),
+                                mask=ds.train_mask, epoch=0)

@@ -67,12 +67,20 @@ SCHEMA = "repro.bench/2"
 ACCEPTED_SCHEMAS = ("repro.bench/1", "repro.bench/2")
 DIST_SCHEMA = "repro.dist-bench/1"
 ONDISK_SCHEMA = "repro.ondisk-bench/1"
+QUANT_SCHEMA = "repro.quant-bench/1"
 REPO_ROOT = os.path.abspath(
     os.path.join(os.path.dirname(os.path.abspath(__file__)), "..")
 )
 DEFAULT_OUTPUT = os.path.join(REPO_ROOT, "BENCH_epoch_time.json")
 DIST_OUTPUT = os.path.join(REPO_ROOT, "BENCH_dist_scaling.json")
 ONDISK_OUTPUT = os.path.join(REPO_ROOT, "BENCH_ondisk_stream.json")
+QUANT_OUTPUT = os.path.join(REPO_ROOT, "BENCH_quant.json")
+#: codecs the --quantized bench trains with (float32 is the baseline)
+QUANT_CODECS = ("float32", "float16", "int8")
+#: gate: int8 gathers must move at least this factor fewer wire bytes
+QUANT_MIN_BYTES_SHRINK = 3.0
+#: gate: int8 final loss / accuracy may drift at most this (relative)
+QUANT_MAX_DRIFT = 0.01
 #: (num_vertices, num_edges, feat_dim) of the --ondisk streaming bench
 ONDISK_SIZES = {"tiny": (20_000, 200_000, 32), "small": (60_000, 1_200_000, 64)}
 #: modeled H2D-link bandwidth of the --ondisk bench's transfer stub
@@ -475,6 +483,208 @@ def validate_ondisk_report(report: dict) -> None:
         raise ValueError("missing or non-positive prefetch_speedup")
 
 
+def run_quantized(scale: str, epochs: int, seed: int) -> dict:
+    """Quantized-tier benchmark: wire bytes, quality drift, cache hit rate.
+
+    Three measurements, one report (``repro.quant-bench/1``):
+
+    * **Training rows** — identical sampled mini-batch runs with the
+      feature tier stored as float32 / float16 / int8
+      (:class:`~repro.loader.QuantizedSource`, dequantize on gather).
+      Per codec: epoch medians, final loss and train accuracy, and the
+      gather traffic both as compute bytes (``loader.bytes_gathered``)
+      and storage wire bytes (``loader.wire_bytes``) — int8 must move
+      ``>= QUANT_MIN_BYTES_SHRINK``x fewer wire bytes than float32
+      while its loss/accuracy stay within ``QUANT_MAX_DRIFT`` relative.
+    * **Cache rows** — an :class:`~repro.serve.EmbeddingCache` at a
+      fixed byte budget serving a Zipfian request stream, exact-fp32 vs
+      int8 storage.  The int8 cache holds ~4x the vertices per byte,
+      so its *warm* hit rate (second half of the stream) must come out
+      strictly higher.
+    """
+    import numpy as np
+
+    from repro import models
+    from repro.core.sampling import MiniBatchTrainer
+    from repro.datasets import load_dataset
+    from repro.serve import EmbeddingCache
+    from repro.tensor import Adam, Tensor
+    from repro.tensor.quant import wire_bytes_per_row
+
+    ds = load_dataset("reddit", scale=scale, seed=seed)
+    # Quality drift is measured once the losses settle: run enough
+    # steps for convergence (early-training noise — a handful of
+    # optimizer steps — dominates the codec's error contribution
+    # otherwise) and smooth the final loss over the last five epochs.
+    epochs = max(epochs, 20)
+    rows = []
+    for codec in QUANT_CODECS:
+        obs.reset()
+        model = models.gcn(ds.feat_dim, 16, ds.num_classes, seed=seed)
+        trainer = MiniBatchTrainer(
+            model, ds, batch_size=64, fanouts=[10, 10], seed=seed,
+            feature_dtype=codec,
+        )
+        optimizer = Adam(model.parameters(), lr=0.01)
+        wall, losses, accs = [], [], []
+        for epoch in range(epochs):
+            stats = trainer.train_epoch(
+                optimizer=optimizer, mask=ds.train_mask, epoch=epoch,
+            )
+            wall.append(stats.seconds)
+            losses.append(stats.loss)
+            accs.append(stats.train_accuracy)
+        row = {
+            "name": f"quant-train-{codec}",
+            "model": "gcn",
+            "dataset": "reddit",
+            "scale": scale,
+            "kind": "quant-train",
+            "codec": codec,
+            "epochs": epochs,
+            "median_epoch_seconds": statistics.median(wall),
+            "p90_epoch_seconds": _percentile(wall, 90),
+            "time_basis": "wall",
+            "final_loss": statistics.mean(losses[-5:]),
+            "final_train_accuracy": statistics.mean(accs[-5:]),
+            "val_accuracy": trainer.evaluate(
+                Tensor(ds.features), ds.labels, ds.val_mask
+            ),
+            "wire_bytes_per_row": wire_bytes_per_row(codec, ds.feat_dim),
+            "gather_wire_bytes": obs.counter("loader.wire_bytes").total,
+            "gather_compute_bytes": obs.counter("loader.bytes_gathered").total,
+            "dequantize_op_bytes":
+                obs.counter("profile.op.feature.dequantize.bytes").total,
+        }
+        rows.append(row)
+        print(f"  {row['name']:<22} median {row['median_epoch_seconds']:.4f}s  "
+              f"loss {row['final_loss']:.4f}  "
+              f"acc {row['final_train_accuracy']:.3f}  "
+              f"wire {row['gather_wire_bytes'] / 1e6:.2f} MB "
+              f"({row['wire_bytes_per_row']} B/row)")
+
+    by_codec = {row["codec"]: row for row in rows}
+    base = by_codec["float32"]
+    derived = {
+        "int8_wire_bytes_shrink":
+            base["gather_wire_bytes"]
+            / max(by_codec["int8"]["gather_wire_bytes"], 1.0),
+        # Denominator floored at 1: near-converged losses sit well below
+        # 1.0, where a pure ratio would amplify batch noise into the
+        # gate; below the floor this is absolute drift in loss units.
+        "int8_loss_drift": abs(by_codec["int8"]["final_loss"]
+                               - base["final_loss"])
+            / max(abs(base["final_loss"]), 1.0),
+        # Accuracy drift over the deterministic full-batch validation
+        # pass (no minibatch sampling noise in the measurement itself).
+        "int8_accuracy_drift":
+            abs(by_codec["int8"]["val_accuracy"] - base["val_accuracy"])
+            / max(base["val_accuracy"], 1e-12),
+    }
+    print(f"  int8 vs float32: {derived['int8_wire_bytes_shrink']:.2f}x fewer "
+          f"wire bytes, loss drift {derived['int8_loss_drift']:.2%}, "
+          f"accuracy drift {derived['int8_accuracy_drift']:.2%}")
+
+    # Embedding-cache comparison: same byte budget, Zipfian seeds.
+    rng = np.random.default_rng(seed)
+    num_vertices, dim = ds.graph.num_vertices, 64
+    table = rng.standard_normal((num_vertices, dim)).astype(np.float32)
+    budget = max(num_vertices // 10, 16) * dim * 4  # ~10% of vertices in fp32
+    ranks = np.arange(1, num_vertices + 1, dtype=np.float64)
+    popularity = ranks ** -1.1
+    popularity /= popularity.sum()
+    requests = rng.choice(num_vertices, size=4000, p=popularity)
+    half = requests.size // 2
+    for store_dtype in ("float32", "int8"):
+        cache = EmbeddingCache(budget, store_dtype=store_dtype)
+        warm_base = None
+        for start in range(0, requests.size, 32):
+            chunk = np.unique(requests[start : start + 32])
+            hit_mask, _ = cache.lookup(0, chunk)
+            missing = chunk[~hit_mask]
+            if missing.size:
+                cache.store(0, missing, table[missing], version=1)
+            if warm_base is None and start + 32 >= half:
+                warm_base = (cache.hits, cache.misses)
+        warm_hits = cache.hits - warm_base[0]
+        warm_misses = cache.misses - warm_base[1]
+        stats = cache.stats()
+        row = {
+            "name": f"quant-cache-{store_dtype}",
+            "model": "embedding-cache",
+            "dataset": "zipf-1.1",
+            "scale": scale,
+            "kind": "quant-cache",
+            "codec": store_dtype,
+            "epochs": epochs,
+            "budget_bytes": budget,
+            "entries": stats["entries"],
+            "resident_bytes": stats["bytes"],
+            "hit_rate": stats["hit_rate"],
+            "warm_hit_rate": warm_hits / max(warm_hits + warm_misses, 1),
+        }
+        rows.append(row)
+        print(f"  {row['name']:<22} entries {row['entries']:5d}  "
+              f"hit {row['hit_rate']:.1%}  warm hit {row['warm_hit_rate']:.1%}")
+    return {
+        "schema": QUANT_SCHEMA,
+        "mode": "smoke" if scale == "tiny" else "full",
+        "scale": scale,
+        "calibration_seconds": calibration_seconds(),
+        "derived": derived,
+        "configs": rows,
+    }
+
+
+def validate_quant_report(report: dict) -> None:
+    """Raise ValueError when the quantized-tier report violates its gates.
+
+    Beyond schema shape this enforces the PR's acceptance criteria: the
+    int8 path must move ``>= QUANT_MIN_BYTES_SHRINK``x fewer gather wire
+    bytes than float32 at ``<= QUANT_MAX_DRIFT`` relative loss/accuracy
+    drift, and the int8 embedding cache must beat the exact-fp32 cache's
+    warm hit rate at the same byte budget.
+    """
+    if report.get("schema") != QUANT_SCHEMA:
+        raise ValueError(f"bad schema: {report.get('schema')!r}")
+    train = {r.get("codec"): r for r in report.get("configs", [])
+             if r.get("kind") == "quant-train"}
+    for codec in QUANT_CODECS:
+        row = train.get(codec)
+        if row is None:
+            raise ValueError(f"missing quant-train row for codec {codec!r}")
+        if row["median_epoch_seconds"] <= 0:
+            raise ValueError(f"row {row['name']!r} has non-positive median")
+    derived = report.get("derived", {})
+    shrink = derived.get("int8_wire_bytes_shrink", 0.0)
+    if shrink < QUANT_MIN_BYTES_SHRINK:
+        raise ValueError(
+            f"int8 gather wire bytes shrank only {shrink:.2f}x vs float32 "
+            f"(gate: >= {QUANT_MIN_BYTES_SHRINK}x)"
+        )
+    for key in ("int8_loss_drift", "int8_accuracy_drift"):
+        drift = derived.get(key)
+        if drift is None or drift > QUANT_MAX_DRIFT:
+            raise ValueError(
+                f"{key} is {drift!r} (gate: <= {QUANT_MAX_DRIFT:.0%} relative)"
+            )
+    cache = {r.get("codec"): r for r in report.get("configs", [])
+             if r.get("kind") == "quant-cache"}
+    for codec in ("float32", "int8"):
+        if codec not in cache:
+            raise ValueError(f"missing quant-cache row for codec {codec!r}")
+        if cache[codec]["resident_bytes"] > cache[codec]["budget_bytes"]:
+            raise ValueError(
+                f"quant-cache-{codec} exceeded its byte budget"
+            )
+    if cache["int8"]["warm_hit_rate"] <= cache["float32"]["warm_hit_rate"]:
+        raise ValueError(
+            f"int8 cache warm hit rate {cache['int8']['warm_hit_rate']:.1%} "
+            f"does not beat fp32's {cache['float32']['warm_hit_rate']:.1%} "
+            "at the same budget"
+        )
+
+
 #: synthetic kernel-microbench shapes per scale: (edges, destinations, dim)
 KERNEL_SIZES = {"tiny": (2_000, 200, 16), "small": (20_000, 2_000, 32)}
 #: reducers measured by --kernels, planned and unplanned
@@ -701,6 +911,12 @@ def main(argv: list[str] | None = None) -> int:
                              "instead of the fixed matrix: prefetch-off vs "
                              "prefetch-2 epoch medians and overlap ratio "
                              f"-> {ONDISK_OUTPUT}")
+    parser.add_argument("--quantized", action="store_true",
+                        help="run the quantized-tier bench instead of the "
+                             "fixed matrix: fp32/fp16/int8 training rows "
+                             "(wire bytes + quality drift) and the "
+                             "same-budget embedding-cache comparison "
+                             f"-> {QUANT_OUTPUT}")
     parser.add_argument("--ondisk-root", metavar="DIR", default=None,
                         help="reuse/keep the generated ondisk dataset at DIR "
                              "instead of a throwaway temp directory")
@@ -732,6 +948,20 @@ def main(argv: list[str] | None = None) -> int:
             json.dump(report, fh, indent=1)
             fh.write("\n")
         print(f"ondisk stream report written to {output}")
+        return 0
+
+    if args.quantized:
+        output = (args.output if args.output != DEFAULT_OUTPUT
+                  else QUANT_OUTPUT)
+        print(f"quantized-tier bench "
+              f"({'smoke' if args.smoke else 'full'}): scale={scale}, "
+              f"codecs {QUANT_CODECS}, {epochs} epochs each")
+        report = run_quantized(scale, epochs, args.seed)
+        validate_quant_report(report)
+        with open(output, "w") as fh:
+            json.dump(report, fh, indent=1)
+            fh.write("\n")
+        print(f"quantized-tier report written to {output}")
         return 0
 
     if args.distributed:

@@ -50,6 +50,11 @@ def main(argv: list[str] | None = None) -> int:
     ap.add_argument("--seed", type=int, default=0)
     ap.add_argument("--edges-per-chunk", type=int, default=1_000_000)
     ap.add_argument("--rows-per-shard", type=int, default=65_536)
+    ap.add_argument("--quantize", choices=("float32", "float16", "int8"),
+                    default=None,
+                    help="store feature shards quantized (int8 writes "
+                         "per-shard float32 scale sidecars; gathers "
+                         "dequantize into the compute dtype)")
     ap.add_argument("--verify", action="store_true",
                     help="re-hash every file of an existing ondisk dataset "
                          "against its manifest and exit")
@@ -72,11 +77,12 @@ def main(argv: list[str] | None = None) -> int:
             edges_per_chunk=args.edges_per_chunk,
             rows_per_shard=args.rows_per_shard,
         )
-        write_synthetic_ondisk(args.root, spec)
+        write_synthetic_ondisk(args.root, spec, quantize=args.quantize)
     elif args.dataset:
         ds = load_dataset(args.dataset, scale=args.scale)
         write_ondisk_dataset(ds, args.root,
-                             rows_per_shard=args.rows_per_shard)
+                             rows_per_shard=args.rows_per_shard,
+                             quantize=args.quantize)
     else:
         ap.error("need --dataset NAME or --generate")
 
